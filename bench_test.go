@@ -1,0 +1,381 @@
+package femuxbench
+
+// One benchmark per table/figure of the paper. Each runs the corresponding
+// experiment from internal/experiments at laptop scale and reports the
+// reproduced headline quantities via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the full evaluation. The
+// DESIGN.md experiment index maps each benchmark to its paper counterpart.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/experiments"
+	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
+)
+
+// Shared fixtures, built once: benchmarks share datasets so the suite
+// completes quickly on a single core.
+var (
+	fixtureOnce sync.Once
+	ibmSmall    *trace.Dataset
+	azureTrain  []femux.TrainApp
+	azureTest   []femux.TrainApp
+	azureAll    []femux.TrainApp
+	femuxModel  *femux.Model
+)
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		ibmSmall = experiments.IBMDataset(experiments.Scale{Seed: 5, Apps: 50, Days: 1})
+		azureAll = experiments.AzureFleet(experiments.Scale{Seed: 3, Apps: 48, Days: 2})
+		azureTrain, azureTest = experiments.SplitTrainTest(azureAll, 7)
+		cfg := femux.DefaultConfig(rum.Default())
+		cfg.BlockSize = 144
+		cfg.Window = 120
+		cfg.K = 6
+		m, err := femux.Train(azureTrain, cfg)
+		if err != nil {
+			panic(err)
+		}
+		femuxModel = m
+	})
+}
+
+func BenchmarkTable1_DatasetStats(b *testing.B) {
+	fixtures(b)
+	var r experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table1(ibmSmall)
+	}
+	b.ReportMetric(float64(r.TotalInvocations), "invocations")
+	b.ReportMetric(float64(r.Apps), "workloads")
+}
+
+func BenchmarkFig1_TrafficSeasonality(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig1(ibmSmall)
+	}
+	b.ReportMetric(r.Seasonality.WeekdaySpan*100, "weekday-span-%")
+	b.ReportMetric(r.Seasonality.SeasonalGain, "seasonal-gain-x")
+}
+
+func BenchmarkFig2_IATDistribution(b *testing.B) {
+	fixtures(b)
+	var r = experiments.Fig2(ibmSmall)
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2(ibmSmall)
+	}
+	b.ReportMetric(r.SubSecondInvFrac*100, "subsec-IAT-%")
+	b.ReportMetric(r.SubMinuteMedianFrac*100, "submin-median-%")
+	b.ReportMetric(r.CVAbove1Frac*100, "cv>1-%")
+}
+
+func BenchmarkFig3_ExecTimes(b *testing.B) {
+	fixtures(b)
+	var r = experiments.Fig3And4(ibmSmall)
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3And4(ibmSmall)
+	}
+	b.ReportMetric(r.SubSecondAppFrac*100, "subsec-apps-%")
+	b.ReportMetric(r.SubSecondInvFrac*100, "subsec-invs-%")
+}
+
+func BenchmarkFig4_ExecVariability(b *testing.B) {
+	fixtures(b)
+	var r = experiments.Fig3And4(ibmSmall)
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3And4(ibmSmall)
+	}
+	b.ReportMetric(r.MedianOfMeans*1000, "median-mean-ms")
+	b.ReportMetric(r.MedianOfP99s*1000, "median-p99-ms")
+}
+
+func BenchmarkFig5_SubMinuteScaling(b *testing.B) {
+	d := experiments.IBMDataset(experiments.Scale{Seed: 6, Apps: 20, Days: 0.4})
+	var r experiments.Fig5Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig5(d)
+	}
+	b.ReportMetric(r.FFT10VsMA*100, "fft10-vs-ma-%")
+	b.ReportMetric(r.FFT10VsKA5*100, "fft10-vs-ka5-%")
+	b.ReportMetric(r.FFT10VsFFT60*100, "fft10-vs-fft60-%")
+}
+
+func BenchmarkFig6_PlatformDelay(b *testing.B) {
+	d := experiments.IBMDataset(experiments.Scale{Seed: 8, Apps: 30, Days: 0.4})
+	var sub, tail, max float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := experiments.Fig6(d)
+		sub, tail, max = ds.SubMsInvFrac, ds.P99Above1sFrac, ds.MaxDelay
+	}
+	b.ReportMetric(sub*100, "sub-ms-%")
+	b.ReportMetric(tail*100, "p99>1s-%")
+	b.ReportMetric(max, "max-delay-s")
+}
+
+func BenchmarkFig7_Configurations(b *testing.B) {
+	fixtures(b)
+	var r = experiments.Fig7(ibmSmall)
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7(ibmSmall)
+	}
+	b.ReportMetric((r.MinScale1Frac+r.MinScaleMoreFrac)*100, "minscale>=1-%")
+	b.ReportMetric(r.ConcDefaultFrac*100, "conc-default-%")
+}
+
+func BenchmarkTable2_MetricMatrix(b *testing.B) {
+	// Table 2 is the metric inventory; verify every listed metric is
+	// computable from one Sample (the decoupling RUM provides).
+	s := rum.Sample{ColdStarts: 3, ColdStartSec: 2.4, WastedGBSec: 120,
+		AllocatedGBSec: 500, ExecSec: 90, Invocations: 1000}
+	metrics := []rum.Metric{rum.Default(), rum.ColdStartHeavy(), rum.MemoryHeavy(), rum.DefaultExecAware()}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, m := range metrics {
+			sink += m.Eval(s)
+		}
+		sink += s.ColdStartFraction()
+	}
+	b.ReportMetric(float64(len(metrics)), "metrics")
+	_ = sink
+}
+
+func BenchmarkC1_MAEvsRUM(b *testing.B) {
+	fixtures(b)
+	var r experiments.C1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.C1(azureAll)
+	}
+	b.ReportMetric(r.ARWinsMAE*100, "ar-wins-mae-%")
+	b.ReportMetric(r.FFTWinsRUM*100, "fft-wins-rum-%")
+}
+
+func BenchmarkFig8_ClassifiedForecasting(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8(azureAll)
+	}
+	b.ReportMetric(r.AllAR, "all-ar-rum")
+	b.ReportMetric(r.AllFFT, "all-fft-rum")
+	b.ReportMetric(r.PerClassBest, "per-class-rum")
+}
+
+func BenchmarkFig9_TemporalSwitching(b *testing.B) {
+	var r experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9(11)
+	}
+	b.ReportMetric(r.KAPhase2, "ka-phase2-rum")
+	b.ReportMetric(r.MCPhase2, "mc-phase2-rum")
+}
+
+func BenchmarkFig11_FaasCache(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig11FaasCacheResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig11FaasCache(azureTrain, azureTest, []float64{0.5, 2, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CSReduction*100, "cs-reduction-%")
+	b.ReportMetric(r.RUMReduction*100, "rum-reduction-%")
+}
+
+func BenchmarkFig11_IceBreaker(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig11IceBreakerResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig11IceBreaker(azureTrain, azureTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.IceBreaker.KeepAliveCostRatio*100, "ice-ka-cost-%")
+	b.ReportMetric(r.FeMuxMem.KeepAliveCostRatio*100, "femux-ka-cost-%")
+	b.ReportMetric(r.RUMReduction*100, "rum-reduction-%")
+}
+
+func BenchmarkFig11_Aquatope(b *testing.B) {
+	fixtures(b)
+	sub := azureTest
+	if len(sub) > 6 {
+		sub = sub[:6]
+	}
+	var r experiments.Fig11AquatopeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig11Aquatope(azureTrain, sub, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RUMReduction*100, "rum-reduction-%")
+	b.ReportMetric(float64(r.AquatopeInference)/float64(r.FeMuxInference+1), "infer-slowdown-x")
+}
+
+func BenchmarkFig12_MultiTier(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig12(azureTrain, azureTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PremiumCSReduction*100, "premium-cs-cut-%")
+	b.ReportMetric(r.MemorySaving*100, "memory-saving-%")
+}
+
+func BenchmarkS513_ExecRUM(b *testing.B) {
+	fixtures(b)
+	var r experiments.S513Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.S513(azureTrain, azureTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.DefaultRUMDefault, "default-model-rum")
+	b.ReportMetric(r.ExecRUMExec, "exec-model-exec-rum")
+}
+
+func BenchmarkFig14_SubtraceRepresentativity(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig14LeftResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14Left(azureAll, 2)
+	}
+	b.ReportMetric(r.KSDistance, "ks-distance")
+}
+
+func BenchmarkFig14_KnativePrototype(b *testing.B) {
+	fixtures(b)
+	classes := experiments.VolumeClasses(azureTest)
+	sel := classes["low"]
+	if len(sel) > 5 {
+		sel = sel[:5]
+	}
+	for i := range sel {
+		n := 120
+		if sel[i].Demand.Len() < n {
+			n = sel[i].Demand.Len()
+		}
+		sel[i].Demand = sel[i].Demand.Slice(0, n)
+		if len(sel[i].Invocations) > n {
+			sel[i].Invocations = sel[i].Invocations[:n]
+		}
+	}
+	specs := experiments.SpecsFromTrainApps(sel)
+	var r experiments.Fig14Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14Prototype(femuxModel, specs, 2*time.Hour)
+	}
+	b.ReportMetric(r.RUMReduction*100, "rum-reduction-%")
+	b.ReportMetric(r.AppsMaintained*100, "apps-maintained-%")
+}
+
+func BenchmarkFig14_ForecastServiceScaling(b *testing.B) {
+	fixtures(b)
+	var pts []experiments.ScalabilityPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Fig14Scalability(femuxModel, []int{20}, 3)
+	}
+	if len(pts) > 0 {
+		b.ReportMetric(float64(pts[0].MeanLatency)/1e6, "mean-latency-ms")
+		b.ReportMetric(float64(pts[0].P99Latency)/1e6, "p99-latency-ms")
+		b.ReportMetric(float64(pts[0].AppsPerPod), "apps-per-pod")
+	}
+}
+
+func BenchmarkFig15_TrafficShares(b *testing.B) {
+	var r experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig15(experiments.Scale{Seed: 4, Apps: 40, Days: 1})
+	}
+	b.ReportMetric(float64(r.IBMBigWorkloads), "big-workloads")
+}
+
+func BenchmarkFig16_LongTraces(b *testing.B) {
+	fixtures(b)
+	var slope float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16(ibmSmall)
+		slope = experiments.TrendSlope(r.Trending)
+	}
+	b.ReportMetric(slope, "trend-slope")
+}
+
+func BenchmarkFig17_VsIndividualForecasters(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig17Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig17(azureTrain, azureTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FeMux.RUM, "femux-rum")
+	b.ReportMetric(r.BestIndividualRUM(), "best-single-rum")
+	b.ReportMetric(r.SwitchedFrac*100, "apps-switched-%")
+}
+
+func BenchmarkFig18_FeatureAblation(b *testing.B) {
+	fixtures(b)
+	var r experiments.Fig18Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig18(azureTrain, azureTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RUM["stationarity+linearity+harmonics+density"], "all-features-rum")
+	b.ReportMetric(r.RUM["harmonics"], "harmonics-only-rum")
+}
+
+func BenchmarkAppC_BlockSize(b *testing.B) {
+	fixtures(b)
+	var r experiments.BlockSizeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.BlockSize(azureTrain, azureTest, []int{96, 144, 288})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RUM[144], "block144-rum")
+	b.ReportMetric(r.RUM[288], "block288-rum")
+}
+
+func BenchmarkPolicyZoo(b *testing.B) {
+	fixtures(b)
+	var r experiments.PolicyZooResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.PolicyZoo(azureTrain, azureTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fm, ok := r.RowByName("femux"); ok {
+		b.ReportMetric(fm.RUM, "femux-rum")
+	}
+	b.ReportMetric(r.Best().RUM, "best-rum")
+}

@@ -1,0 +1,171 @@
+// Command characterize reproduces the paper's characterization section
+// (§3): it synthesizes an IBM-shape dataset and prints the data behind
+// Table 1 and Figures 1-7, plus the appendix Figures 15-16.
+//
+// Usage:
+//
+//	characterize -apps 120 -days 2 -seed 1
+//	characterize -apps 60 -days 1 -only fig5
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/experiments"
+	"github.com/ubc-cirrus-lab/femux-go/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	var (
+		apps   = flag.Int("apps", 80, "number of applications")
+		days   = flag.Float64("days", 1.5, "trace length in days")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		only   = flag.String("only", "", "run a single section: table1, fig1..fig7, fig15, fig16")
+		csvDir = flag.String("csv", "", "also write per-figure plot data (CDFs, series) as CSV into this directory")
+	)
+	flag.Parse()
+
+	scale := experiments.Scale{Seed: *seed, Apps: *apps, Days: *days}
+	d := experiments.IBMDataset(scale)
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if want("table1") {
+		fmt.Println("== Table 1: dataset summary ==")
+		fmt.Println(experiments.Table1(d))
+	}
+	if want("fig1") {
+		r := experiments.Fig1(d)
+		fmt.Println("== Fig 1: traffic seasonality ==")
+		fmt.Println(r)
+		writeSeriesCSV(*csvDir, "fig1_hourly_traffic.csv", "hour", "invocations", r.Hourly)
+	}
+	if want("fig2") {
+		r := experiments.Fig2(d)
+		writeCDFCSV(*csvDir, "fig2_median_iat_cdf.csv", r.MedianIATs)
+		writeCDFCSV(*csvDir, "fig2_p99_iat_cdf.csv", r.P99IATs)
+		fmt.Println("== Fig 2: inter-arrival times ==")
+		fmt.Printf("sub-second IATs: %.1f%% of invocations (paper 94.5%%)\n", r.SubSecondInvFrac*100)
+		fmt.Printf("sub-minute IATs: %.1f%% of invocations (paper 99.8%%)\n", r.SubMinuteInvFrac*100)
+		fmt.Printf("workloads with sub-second median IAT: %.0f%% (paper 46%%)\n", r.SubSecondMedianFrac*100)
+		fmt.Printf("workloads with sub-minute median IAT: %.0f%% (paper 86%%)\n", r.SubMinuteMedianFrac*100)
+		fmt.Printf("workloads with IAT CV > 1: %.0f%% (paper 96%%)\n", r.CVAbove1Frac*100)
+	}
+	if want("fig3") || want("fig4") {
+		r := experiments.Fig3And4(d)
+		writeCDFCSV(*csvDir, "fig3_app_mean_exec_cdf.csv", r.AppMeans)
+		writeCDFCSV(*csvDir, "fig4_app_p99_exec_cdf.csv", r.AppP99s)
+		fmt.Println("== Figs 3-4: execution times ==")
+		fmt.Printf("apps with sub-second mean exec: %.0f%% (paper 82%%)\n", r.SubSecondAppFrac*100)
+		fmt.Printf("invocations with sub-second exec: %.0f%% (paper 96%%)\n", r.SubSecondInvFrac*100)
+		fmt.Printf("median of per-app means: %.3fs (paper ~0.010s)\n", r.MedianOfMeans)
+		fmt.Printf("median of per-app p99s:  %.3fs (paper ~0.800s)\n", r.MedianOfP99s)
+	}
+	if want("fig5") {
+		fmt.Println("== Fig 5: sub-minute predictive scaling ==")
+		fmt.Println(experiments.Fig5(d))
+	}
+	if want("fig6") {
+		r := experiments.Fig6(d)
+		writeCDFCSV(*csvDir, "fig6_workload_p99_delay_cdf.csv", r.WorkloadP99Delays)
+		fmt.Println("== Fig 6: platform delay ==")
+		fmt.Println(experiments.DelaySummary(r))
+	}
+	if want("fig7") {
+		r := experiments.Fig7(d)
+		fmt.Println("== Fig 7: resource configurations ==")
+		fmt.Printf("CPU: default %.1f%% / below %.1f%% / above %.1f%% (paper 50.8/44.8/4.4)\n",
+			r.CPUDefaultFrac*100, r.CPUBelowFrac*100, r.CPUAboveFrac*100)
+		fmt.Printf("memory: default %.1f%% / below %.1f%% / above %.1f%% (paper 41.9/53.6/4.5)\n",
+			r.MemDefaultFrac*100, r.MemBelowFrac*100, r.MemAboveFrac*100)
+		fmt.Printf("min scale: zero %.1f%% / one %.1f%% / more %.1f%% (paper 41.2/53.8/4.9)\n",
+			r.MinScale0Frac*100, r.MinScale1Frac*100, r.MinScaleMoreFrac*100)
+		fmt.Printf("concurrency: default %.1f%% / below %.1f%% / above %.1f%% (paper 93.3/3.5/3.2)\n",
+			r.ConcDefaultFrac*100, r.ConcBelowFrac*100, r.ConcAboveFrac*100)
+	}
+	if want("fig15") {
+		r := experiments.Fig15(scale)
+		fmt.Println("== Fig 15: cross-workload traffic shares ==")
+		fmt.Printf("IBM workloads with >=10%% of the busiest one's traffic: %d (paper: >30)\n", r.IBMBigWorkloads)
+		if len(r.IBMShares) > 0 && len(r.AzureShares) > 0 {
+			fmt.Printf("top IBM share %.1f%%, top Azure share %.1f%%\n",
+				r.IBMShares[0]*100, r.AzureShares[0]*100)
+		}
+	}
+	if want("fig16") {
+		r := experiments.Fig16(d)
+		fmt.Println("== Fig 16: long-trace examples ==")
+		fmt.Printf("seasonal workload hours captured: %d; trending workload slope: %.3f invocations/hour^2\n",
+			len(r.Seasonal), experiments.TrendSlope(r.Trending))
+		writeSeriesCSV(*csvDir, "fig16_seasonal_workload.csv", "hour", "invocations", r.Seasonal)
+		writeSeriesCSV(*csvDir, "fig16_trending_workload.csv", "hour", "invocations", r.Trending)
+	}
+}
+
+// writeSeriesCSV writes an indexed series as (index, value) rows.
+func writeSeriesCSV(dir, name, xCol, yCol string, values []float64) {
+	if dir == "" || values == nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{xCol, yCol}); err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range values {
+		if err := w.Write([]string{strconv.Itoa(i), strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeCDFCSV writes a sample's empirical CDF as (value, fraction) rows.
+func writeCDFCSV(dir, name string, sample []float64) {
+	if dir == "" || len(sample) == 0 {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"value", "cdf"}); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range stats.CDF(sample) {
+		if err := w.Write([]string{
+			strconv.FormatFloat(p.Value, 'g', -1, 64),
+			strconv.FormatFloat(p.Fraction, 'g', -1, 64),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+}

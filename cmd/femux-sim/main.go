@@ -1,0 +1,132 @@
+// Command femux-sim runs the paper's offline simulation experiments (§4.2
+// and §5.1) end-to-end on a synthetic Azure-2019-shape fleet: the
+// MAE-vs-RUM comparison (C1), per-class forecasting (Fig 8), temporal
+// switching (Fig 9), the FaasCache / IceBreaker / Aquatope comparisons
+// (Fig 11), multi-tier RUMs (Fig 12), the exec-aware RUM study (§5.1.3),
+// and the sensitivity studies (Figs 17-18, block size, classifiers).
+//
+// Usage:
+//
+//	femux-sim -apps 60 -days 3 -exp all
+//	femux-sim -exp fig11-faascache -apps 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("femux-sim: ")
+	var (
+		apps = flag.Int("apps", 48, "number of applications")
+		days = flag.Float64("days", 2, "trace length in days")
+		seed = flag.Int64("seed", 1, "generation seed")
+		exp  = flag.String("exp", "all", "experiment: c1, fig8, fig9, fig11-faascache, fig11-icebreaker, fig11-aquatope, fig12, s513, fig17, fig18, blocksize, classifiers, all")
+	)
+	flag.Parse()
+
+	scale := experiments.Scale{Seed: *seed, Apps: *apps, Days: *days}
+	all := experiments.AzureFleet(scale)
+	train, test := experiments.SplitTrainTest(all, *seed+100)
+	fmt.Printf("fleet: %d apps (%d train / %d test), %.0f days\n\n", len(all), len(train), len(test), *days)
+
+	want := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+	fail := func(name string, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	if want("c1") {
+		fmt.Println("== C1 (§4.2.1): MAE vs RUM disagree ==")
+		fmt.Println(experiments.C1(all))
+		fmt.Println()
+	}
+	if want("fig8") {
+		fmt.Println("== Fig 8: per-volume-class forecaster choice ==")
+		fmt.Println(experiments.Fig8(all))
+		fmt.Println()
+	}
+	if want("fig9") {
+		fmt.Println("== Fig 9: forecaster suitability changes over time ==")
+		fmt.Println(experiments.Fig9(*seed))
+		fmt.Println()
+	}
+	if want("fig11-faascache") {
+		fmt.Println("== Fig 11-Left: FeMux vs FaasCache ==")
+		r, err := experiments.Fig11FaasCache(train, test, []float64{0.5, 1, 2, 4, 8})
+		fail("fig11-faascache", err)
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if want("fig11-icebreaker") {
+		fmt.Println("== Fig 11-Middle: FeMux vs IceBreaker ==")
+		r, err := experiments.Fig11IceBreaker(train, test)
+		fail("fig11-icebreaker", err)
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if want("fig11-aquatope") {
+		fmt.Println("== Fig 11-Right: FeMux vs Aquatope ==")
+		sub := test
+		if len(sub) > 10 {
+			sub = sub[:10] // per-app LSTM training dominates runtime
+		}
+		r, err := experiments.Fig11Aquatope(train, sub, 5)
+		fail("fig11-aquatope", err)
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if want("fig12") {
+		fmt.Println("== Fig 12: multi-tier RUMs ==")
+		r, err := experiments.Fig12(train, test)
+		fail("fig12", err)
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if want("s513") {
+		fmt.Println("== §5.1.3: default vs exec-aware RUM ==")
+		r, err := experiments.S513(train, test)
+		fail("s513", err)
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if want("fig17") {
+		fmt.Println("== Fig 17: FeMux vs individual forecasters ==")
+		r, err := experiments.Fig17(train, test)
+		fail("fig17", err)
+		fmt.Println(r)
+	}
+	if want("fig18") {
+		fmt.Println("== Fig 18: feature ablation ==")
+		r, err := experiments.Fig18(train, test)
+		fail("fig18", err)
+		fmt.Println(r)
+	}
+	if want("blocksize") {
+		fmt.Println("== Appendix C: block-size sensitivity ==")
+		r, err := experiments.BlockSize(train, test, []int{96, 144, 288, 432})
+		fail("blocksize", err)
+		fmt.Println(r)
+	}
+	if want("classifiers") {
+		fmt.Println("== §4.3.4: K-means vs supervised classifiers ==")
+		r, err := experiments.Classifiers(train, test)
+		fail("classifiers", err)
+		fmt.Println(r)
+	}
+	if want("zoo") {
+		fmt.Println("== Policy zoo: every lifetime policy on one fleet ==")
+		r, err := experiments.PolicyZoo(train, test)
+		fail("zoo", err)
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,159 @@
+// Command femuxd runs the FeMux forecasting microservice (Fig 13): it
+// trains a model (on a synthetic fleet by default, or on a CSV trace pair
+// produced by tracegen) and serves the REST API that Knative's autoscaler
+// integration queries for predictive scale targets.
+//
+// Usage:
+//
+//	femuxd -addr :8080
+//	femuxd -addr :8080 -apps ibm_apps.csv -invocations ibm_invocations.csv
+//
+// Endpoints: POST /v1/apps/{app}/observe, GET /v1/apps/{app}/target,
+// GET /v1/apps/{app}/forecast, GET /healthz.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/experiments"
+	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
+	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("femuxd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		appsCSV   = flag.String("apps", "", "apps CSV from tracegen (optional)")
+		invCSV    = flag.String("invocations", "", "invocations CSV from tracegen (optional)")
+		fleet     = flag.Int("fleet", 48, "synthetic training fleet size when no CSV is given")
+		seed      = flag.Int64("seed", 1, "seed for synthetic training")
+		blockMin  = flag.Int("block", 144, "block size in minutes")
+		modelPath = flag.String("model", "", "load a trained model instead of training")
+		savePath  = flag.String("save", "", "save the trained model to this path")
+	)
+	flag.Parse()
+
+	var model *femux.Model
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = femux.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model from %s", *modelPath)
+	} else {
+		var train []femux.TrainApp
+		if *appsCSV != "" && *invCSV != "" {
+			ds, err := loadDataset(*appsCSV, *invCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			train = trainAppsFromDataset(ds)
+			log.Printf("loaded %d apps from %s", len(train), *appsCSV)
+		} else {
+			train = experiments.AzureFleet(experiments.Scale{Seed: *seed, Apps: *fleet, Days: 2})
+			log.Printf("training on synthetic fleet of %d apps", len(train))
+		}
+		cfg := femux.DefaultConfig(rum.Default())
+		cfg.BlockSize = *blockMin
+		cfg.Window = 120
+		var err error
+		model, err = femux.Train(train, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("model ready: %d clusters, default forecaster %s",
+		model.Diag.Clusters, model.DefaultForecaster().Name())
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("saved model to %s", *savePath)
+	}
+
+	svc := knative.NewService(model)
+	server := &http.Server{
+		Addr:         *addr,
+		Handler:      svc.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	log.Printf("serving FeMux API on %s", *addr)
+	if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+func loadDataset(appsPath, invPath string) (*trace.Dataset, error) {
+	af, err := os.Open(appsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	inf, err := os.Open(invPath)
+	if err != nil {
+		return nil, err
+	}
+	defer inf.Close()
+	return trace.ReadDataset(af, inf, 62*24*time.Hour)
+}
+
+// trainAppsFromDataset converts millisecond events into per-minute average
+// concurrency for training.
+func trainAppsFromDataset(d *trace.Dataset) []femux.TrainApp {
+	var maxEnd time.Duration
+	for _, a := range d.Apps {
+		for _, inv := range a.Invocations {
+			if end := inv.Arrival + inv.Duration; end > maxEnd {
+				maxEnd = end
+			}
+		}
+	}
+	minutes := int(maxEnd/time.Minute) + 1
+	out := make([]femux.TrainApp, 0, len(d.Apps))
+	for _, a := range d.Apps {
+		spans := make([]timeseries.Interval, len(a.Invocations))
+		counts := make([]float64, minutes)
+		var execSum float64
+		for i, inv := range a.Invocations {
+			spans[i] = timeseries.Interval{Start: inv.Arrival, End: inv.Arrival + inv.Duration}
+			m := int(inv.Arrival / time.Minute)
+			if m >= 0 && m < minutes {
+				counts[m]++
+			}
+			execSum += inv.Duration.Seconds()
+		}
+		exec := 0.0
+		if len(a.Invocations) > 0 {
+			exec = execSum / float64(len(a.Invocations))
+		}
+		out = append(out, femux.TrainApp{
+			Name:            a.Name,
+			Demand:          timeseries.AverageConcurrency(spans, time.Minute, minutes),
+			Invocations:     counts,
+			ExecSec:         exec,
+			MemoryGB:        a.Config.MemoryGB,
+			UnitConcurrency: a.Config.Concurrency,
+		})
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+// Command tracegen synthesizes serverless trace datasets in the shape of
+// the paper's IBM production trace (millisecond invocation events plus full
+// §3.4 configurations) or the Azure 2019 dataset (per-minute counts), and
+// writes them as CSV.
+//
+// Usage:
+//
+//	tracegen -dataset ibm -apps 200 -days 7 -seed 1 -out ./data
+//	tracegen -dataset azure -apps 150 -days 12 -seed 2 -out ./data
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		dataset = flag.String("dataset", "ibm", "dataset shape: ibm or azure")
+		apps    = flag.Int("apps", 120, "number of applications")
+		days    = flag.Float64("days", 2, "trace length in days")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	switch *dataset {
+	case "ibm":
+		if err := writeIBM(*out, *apps, *days, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case "azure":
+		if err := writeAzure(*out, *apps, int(*days), *seed); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown dataset %q (want ibm or azure)", *dataset)
+	}
+}
+
+func writeIBM(dir string, apps int, days float64, seed int64) error {
+	d := trace.GenerateIBM(trace.IBMGenConfig{Seed: seed, Apps: apps, Days: days, TrafficScale: 1})
+	appsF, err := os.Create(filepath.Join(dir, "ibm_apps.csv"))
+	if err != nil {
+		return err
+	}
+	defer appsF.Close()
+	if err := trace.WriteApps(appsF, d); err != nil {
+		return err
+	}
+	invF, err := os.Create(filepath.Join(dir, "ibm_invocations.csv"))
+	if err != nil {
+		return err
+	}
+	defer invF.Close()
+	if err := trace.WriteInvocations(invF, d); err != nil {
+		return err
+	}
+	fmt.Printf("ibm dataset: %d apps, %.1f days, %d invocations -> %s\n",
+		len(d.Apps), days, d.TotalInvocations(), dir)
+	return nil
+}
+
+func writeAzure(dir string, apps, days int, seed int64) error {
+	d := trace.GenerateAzure(trace.AzureGenConfig{Seed: seed, Apps: apps, Days: days})
+	f, err := os.Create(filepath.Join(dir, "azure_counts.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"app", "avg_exec_sec", "memory_gb", "class"}
+	for m := 0; m < d.Minutes(); m++ {
+		header = append(header, "m"+strconv.Itoa(m))
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	var total float64
+	for _, a := range d.Apps {
+		rec := []string{
+			a.Name,
+			strconv.FormatFloat(a.AvgExecSec, 'g', -1, 64),
+			strconv.FormatFloat(a.MemoryGB, 'g', -1, 64),
+			a.Class.String(),
+		}
+		for _, c := range a.CountsPerMinute {
+			rec = append(rec, strconv.FormatFloat(c, 'g', -1, 64))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+		total += a.TotalInvocations()
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("azure dataset: %d apps, %d days, %.0f invocations -> %s\n",
+		len(d.Apps), days, total, dir)
+	return nil
+}

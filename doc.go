@@ -1,0 +1,12 @@
+// Package femuxbench is the top-level benchmark harness: bench_test.go
+// contains one testing.B benchmark per table and figure of the paper, each
+// delegating to internal/experiments and reporting the reproduced headline
+// numbers as custom benchmark metrics.
+//
+// Run the full harness with:
+//
+//	go test -bench=. -benchmem .
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured results.
+package femuxbench

@@ -1,0 +1,3 @@
+module github.com/ubc-cirrus-lab/femux-go
+
+go 1.22

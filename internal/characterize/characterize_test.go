@@ -1,0 +1,232 @@
+package characterize
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
+)
+
+func synthApp(name string, arrivalsSec []float64, durSec float64, cfg trace.Config) *trace.App {
+	a := &trace.App{Name: name, Config: cfg}
+	for _, s := range arrivalsSec {
+		a.Invocations = append(a.Invocations, trace.Invocation{
+			Arrival:  time.Duration(s * float64(time.Second)),
+			Duration: time.Duration(durSec * float64(time.Second)),
+		})
+	}
+	return a
+}
+
+func TestTrafficBuckets(t *testing.T) {
+	d := &trace.Dataset{Horizon: 3 * time.Hour}
+	d.Apps = append(d.Apps, synthApp("a", []float64{10, 20, 3700, 7300}, 0.1, trace.DefaultConfig()))
+	got := Traffic(d, time.Hour)
+	if got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("traffic = %v", got)
+	}
+}
+
+func TestSeasonality(t *testing.T) {
+	// Two weeks of synthetic hourly counts: weekday peak 100/trough 40,
+	// weekend peak 50/trough 30, constant across weeks.
+	hourly := make([]float64, 14*24)
+	for h := range hourly {
+		day := (h / 24) % 7
+		hod := h % 24
+		base := 100.0
+		trough := 40.0
+		if day >= 5 {
+			base, trough = 50, 30
+		}
+		hourly[h] = trough + (base-trough)*0.5*(1+math.Cos(2*math.Pi*float64(hod-14)/24))
+	}
+	s := Seasonality(hourly)
+	if math.Abs(s.WeekdaySpan-0.6) > 0.02 {
+		t.Errorf("weekday span = %v, want ~0.6", s.WeekdaySpan)
+	}
+	if math.Abs(s.WeekendSpan-0.4) > 0.02 {
+		t.Errorf("weekend span = %v, want ~0.4", s.WeekendSpan)
+	}
+	if math.Abs(s.SeasonalGain-1) > 0.05 {
+		t.Errorf("seasonal gain = %v, want ~1 (flat)", s.SeasonalGain)
+	}
+	if Seasonality(nil) != (SeasonalityStats{}) {
+		t.Error("short input should return zero stats")
+	}
+}
+
+func TestIATStats(t *testing.T) {
+	d := &trace.Dataset{Horizon: time.Hour}
+	// App with all sub-second IATs (0.5 s apart).
+	fast := make([]float64, 101)
+	for i := range fast {
+		fast[i] = float64(i) * 0.5
+	}
+	// App with 2-minute IATs.
+	slow := make([]float64, 11)
+	for i := range slow {
+		slow[i] = float64(i) * 120
+	}
+	d.Apps = append(d.Apps,
+		synthApp("fast", fast, 0.1, trace.DefaultConfig()),
+		synthApp("slow", slow, 0.1, trace.DefaultConfig()),
+	)
+	s := IAT(d, 2)
+	wantSubSec := 100.0 / 110.0
+	if math.Abs(s.SubSecondInvFrac-wantSubSec) > 1e-9 {
+		t.Errorf("sub-second frac = %v, want %v", s.SubSecondInvFrac, wantSubSec)
+	}
+	if s.SubSecondMedianFrac != 0.5 {
+		t.Errorf("sub-second median frac = %v, want 0.5", s.SubSecondMedianFrac)
+	}
+	if s.SubMinuteMedianFrac != 0.5 {
+		t.Errorf("sub-minute median frac = %v, want 0.5", s.SubMinuteMedianFrac)
+	}
+	if len(s.MedianIATs) != 2 || len(s.P99IATs) != 2 {
+		t.Errorf("per-app IAT vectors missing: %d/%d", len(s.MedianIATs), len(s.P99IATs))
+	}
+	// Constant IATs -> CV 0 for both apps.
+	if s.CVAbove1Frac != 0 {
+		t.Errorf("CV frac = %v, want 0 for constant IATs", s.CVAbove1Frac)
+	}
+}
+
+func TestExecStats(t *testing.T) {
+	d := &trace.Dataset{Horizon: time.Hour}
+	d.Apps = append(d.Apps,
+		synthApp("short", []float64{1, 2, 3, 4}, 0.01, trace.DefaultConfig()),
+		synthApp("long", []float64{1, 2}, 5, trace.DefaultConfig()),
+		&trace.App{Name: "idle", Config: trace.DefaultConfig()}, // no invocations
+	)
+	s := Exec(d)
+	if s.SubSecondAppFrac != 0.5 {
+		t.Errorf("sub-second app frac = %v, want 0.5", s.SubSecondAppFrac)
+	}
+	wantInvFrac := 4.0 / 6.0
+	if math.Abs(s.SubSecondInvFrac-wantInvFrac) > 1e-9 {
+		t.Errorf("sub-second inv frac = %v, want %v", s.SubSecondInvFrac, wantInvFrac)
+	}
+	if len(s.AppMeans) != 2 {
+		t.Errorf("idle app should be excluded: %d", len(s.AppMeans))
+	}
+}
+
+func TestPlatformDelay(t *testing.T) {
+	perApp := [][]float64{
+		{0.0001, 0.0002, 0.0001}, // fast app: p99 < 10 ms
+		{0.0001, 0.0001, 2.0},    // tail app: p99 > 1 s
+		{0.0001, 0.0002, 350},    // extreme app
+		nil,                      // idle app ignored
+	}
+	s := PlatformDelay(perApp)
+	if s.MaxDelay != 350 {
+		t.Errorf("max delay = %v", s.MaxDelay)
+	}
+	if math.Abs(s.P99Below10msFrac-1.0/3) > 1e-9 {
+		t.Errorf("p99<10ms frac = %v, want 1/3", s.P99Below10msFrac)
+	}
+	if math.Abs(s.P99Above1sFrac-2.0/3) > 1e-9 {
+		t.Errorf("p99>1s frac = %v, want 2/3", s.P99Above1sFrac)
+	}
+	if math.Abs(s.P99Above10sFrac-1.0/3) > 1e-9 {
+		t.Errorf("p99>10s frac = %v, want 1/3", s.P99Above10sFrac)
+	}
+	wantSubMs := 7.0 / 9.0
+	if math.Abs(s.SubMsInvFrac-wantSubMs) > 1e-9 {
+		t.Errorf("sub-ms frac = %v, want %v", s.SubMsInvFrac, wantSubMs)
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	mk := func(cpu, mem float64, conc, minScale int) *trace.App {
+		cfg := trace.DefaultConfig()
+		cfg.CPU = cpu
+		cfg.MemoryGB = mem
+		cfg.Concurrency = conc
+		cfg.MinScale = minScale
+		return &trace.App{Config: cfg}
+	}
+	d := &trace.Dataset{Apps: []*trace.App{
+		mk(1, 4, 100, 0),
+		mk(0.5, 2, 100, 1),
+		mk(2, 8, 1000, 1),
+		mk(1, 4, 1, 3),
+	}}
+	s := Configs(d)
+	if s.CPUDefaultFrac != 0.5 || s.CPUBelowFrac != 0.25 || s.CPUAboveFrac != 0.25 {
+		t.Errorf("cpu fracs = %+v", s)
+	}
+	if s.MinScale0Frac != 0.25 || s.MinScale1Frac != 0.5 || s.MinScaleMoreFrac != 0.25 {
+		t.Errorf("min scale fracs = %+v", s)
+	}
+	if s.ConcDefaultFrac != 0.5 || s.ConcAboveFrac != 0.25 || s.ConcBelowFrac != 0.25 {
+		t.Errorf("concurrency fracs = %+v", s)
+	}
+	if Configs(&trace.Dataset{}) != (ConfigStats{}) {
+		t.Error("empty dataset should be zero stats")
+	}
+}
+
+func TestTrafficShares(t *testing.T) {
+	d := &trace.Dataset{Horizon: time.Hour}
+	mk := func(n int) *trace.App {
+		arr := make([]float64, n)
+		for i := range arr {
+			arr[i] = float64(i)
+		}
+		return synthApp("x", arr, 0.1, trace.DefaultConfig())
+	}
+	d.Apps = []*trace.App{mk(100), mk(50), mk(5)}
+	shares, big := TrafficShares(d)
+	if len(shares) != 3 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if shares[0] < shares[1] || shares[1] < shares[2] {
+		t.Error("shares not sorted descending")
+	}
+	if math.Abs(shares[0]-100.0/155) > 1e-9 {
+		t.Errorf("top share = %v", shares[0])
+	}
+	if big != 2 { // 100 and 50 are >= 10; 5 is below 10%of max
+		t.Errorf("atLeastTenthOfMax = %d, want 2", big)
+	}
+	if s, n := TrafficShares(&trace.Dataset{}); s != nil || n != 0 {
+		t.Error("empty dataset should return nil")
+	}
+}
+
+func TestHourlySeries(t *testing.T) {
+	a := synthApp("a", []float64{10, 3599, 3601, 7300}, 0.1, trace.DefaultConfig())
+	got := HourlySeries(a, 3*time.Hour)
+	if got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("hourly = %v", got)
+	}
+}
+
+func TestCharacterizationOnGeneratedDataset(t *testing.T) {
+	// End-to-end: the synthetic IBM dataset must land near the published
+	// headline numbers (tolerances widened for small scale).
+	d := trace.GenerateIBM(trace.IBMGenConfig{Seed: 30, Apps: 120, Days: 1, TrafficScale: 1})
+	iat := IAT(d, 5)
+	if iat.SubSecondInvFrac < 0.85 {
+		t.Errorf("sub-second IAT fraction = %v (paper 0.945)", iat.SubSecondInvFrac)
+	}
+	if iat.CVAbove1Frac < 0.8 {
+		t.Errorf("CV>1 fraction = %v (paper 0.96)", iat.CVAbove1Frac)
+	}
+	exec := Exec(d)
+	if exec.SubSecondAppFrac < 0.6 || exec.SubSecondAppFrac > 0.95 {
+		t.Errorf("sub-second app fraction = %v (paper 0.82)", exec.SubSecondAppFrac)
+	}
+	if exec.MedianOfP99s < exec.MedianOfMeans*5 {
+		t.Errorf("exec variability too low: median mean %v vs median p99 %v",
+			exec.MedianOfMeans, exec.MedianOfP99s)
+	}
+	cfgs := Configs(d)
+	if cfgs.MinScale1Frac+cfgs.MinScaleMoreFrac < 0.5 {
+		t.Errorf("min-scale>=1 share = %v (paper 0.588)",
+			cfgs.MinScale1Frac+cfgs.MinScaleMoreFrac)
+	}
+}

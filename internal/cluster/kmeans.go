@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// KMeans is a fitted K-means model.
+type KMeans struct {
+	Centroids [][]float64
+}
+
+// FitKMeans clusters rows into k groups using k-means++ initialization and
+// Lloyd's iterations. It is deterministic for a given seed. When k exceeds
+// the number of distinct rows the effective cluster count shrinks (empty
+// clusters are re-seeded from the farthest point; persistent empties are
+// dropped at the end).
+func FitKMeans(rows [][]float64, k int, seed int64, maxIter int) (*KMeans, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("cluster: no rows to cluster")
+	}
+	if k < 1 {
+		return nil, errors.New("cluster: k must be positive")
+	}
+	if k > len(rows) {
+		k = len(rows)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	dims := len(rows[0])
+	for _, r := range rows {
+		if len(r) != dims {
+			return nil, errors.New("cluster: ragged rows")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cents := kmeansPlusPlus(rows, k, rng)
+
+	assign := make([]int, len(rows))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, r := range rows {
+			best := nearest(cents, r)
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, len(cents))
+		sums := make([][]float64, len(cents))
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, r := range rows {
+			c := assign[i]
+			counts[c]++
+			for d, v := range r {
+				sums[c][d] += v
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid assignment.
+				far, dist := 0, -1.0
+				for i, r := range rows {
+					d := sqDist(r, cents[assign[i]])
+					if d > dist {
+						far, dist = i, d
+					}
+				}
+				cents[c] = append([]float64(nil), rows[far]...)
+				changed = true
+				continue
+			}
+			for d := range cents[c] {
+				cents[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Drop clusters that ended empty.
+	used := make([]bool, len(cents))
+	for i, r := range rows {
+		assign[i] = nearest(cents, r)
+		used[assign[i]] = true
+	}
+	final := make([][]float64, 0, len(cents))
+	for c, u := range used {
+		if u {
+			final = append(final, cents[c])
+		}
+	}
+	return &KMeans{Centroids: final}, nil
+}
+
+// kmeansPlusPlus seeds k centroids with D^2 weighting.
+func kmeansPlusPlus(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
+	cents := make([][]float64, 0, k)
+	first := rows[rng.Intn(len(rows))]
+	cents = append(cents, append([]float64(nil), first...))
+	d2 := make([]float64, len(rows))
+	for len(cents) < k {
+		var total float64
+		for i, r := range rows {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if d := sqDist(r, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			cents = append(cents, append([]float64(nil), rows[0]...))
+			continue
+		}
+		u := rng.Float64() * total
+		for i, w := range d2 {
+			u -= w
+			if u <= 0 {
+				cents = append(cents, append([]float64(nil), rows[i]...))
+				break
+			}
+		}
+		if u > 0 { // numerical tail
+			cents = append(cents, append([]float64(nil), rows[len(rows)-1]...))
+		}
+	}
+	return cents
+}
+
+// Predict returns the index of the nearest centroid.
+func (m *KMeans) Predict(row []float64) int {
+	return nearest(m.Centroids, row)
+}
+
+// K returns the number of (non-empty) clusters.
+func (m *KMeans) K() int { return len(m.Centroids) }
+
+// Inertia returns the total within-cluster squared distance of rows.
+func (m *KMeans) Inertia(rows [][]float64) float64 {
+	var total float64
+	for _, r := range rows {
+		total += sqDist(r, m.Centroids[m.Predict(r)])
+	}
+	return total
+}
+
+func nearest(cents [][]float64, row []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range cents {
+		if d := sqDist(row, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

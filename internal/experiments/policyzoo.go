@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/baselines"
+	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
+)
+
+// PolicyZooResult compares every lifetime-management policy family in this
+// repository on one fleet: fixed keep-alives (1/5/10-minute), Knative's
+// reactive default, the hybrid histogram of Shahrad et al., IceBreaker's
+// FFT, and FeMux. It is the repository's cross-cutting summary table.
+type PolicyZooResult struct {
+	Rows []PolicyZooRow
+}
+
+// PolicyZooRow is one policy's aggregate outcome.
+type PolicyZooRow struct {
+	Policy       string
+	ColdStarts   int
+	ColdStartSec float64
+	WastedGBs    float64
+	AllocGBs     float64
+	RUM          float64
+}
+
+// PolicyZoo evaluates the policy families on the test fleet under the
+// default RUM, training FeMux on the training split.
+func PolicyZoo(train, test []femux.TrainApp) (PolicyZooResult, error) {
+	var res PolicyZooResult
+	cfg := expConfig(rum.Default())
+	metric := rum.Default()
+
+	policies := []struct {
+		name string
+		p    sim.Policy
+	}{
+		{"keepalive-1min", sim.KeepAlivePolicy{IdleIntervals: 1}},
+		{"keepalive-5min", sim.KeepAlivePolicy{IdleIntervals: 5}},
+		{"keepalive-10min", sim.KeepAlivePolicy{IdleIntervals: 10}},
+		{"knative-default", sim.KnativeDefaultPolicy{WindowIntervals: 1}},
+		{"hybrid-histogram", baselines.DefaultHybridHistogram()},
+		{"icebreaker-fft", baselines.IceBreakerPolicy()},
+		{"aquatope-style", nil}, // filled below with a single shared LSTM? no: skipped in zoo
+	}
+	// Drop the placeholder (Aquatope is per-app trained; it has its own
+	// dedicated comparison in Fig11Aquatope).
+	policies = policies[:len(policies)-1]
+
+	for _, entry := range policies {
+		samples := evalPolicy(entry.p, test, cfg)
+		res.Rows = append(res.Rows, zooRow(entry.name, samples, metric))
+	}
+
+	// Single forecasters, for context.
+	for _, fc := range []forecast.Forecaster{forecast.NewFFT(10), forecast.NewAR(10)} {
+		r := femux.EvaluateSingle(fc, test, cfg)
+		res.Rows = append(res.Rows, zooRow("single-"+fc.Name(), r.Samples, metric))
+	}
+
+	model, err := femux.Train(train, cfg)
+	if err != nil {
+		return res, err
+	}
+	fm := femux.Evaluate(model, test)
+	res.Rows = append(res.Rows, zooRow("femux", fm.Samples, metric))
+
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].RUM < res.Rows[j].RUM })
+	return res, nil
+}
+
+func zooRow(name string, samples []rum.Sample, metric rum.Metric) PolicyZooRow {
+	agg := rum.Sum(samples)
+	return PolicyZooRow{
+		Policy:       name,
+		ColdStarts:   agg.ColdStarts,
+		ColdStartSec: agg.ColdStartSec,
+		WastedGBs:    agg.WastedGBSec,
+		AllocGBs:     agg.AllocatedGBSec,
+		RUM:          rum.EvalPerApp(metric, samples),
+	}
+}
+
+// Best returns the lowest-RUM row.
+func (r PolicyZooResult) Best() PolicyZooRow {
+	if len(r.Rows) == 0 {
+		return PolicyZooRow{}
+	}
+	return r.Rows[0]
+}
+
+// RowByName returns the named row.
+func (r PolicyZooResult) RowByName(name string) (PolicyZooRow, bool) {
+	for _, row := range r.Rows {
+		if row.Policy == name {
+			return row, true
+		}
+	}
+	return PolicyZooRow{}, false
+}
+
+// String renders the table, best-first.
+func (r PolicyZooResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-18s %10s %14s %14s %10s\n", "policy", "cold", "cold-start s", "wasted GB-s", "RUM")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-18s %10d %14.1f %14.0f %10.1f\n",
+			row.Policy, row.ColdStarts, row.ColdStartSec, row.WastedGBs, row.RUM)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+// Package features extracts the latent statistical features FeMux's
+// classifier consumes (§4.3.2): stationarity (Augmented Dickey-Fuller
+// test), linearity (Broock-Dechert-Scheinkman test), periodicity (FFT
+// harmonic concentration), and density (traffic volume). Features are
+// computed once per completed block — 504 minutes by default, the smallest
+// multiple of the BDS test's ~400-point minimum that divides the 14-day
+// Azure trace evenly.
+package features
+
+import (
+	"math"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+)
+
+// ADFCritical5 is the 5% critical value of the Dickey-Fuller t-distribution
+// for a regression with a constant (large-sample). More negative statistics
+// reject the unit-root null, i.e. indicate stationarity.
+const ADFCritical5 = -2.86
+
+// ADFResult reports an Augmented Dickey-Fuller test.
+type ADFResult struct {
+	Stat       float64 // t-statistic of the lagged-level coefficient
+	Lags       int     // augmentation lags used
+	Stationary bool    // Stat < ADFCritical5
+}
+
+// ADF runs the Augmented Dickey-Fuller stationarity test with a constant
+// term, regressing
+//
+//	Δy_t = α + β·y_{t−1} + Σ γ_i·Δy_{t−i} + ε
+//
+// and testing β = 0 (unit root) against β < 0 (stationary). lags < 0
+// selects the Schwert rule ⌊12·(n/100)^{1/4}⌋ capped to keep enough
+// observations. A constant series is reported as stationary with a strongly
+// negative sentinel statistic.
+func ADF(series []float64, lags int) ADFResult {
+	n := len(series)
+	if n < 8 {
+		return ADFResult{Stat: 0, Stationary: false}
+	}
+	if isConstant(series) {
+		return ADFResult{Stat: -100, Stationary: true}
+	}
+	if lags < 0 {
+		lags = int(12 * math.Pow(float64(n)/100, 0.25))
+	}
+	maxLags := (n - 4) / 2
+	if lags > maxLags {
+		lags = maxLags
+	}
+	if lags < 0 {
+		lags = 0
+	}
+
+	diffs := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		diffs[i-1] = series[i] - series[i-1]
+	}
+	// Rows: t runs over diffs indices [lags, len(diffs)).
+	rows := len(diffs) - lags
+	cols := 2 + lags // intercept, y_{t-1}, lagged diffs
+	if rows <= cols {
+		return ADFResult{Stat: 0, Stationary: false}
+	}
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := r + lags // index into diffs
+		row := make([]float64, cols)
+		row[0] = 1
+		row[1] = series[t] // y_{t-1} in original indexing: diffs[t] = y[t+1]-y[t]
+		for l := 1; l <= lags; l++ {
+			row[1+l] = diffs[t-l]
+		}
+		x[r] = row
+		y[r] = diffs[t]
+	}
+	beta, se, ok := olsWithSE(x, y, 1)
+	if !ok || se == 0 {
+		return ADFResult{Stat: 0, Lags: lags, Stationary: false}
+	}
+	stat := beta / se
+	return ADFResult{Stat: stat, Lags: lags, Stationary: stat < ADFCritical5}
+}
+
+// olsWithSE fits y ~ X by OLS and returns coefficient j and its standard
+// error. It solves the normal equations and extracts the needed diagonal of
+// (X'X)^{-1} by solving against a unit vector.
+func olsWithSE(x [][]float64, y []float64, j int) (coef, se float64, ok bool) {
+	rows, cols := len(x), len(x[0])
+	xtx := make([][]float64, cols)
+	for i := range xtx {
+		xtx[i] = make([]float64, cols)
+	}
+	xty := make([]float64, cols)
+	for r := 0; r < rows; r++ {
+		for a := 0; a < cols; a++ {
+			va := x[r][a]
+			if va == 0 {
+				continue
+			}
+			for b := a; b < cols; b++ {
+				xtx[a][b] += va * x[r][b]
+			}
+			xty[a] += va * y[r]
+		}
+	}
+	for a := 0; a < cols; a++ {
+		xtx[a][a] += 1e-9
+		for b := a + 1; b < cols; b++ {
+			xtx[b][a] = xtx[a][b]
+		}
+	}
+	beta, err := mathx.SolveLinear(xtx, xty)
+	if err != nil {
+		return 0, 0, false
+	}
+	// Residual variance.
+	var rss float64
+	for r := 0; r < rows; r++ {
+		pred := mathx.Dot(x[r], beta)
+		d := y[r] - pred
+		rss += d * d
+	}
+	dof := rows - cols
+	if dof <= 0 {
+		return 0, 0, false
+	}
+	sigma2 := rss / float64(dof)
+	// (X'X)^{-1}_{jj} via solving X'X z = e_j.
+	e := make([]float64, cols)
+	e[j] = 1
+	z, err := mathx.SolveLinear(xtx, e)
+	if err != nil || z[j] < 0 {
+		return 0, 0, false
+	}
+	return beta[j], math.Sqrt(sigma2 * z[j]), true
+}
+
+func isConstant(series []float64) bool {
+	for _, v := range series[1:] {
+		if v != series[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package features
+
+import (
+	"math"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+)
+
+// BDSResult reports a Broock-Dechert-Scheinkman independence test.
+type BDSResult struct {
+	Stat   float64 // asymptotically N(0,1) under the iid null
+	Linear bool    // |Stat| <= 1.96: no evidence of nonlinear structure
+}
+
+// BDSCritical5 is the two-sided 5% critical value of the standard normal.
+const BDSCritical5 = 1.96
+
+// BDS runs the Broock-Dechert-Scheinkman test at embedding dimension m with
+// proximity radius eps (pass eps <= 0 for the conventional 0.7·σ). The test
+// compares the m-dimensional correlation integral C_m(ε) against C_1(ε)^m;
+// under an iid series they coincide, so a large |statistic| flags remaining
+// (nonlinear) dependence.
+//
+// FeMux applies BDS to the residuals of a linear AR prewhitening (see
+// LinearityTest) so that rejecting the null indicates *nonlinearity* rather
+// than any serial dependence: linear structure has already been removed.
+// The test needs ≥ ~400 points for its asymptotics, which is what sets the
+// 504-minute block size (§4.3.2).
+func BDS(series []float64, m int, eps float64) BDSResult {
+	n := len(series)
+	if m < 2 {
+		m = 2
+	}
+	if n < m+10 || isConstant(series) {
+		return BDSResult{Stat: 0, Linear: true}
+	}
+	if eps <= 0 {
+		eps = 0.7 * stddev(series)
+		if eps == 0 {
+			return BDSResult{Stat: 0, Linear: true}
+		}
+	}
+
+	// Pairwise closeness over the points usable at dimension m.
+	nm := n - m + 1
+	// close[i][j] for base series; computed on demand via bitsets would be
+	// heavy — store one triangular boolean matrix (n ≈ 504 → ~127k entries).
+	cl := make([][]bool, n)
+	for i := range cl {
+		cl[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := math.Abs(series[i]-series[j]) <= eps
+			cl[i][j] = c
+			cl[j][i] = c
+		}
+	}
+
+	// C_1 over the same index range as C_m, and k (triple closeness).
+	var c1Pairs, cmPairs float64
+	var pairCount float64
+	degree := make([]float64, nm)
+	for i := 0; i < nm; i++ {
+		for j := i + 1; j < nm; j++ {
+			pairCount++
+			if cl[i][j] {
+				c1Pairs++
+				degree[i]++
+				degree[j]++
+			}
+			// m-dimensional closeness: all m coordinates close.
+			all := true
+			for d := 0; d < m; d++ {
+				if !cl[i+d][j+d] {
+					all = false
+					break
+				}
+			}
+			if all {
+				cmPairs++
+			}
+		}
+	}
+	if pairCount == 0 {
+		return BDSResult{Stat: 0, Linear: true}
+	}
+	c := c1Pairs / pairCount
+	cm := cmPairs / pairCount
+	// k: probability two random points are both close to a common third.
+	// Using degrees: sum_i deg_i^2 counts ordered triples (j,i,l), j≠i≠l
+	// plus the diagonal j==l, which we remove.
+	var kNum float64
+	for i := 0; i < nm; i++ {
+		kNum += degree[i] * degree[i]
+	}
+	kNum -= 2 * c1Pairs // remove j==l ordered duplicates
+	totTriples := float64(nm) * float64(nm-1) * float64(nm-2)
+	if totTriples <= 0 {
+		return BDSResult{Stat: 0, Linear: true}
+	}
+	k := kNum / totTriples
+	if k < c*c {
+		k = c * c // numerical floor: k >= c^2 by Cauchy-Schwarz
+	}
+
+	// Asymptotic variance (Brock et al. 1996).
+	var sum float64
+	for j := 1; j <= m-1; j++ {
+		sum += math.Pow(k, float64(m-j)) * math.Pow(c, float64(2*j))
+	}
+	v := 4 * (math.Pow(k, float64(m)) + 2*sum +
+		float64((m-1)*(m-1))*math.Pow(c, float64(2*m)) -
+		float64(m*m)*k*math.Pow(c, float64(2*m-2)))
+	if v <= 1e-15 {
+		return BDSResult{Stat: 0, Linear: true}
+	}
+	stat := math.Sqrt(float64(nm)) * (cm - math.Pow(c, float64(m))) / math.Sqrt(v)
+	return BDSResult{Stat: stat, Linear: math.Abs(stat) <= BDSCritical5}
+}
+
+// LinearityTest prewhitens the series with an AR fit and applies BDS to the
+// residuals: a significant statistic then indicates nonlinear structure
+// that no linear model can capture, steering the classifier toward SETAR or
+// the Markov chain.
+func LinearityTest(series []float64, arLags, bdsDim int) BDSResult {
+	res := arResiduals(series, arLags)
+	if res == nil {
+		return BDSResult{Stat: 0, Linear: true}
+	}
+	return BDS(res, bdsDim, 0)
+}
+
+// arResiduals fits AR(lags) by least squares and returns the residuals, or
+// nil when the series is too short or degenerate.
+func arResiduals(series []float64, lags int) []float64 {
+	n := len(series)
+	if lags < 1 {
+		lags = 1
+	}
+	rows := n - lags
+	if rows < lags+2 || isConstant(series) {
+		return nil
+	}
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		row := make([]float64, lags+1)
+		row[0] = 1
+		for l := 1; l <= lags; l++ {
+			row[l] = series[r+lags-l]
+		}
+		x[r] = row
+		y[r] = series[r+lags]
+	}
+	coef, err := mathx.LeastSquares(x, y)
+	if err != nil {
+		return nil
+	}
+	res := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		res[r] = y[r] - mathx.Dot(x[r], coef)
+	}
+	return res
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var s float64
+	for _, v := range xs {
+		d := v - mean
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,125 @@
+package features
+
+import (
+	"fmt"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+)
+
+// Names of the standard features, used for ablation selection (Fig 18).
+const (
+	FeatStationarity = "stationarity"
+	FeatLinearity    = "linearity"
+	FeatHarmonics    = "harmonics"
+	FeatDensity      = "density"
+	FeatExecTime     = "exectime" // only present for exec-aware RUM training
+)
+
+// AllFeatureNames lists the default extraction order.
+var AllFeatureNames = []string{FeatStationarity, FeatLinearity, FeatHarmonics, FeatDensity}
+
+// Vector is one block's extracted feature values, keyed by feature name.
+type Vector map[string]float64
+
+// Select projects the vector onto the named features, in order. Missing
+// features are zero — the classifier's scaler neutralizes them.
+func (v Vector) Select(names []string) []float64 {
+	out := make([]float64, len(names))
+	for i, n := range names {
+		out[i] = v[n]
+	}
+	return out
+}
+
+// Extractor computes block feature vectors. The zero value is not usable;
+// call NewExtractor.
+type Extractor struct {
+	arLags    int
+	bdsDim    int
+	harmonics int
+}
+
+// NewExtractor returns an extractor with the paper's settings: AR(10)
+// prewhitening for the linearity test, BDS dimension 2, and the top 10
+// harmonics for periodicity.
+func NewExtractor() *Extractor {
+	return &Extractor{arLags: 10, bdsDim: 2, harmonics: 10}
+}
+
+// Extract computes the feature vector of one block of average-concurrency
+// values. execSec, when positive, adds the execution-time feature used by
+// FeMux-Exec (§5.1.3).
+//
+// Feature encodings (all continuous so the scaler and K-means can use
+// distances rather than hard test verdicts):
+//
+//   - stationarity: the ADF t-statistic, clamped to [-10, 10]; more
+//     negative is more stationary.
+//   - linearity: |BDS statistic| of AR residuals, clamped to [0, 20];
+//     larger is more nonlinear.
+//   - harmonics: fraction of non-DC spectral energy captured by the top-k
+//     harmonics, in [0, 1]; near 1 indicates a (quasi-)periodic block.
+//   - density: total traffic volume in the block (sum of average
+//     concurrency), a popularity proxy (§4.2.2).
+func (e *Extractor) Extract(block []float64, execSec float64) Vector {
+	v := Vector{}
+
+	adf := ADF(block, -1)
+	v[FeatStationarity] = mathx.Clamp(adf.Stat, -10, 10)
+
+	bds := LinearityTest(block, e.arLags, e.bdsDim)
+	abs := bds.Stat
+	if abs < 0 {
+		abs = -abs
+	}
+	v[FeatLinearity] = mathx.Clamp(abs, 0, 20)
+
+	v[FeatHarmonics] = HarmonicConcentration(block, e.harmonics)
+
+	var total float64
+	for _, x := range block {
+		total += x
+	}
+	v[FeatDensity] = total
+
+	if execSec > 0 {
+		v[FeatExecTime] = execSec
+	}
+	return v
+}
+
+// HarmonicConcentration returns the share of non-DC spectral energy in the
+// top-k harmonics. A finite number of prominent harmonics — high
+// concentration — indicates a periodic or quasi-periodic block (§4.3.2).
+func HarmonicConcentration(block []float64, k int) float64 {
+	n := len(block)
+	if n < 4 || isConstant(block) {
+		return 0
+	}
+	hs := mathx.TopHarmonics(block, n/2)
+	var total, top float64
+	for i, h := range hs {
+		e := h.Amplitude * h.Amplitude
+		total += e
+		if i < k {
+			top += e
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// BlockFeature couples a block's feature vector with its provenance, the
+// unit the trainer and classifier pass around.
+type BlockFeature struct {
+	App   string
+	Block int
+	Vec   Vector
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (b BlockFeature) String() string {
+	return fmt.Sprintf("%s/block%d %v", b.App, b.Block, map[string]float64(b.Vec))
+}

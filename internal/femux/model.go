@@ -1,0 +1,398 @@
+// Package femux implements the paper's primary contribution: a serverless
+// lifetime-management system that multiplexes lightweight forecasters per
+// application (§4.3). Offline, FeMux simulates every candidate forecaster
+// over every block of the training traces, scores each (block, forecaster)
+// pair under a RUM objective, clusters blocks by statistical features, and
+// assigns each cluster the forecaster with the lowest summed RUM. Online,
+// each application accumulates average-concurrency observations; when a
+// block completes, its features are extracted and the pre-trained
+// classifier selects the forecaster for the next block.
+package femux
+
+import (
+	"errors"
+	"fmt"
+
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/cluster"
+	"github.com/ubc-cirrus-lab/femux-go/internal/features"
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
+	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
+)
+
+// TrainApp is one application's training trace.
+type TrainApp struct {
+	Name            string
+	Demand          timeseries.Series // per-interval average concurrency
+	Invocations     []float64         // per-interval invocation counts (optional)
+	ExecSec         float64           // mean execution seconds per invocation
+	MemoryGB        float64           // per-unit memory (0 -> config default)
+	UnitConcurrency int               // container concurrency limit (0 -> 1)
+}
+
+// Config parameterizes training and online operation.
+type Config struct {
+	BlockSize   int                   // intervals per block (paper: 504 minutes)
+	Window      int                   // forecast input window (paper: 120 minutes)
+	Horizon     int                   // forecast horizon in intervals (paper: 1 minute)
+	K           int                   // K-means cluster count
+	Seed        int64                 // clustering seed
+	Metric      rum.Metric            // the RUM to optimize
+	Forecasters []forecast.Forecaster // candidate set
+	Features    []string              // feature names (default: all four)
+	Sim         sim.ConcConfig        // simulation defaults (memory, cold start, limits)
+	// Classifier selects the block->forecaster mapper: "kmeans" (default),
+	// "tree", or "forest" — the supervised baselines of §4.3.4.
+	Classifier string
+}
+
+// DefaultConfig returns the paper's settings, with a block size suited to
+// minute-interval traces.
+func DefaultConfig(metric rum.Metric) Config {
+	return Config{
+		BlockSize:   504,
+		Window:      120,
+		Horizon:     1,
+		K:           8,
+		Seed:        1,
+		Metric:      metric,
+		Forecasters: forecast.DefaultSet(),
+		Features:    features.AllFeatureNames,
+		Sim:         sim.DefaultConcConfig(),
+		Classifier:  "kmeans",
+	}
+}
+
+// Model is a trained FeMux classifier: it maps a completed block's features
+// to the forecaster to use for the following block.
+type Model struct {
+	cfg       Config
+	scaler    *cluster.Scaler
+	kmeans    *cluster.KMeans
+	tree      *cluster.DecisionTree
+	forest    *cluster.RandomForest
+	perGroup  []string // group -> forecaster name
+	defaultFC string   // forecaster for apps without a completed block
+	extractor *features.Extractor
+
+	// Diagnostics from training.
+	Diag Diagnostics
+}
+
+// Diagnostics captures training statistics used by the sensitivity studies.
+type Diagnostics struct {
+	Blocks          int
+	Clusters        int
+	TrainTime       time.Duration
+	ForecasterWins  map[string]int // blocks where each forecaster was per-block best
+	GroupForecaster []string
+}
+
+// Train builds a FeMux model from training apps. It follows §4.3.3-4.3.4:
+// per-block RUM simulation for every forecaster, feature extraction and
+// standardization, clustering (or a supervised classifier), and per-group
+// forecaster assignment by lowest summed RUM.
+func Train(apps []TrainApp, cfg Config) (*Model, error) {
+	start := time.Now()
+	if len(apps) == 0 {
+		return nil, errors.New("femux: no training apps")
+	}
+	if cfg.BlockSize < 8 {
+		return nil, fmt.Errorf("femux: block size %d too small", cfg.BlockSize)
+	}
+	if len(cfg.Forecasters) == 0 {
+		return nil, errors.New("femux: empty forecaster set")
+	}
+	if cfg.Horizon < 1 {
+		cfg.Horizon = 1
+	}
+	if cfg.Window < cfg.Horizon {
+		cfg.Window = 120
+	}
+	if len(cfg.Features) == 0 {
+		cfg.Features = features.AllFeatureNames
+	}
+	if cfg.K < 1 {
+		cfg.K = 8
+	}
+
+	ext := features.NewExtractor()
+	var rows [][]float64
+	// rumByBlock[i][f]: RUM of forecaster f on block i.
+	var rumByBlock [][]float64
+	nf := len(cfg.Forecasters)
+	totalRUM := make([]float64, nf)
+
+	for _, app := range apps {
+		blocks := app.Demand.Blocks(cfg.BlockSize)
+		if len(blocks) == 0 {
+			continue
+		}
+		// One simulation pass per forecaster over the whole series, with
+		// per-interval stats attributed back to blocks.
+		perForecaster := make([][]rum.Sample, nf)
+		for fi, fc := range cfg.Forecasters {
+			perForecaster[fi] = blockSamples(app, fc, cfg)
+		}
+		execFeat := 0.0
+		if hasExecFeature(cfg.Features) {
+			execFeat = app.ExecSec
+		}
+		for bi, block := range blocks {
+			vec := ext.Extract(block.Values, execFeat)
+			rows = append(rows, vec.Select(cfg.Features))
+			scores := make([]float64, nf)
+			for fi := range cfg.Forecasters {
+				scores[fi] = cfg.Metric.Eval(perForecaster[fi][bi])
+				totalRUM[fi] += scores[fi]
+			}
+			rumByBlock = append(rumByBlock, scores)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("femux: no completed blocks in training data")
+	}
+
+	scaler, err := cluster.FitScaler(rows)
+	if err != nil {
+		return nil, fmt.Errorf("femux: %w", err)
+	}
+	scaled := scaler.TransformAll(rows)
+
+	m := &Model{cfg: cfg, scaler: scaler, extractor: ext}
+	m.Diag.Blocks = len(rows)
+	m.Diag.ForecasterWins = map[string]int{}
+	for _, scores := range rumByBlock {
+		best := argmin(scores)
+		m.Diag.ForecasterWins[cfg.Forecasters[best].Name()]++
+	}
+
+	// Group blocks.
+	var groupOf []int
+	var nGroups int
+	switch cfg.Classifier {
+	case "", "kmeans":
+		km, err := cluster.FitKMeans(scaled, cfg.K, cfg.Seed, 100)
+		if err != nil {
+			return nil, fmt.Errorf("femux: %w", err)
+		}
+		m.kmeans = km
+		nGroups = km.K()
+		groupOf = make([]int, len(scaled))
+		for i, r := range scaled {
+			groupOf[i] = km.Predict(r)
+		}
+	case "tree", "forest":
+		// Supervised: label each block with its per-block best forecaster,
+		// then train the classifier on those labels.
+		labels := make([]int, len(scaled))
+		for i, scores := range rumByBlock {
+			labels[i] = argmin(scores)
+		}
+		nGroups = nf
+		if cfg.Classifier == "tree" {
+			tr, err := cluster.FitTree(scaled, labels, cluster.DefaultTreeConfig())
+			if err != nil {
+				return nil, fmt.Errorf("femux: %w", err)
+			}
+			m.tree = tr
+			groupOf = make([]int, len(scaled))
+			for i, r := range scaled {
+				groupOf[i] = tr.Predict(r)
+			}
+		} else {
+			fo, err := cluster.FitForest(scaled, labels, 15, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("femux: %w", err)
+			}
+			m.forest = fo
+			groupOf = make([]int, len(scaled))
+			for i, r := range scaled {
+				groupOf[i] = fo.Predict(r)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("femux: unknown classifier %q", cfg.Classifier)
+	}
+
+	// Assign each group the forecaster with the lowest RUM sum across its
+	// blocks; empty groups inherit the global best.
+	groupRUM := make([][]float64, nGroups)
+	for g := range groupRUM {
+		groupRUM[g] = make([]float64, nf)
+	}
+	for i, scores := range rumByBlock {
+		g := groupOf[i]
+		for fi, s := range scores {
+			groupRUM[g][fi] += s
+		}
+	}
+	globalBest := argmin(totalRUM)
+	m.defaultFC = cfg.Forecasters[globalBest].Name()
+	m.perGroup = make([]string, nGroups)
+	for g := range m.perGroup {
+		empty := true
+		for _, s := range groupRUM[g] {
+			if s != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			m.perGroup[g] = m.defaultFC
+			continue
+		}
+		// Shrink toward the global default: a cluster-specific forecaster
+		// must beat the default's in-cluster RUM by a clear margin, or the
+		// apparent win is likely training noise on a thin cluster — the
+		// misclassification tolerance K-means is chosen for (§4.3.4).
+		const overrideMargin = 0.92
+		winner := argmin(groupRUM[g])
+		if groupRUM[g][winner] <= overrideMargin*groupRUM[g][globalBest] {
+			m.perGroup[g] = cfg.Forecasters[winner].Name()
+		} else {
+			m.perGroup[g] = m.defaultFC
+		}
+	}
+	if cfg.Classifier == "tree" || cfg.Classifier == "forest" {
+		// Supervised groups are forecaster indices directly; keep the
+		// per-group RUM assignment anyway (it coincides when the label
+		// dominated its group, and repairs mislabel-dominated groups).
+		for g := range m.perGroup {
+			if groupRUM[g] == nil {
+				m.perGroup[g] = cfg.Forecasters[g].Name()
+			}
+		}
+	}
+	m.Diag.Clusters = nGroups
+	m.Diag.GroupForecaster = append([]string(nil), m.perGroup...)
+	m.Diag.TrainTime = time.Since(start)
+	return m, nil
+}
+
+// blockSamples simulates one forecaster over the app's whole series and
+// returns per-block accounting samples.
+func blockSamples(app TrainApp, fc forecast.Forecaster, cfg Config) []rum.Sample {
+	simCfg := cfg.Sim
+	if app.MemoryGB > 0 {
+		simCfg.MemoryGB = app.MemoryGB
+	}
+	if app.UnitConcurrency > 0 {
+		simCfg.UnitConcurrency = app.UnitConcurrency
+	} else if simCfg.UnitConcurrency < 1 {
+		simCfg.UnitConcurrency = 1
+	}
+	policy := windowedPolicy{fc: fc, window: cfg.Window, horizon: cfg.Horizon}
+	res := sim.SimulateApp(sim.AppTrace{
+		Demand:      app.Demand,
+		Invocations: app.Invocations,
+		ExecSec:     app.ExecSec,
+	}, policy, simCfg, true)
+
+	nBlocks := app.Demand.Len() / cfg.BlockSize
+	out := make([]rum.Sample, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		var s rum.Sample
+		for t := b * cfg.BlockSize; t < (b+1)*cfg.BlockSize; t++ {
+			iv := res.Intervals[t]
+			s.ColdStarts += iv.ColdStarts
+			s.ColdStartSec += float64(iv.ColdStarts) * simCfg.ColdStartSec
+			s.WastedGBSec += iv.WastedGBs
+			if app.Invocations != nil && t < len(app.Invocations) {
+				s.Invocations += int(app.Invocations[t])
+				s.ExecSec += app.Invocations[t] * app.ExecSec
+			}
+		}
+		out[b] = s
+	}
+	return out
+}
+
+// windowedPolicy adapts a forecaster to sim.Policy with a bounded input
+// window (FeMux feeds two hours of history, §4.3.3).
+type windowedPolicy struct {
+	fc      forecast.Forecaster
+	window  int
+	horizon int
+}
+
+func (p windowedPolicy) Name() string { return p.fc.Name() }
+
+func (p windowedPolicy) Target(history []float64, unitC int) int {
+	w := p.window
+	if w > len(history) {
+		w = len(history)
+	}
+	window := history[len(history)-w:]
+	pred := p.fc.Forecast(window, p.horizon)
+	peak := 0.0
+	for _, v := range pred {
+		if v > peak {
+			peak = v
+		}
+	}
+	return sim.ForecastUnits(peak, window, unitC)
+}
+
+// Classify returns the group index for a feature vector.
+func (m *Model) Classify(vec features.Vector) int {
+	row := m.scaler.Transform(vec.Select(m.cfg.Features))
+	switch {
+	case m.kmeans != nil:
+		return m.kmeans.Predict(row)
+	case m.tree != nil:
+		return m.tree.Predict(row)
+	default:
+		return m.forest.Predict(row)
+	}
+}
+
+// ForecasterFor returns the forecaster assigned to a group.
+func (m *Model) ForecasterFor(group int) forecast.Forecaster {
+	name := m.defaultFC
+	if group >= 0 && group < len(m.perGroup) {
+		name = m.perGroup[group]
+	}
+	fc, err := forecast.ByName(m.cfg.Forecasters, name)
+	if err != nil {
+		// The assignment table only holds names from the set; fall back
+		// to the first forecaster defensively.
+		return m.cfg.Forecasters[0]
+	}
+	return fc
+}
+
+// DefaultForecaster returns the globally best forecaster, used before an
+// app completes its first block.
+func (m *Model) DefaultForecaster() forecast.Forecaster {
+	fc, err := forecast.ByName(m.cfg.Forecasters, m.defaultFC)
+	if err != nil {
+		return m.cfg.Forecasters[0]
+	}
+	return fc
+}
+
+// Config returns the model's training configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func hasExecFeature(names []string) bool {
+	for _, n := range names {
+		if n == features.FeatExecTime {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package femux
+
+import (
+	"sync"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
+)
+
+// AppPolicy is the online, per-application FeMux instance: it tracks block
+// completion, re-classifies on each completed block, and forecasts with the
+// currently assigned forecaster. One AppPolicy serves exactly one
+// application (matching the paper's one-thread-per-app deployment, §5.2);
+// it implements sim.Policy for simulator integration and is safe for
+// concurrent use.
+type AppPolicy struct {
+	model   *Model
+	execSec float64
+
+	mu         sync.Mutex
+	current    forecast.Forecaster
+	blocksSeen int
+	switches   int
+	used       map[string]bool
+}
+
+// NewAppPolicy returns a FeMux policy for one application. execSec supplies
+// the execution-time feature when the model was trained with it.
+func (m *Model) NewAppPolicy(execSec float64) *AppPolicy {
+	return &AppPolicy{
+		model:   m,
+		execSec: execSec,
+		current: m.DefaultForecaster(),
+		used:    map[string]bool{m.DefaultForecaster().Name(): true},
+	}
+}
+
+// Name implements sim.Policy.
+func (p *AppPolicy) Name() string { return "femux-" + p.model.cfg.Metric.Name() }
+
+// Target implements sim.Policy: it re-classifies when a new block has
+// completed, then forecasts the next horizon with the assigned forecaster.
+func (p *AppPolicy) Target(history []float64, unitConcurrency int) int {
+	p.mu.Lock()
+	bs := p.model.cfg.BlockSize
+	completed := len(history) / bs
+	if completed > p.blocksSeen {
+		execFeat := 0.0
+		if hasExecFeature(p.model.cfg.Features) {
+			execFeat = p.execSec
+		}
+		block := history[(completed-1)*bs : completed*bs]
+		vec := p.model.extractor.Extract(block, execFeat)
+		group := p.model.Classify(vec)
+		next := p.model.ForecasterFor(group)
+		if next.Name() != p.current.Name() {
+			p.switches++
+		}
+		p.current = next
+		p.used[next.Name()] = true
+		p.blocksSeen = completed
+	}
+	fc := p.current
+	p.mu.Unlock()
+
+	return windowedPolicy{fc: fc, window: p.model.cfg.Window, horizon: p.model.cfg.Horizon}.
+		Target(history, unitConcurrency)
+}
+
+// Forecast predicts the next horizon intervals with the currently assigned
+// forecaster (used by the Knative integration's REST path).
+func (p *AppPolicy) Forecast(history []float64, horizon int) []float64 {
+	p.mu.Lock()
+	fc := p.current
+	w := p.model.cfg.Window
+	p.mu.Unlock()
+	if w > len(history) {
+		w = len(history)
+	}
+	return fc.Forecast(history[len(history)-w:], horizon)
+}
+
+// CurrentForecaster returns the name of the forecaster in use.
+func (p *AppPolicy) CurrentForecaster() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.current.Name()
+}
+
+// Switches returns how many times the policy changed forecasters.
+func (p *AppPolicy) Switches() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.switches
+}
+
+// ForecastersUsed returns the distinct forecasters this app has used.
+func (p *AppPolicy) ForecastersUsed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.used)
+}
+
+// EvalResult aggregates a fleet evaluation.
+type EvalResult struct {
+	Samples []rum.Sample // per app, input order
+	RUM     float64      // per-app sum under the model's metric
+	// Switching diagnostics (Fig 17).
+	AppsSwitched     int // apps that used more than one forecaster
+	AppsManySwitched int // apps that used four or more forecasters
+}
+
+// Evaluate runs the trained model over test apps through the concurrency
+// simulator and scores the result under the model's metric.
+func Evaluate(m *Model, apps []TrainApp) EvalResult {
+	res := EvalResult{Samples: make([]rum.Sample, len(apps))}
+	for i, app := range apps {
+		simCfg := m.cfg.Sim
+		if app.MemoryGB > 0 {
+			simCfg.MemoryGB = app.MemoryGB
+		}
+		if app.UnitConcurrency > 0 {
+			simCfg.UnitConcurrency = app.UnitConcurrency
+		} else if simCfg.UnitConcurrency < 1 {
+			simCfg.UnitConcurrency = 1
+		}
+		p := m.NewAppPolicy(app.ExecSec)
+		out := sim.SimulateApp(sim.AppTrace{
+			Demand:      app.Demand,
+			Invocations: app.Invocations,
+			ExecSec:     app.ExecSec,
+		}, p, simCfg, false)
+		res.Samples[i] = out.Sample
+		if p.ForecastersUsed() > 1 {
+			res.AppsSwitched++
+		}
+		if p.ForecastersUsed() >= 4 {
+			res.AppsManySwitched++
+		}
+	}
+	res.RUM = rum.EvalPerApp(m.cfg.Metric, res.Samples)
+	return res
+}
+
+// EvaluateSingle runs one fixed forecaster over the same apps, for the
+// FeMux-vs-individual-forecasters study (Fig 17).
+func EvaluateSingle(fc forecast.Forecaster, apps []TrainApp, cfg Config) EvalResult {
+	res := EvalResult{Samples: make([]rum.Sample, len(apps))}
+	for i, app := range apps {
+		simCfg := cfg.Sim
+		if app.MemoryGB > 0 {
+			simCfg.MemoryGB = app.MemoryGB
+		}
+		if app.UnitConcurrency > 0 {
+			simCfg.UnitConcurrency = app.UnitConcurrency
+		} else if simCfg.UnitConcurrency < 1 {
+			simCfg.UnitConcurrency = 1
+		}
+		p := windowedPolicy{fc: fc, window: cfg.Window, horizon: cfg.Horizon}
+		out := sim.SimulateApp(sim.AppTrace{
+			Demand:      app.Demand,
+			Invocations: app.Invocations,
+			ExecSec:     app.ExecSec,
+		}, p, simCfg, false)
+		res.Samples[i] = out.Sample
+	}
+	res.RUM = rum.EvalPerApp(cfg.Metric, res.Samples)
+	return res
+}
+
+// OneStepMAE computes the mean absolute error of one-step-ahead forecasts
+// over a series, the statistical accuracy metric contrasted with RUM in
+// §4.2.1. window bounds the forecaster's input.
+func OneStepMAE(series []float64, fc forecast.Forecaster, window, warmup int) float64 {
+	if warmup < 1 {
+		warmup = 1
+	}
+	if warmup >= len(series) {
+		return 0
+	}
+	var sum float64
+	var n int
+	for t := warmup; t < len(series); t++ {
+		lo := t - window
+		if lo < 0 {
+			lo = 0
+		}
+		pred := fc.Forecast(series[lo:t], 1)[0]
+		d := pred - series[t]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,90 @@
+package forecast
+
+import (
+	"fmt"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+)
+
+// AR is an autoregressive forecaster: y_t = c + sum_i phi_i * y_{t-i}.
+// AR assumes a stationary, linear series (§4.3.2); the FeMux classifier
+// routes such blocks here. Coefficients are refit on every call from the
+// supplied history window by least squares, which doubles as a simple form
+// of online adaptation.
+type AR struct {
+	lags int
+}
+
+// NewAR returns an AR forecaster with the given number of lags. The paper
+// settles on 10 lags after an empirical sweep (§4.3.3).
+func NewAR(lags int) *AR {
+	if lags < 1 {
+		lags = 1
+	}
+	return &AR{lags: lags}
+}
+
+// Name implements Forecaster.
+func (a *AR) Name() string { return fmt.Sprintf("ar%d", a.lags) }
+
+// Forecast implements Forecaster.
+func (a *AR) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	coef, ok := fitAR(history, a.lags)
+	if !ok {
+		return constant(mean(history), horizon)
+	}
+	return clampNonNegative(predictAR(history, coef, a.lags, horizon))
+}
+
+// fitAR fits intercept + lag coefficients by least squares. It returns
+// ok=false when the history is too short or the fit fails, in which case
+// callers fall back to a mean forecast.
+func fitAR(history []float64, lags int) ([]float64, bool) {
+	n := len(history)
+	rows := n - lags
+	// Require a modest margin of observations over parameters.
+	if rows < lags+2 {
+		return nil, false
+	}
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		row := make([]float64, lags+1)
+		row[0] = 1
+		for l := 1; l <= lags; l++ {
+			row[l] = history[r+lags-l]
+		}
+		x[r] = row
+		y[r] = history[r+lags]
+	}
+	coef, err := mathx.LeastSquares(x, y)
+	if err != nil {
+		return nil, false
+	}
+	return coef, true
+}
+
+// predictAR rolls the fitted model forward, feeding predictions back in as
+// lagged inputs.
+func predictAR(history, coef []float64, lags, horizon int) []float64 {
+	buf := append([]float64(nil), history...)
+	out := make([]float64, horizon)
+	for t := 0; t < horizon; t++ {
+		v := coef[0]
+		for l := 1; l <= lags; l++ {
+			idx := len(buf) - l
+			if idx >= 0 {
+				v += coef[l] * buf[idx]
+			}
+		}
+		if v < 0 || v != v {
+			v = 0
+		}
+		out[t] = v
+		buf = append(buf, v)
+	}
+	return out
+}

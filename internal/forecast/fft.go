@@ -1,0 +1,45 @@
+package forecast
+
+import (
+	"fmt"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+)
+
+// FFT extrapolates the dominant harmonics of the history window, the
+// approach used by IceBreaker and by the Huawei characterization's best
+// statistical model (§4.3.2). It excels on periodic traffic (timers, cron
+// workloads, diurnal patterns) and is the forecaster the characterization
+// study evaluates at 10-second and 60-second timesteps (Fig 5).
+type FFT struct {
+	harmonics int
+}
+
+// NewFFT returns an FFT forecaster keeping the top-k harmonics (the paper
+// uses 10).
+func NewFFT(harmonics int) *FFT {
+	if harmonics < 1 {
+		harmonics = 1
+	}
+	return &FFT{harmonics: harmonics}
+}
+
+// Name implements Forecaster.
+func (f *FFT) Name() string { return fmt.Sprintf("fft%d", f.harmonics) }
+
+// Forecast implements Forecaster.
+func (f *FFT) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	n := len(history)
+	if n < 4 {
+		return constant(mean(history), horizon)
+	}
+	m := mean(history)
+	hs := mathx.TopHarmonics(history, f.harmonics)
+	// Extrapolate the harmonic model past the end of the window: sample
+	// offsets n..n+horizon-1 of the length-n periodic reconstruction.
+	out := mathx.SynthesizeHarmonics(m, hs, n, n, horizon)
+	return clampNonNegative(out)
+}

@@ -1,0 +1,94 @@
+// Package forecast implements the lightweight traffic forecasters FeMux
+// multiplexes between (§4.3.3): autoregression (AR), self-excitation
+// threshold autoregression (SETAR), FFT harmonic extrapolation, exponential
+// smoothing, Holt double exponential smoothing, and a Markov chain — plus
+// the simple baselines used throughout the evaluation (moving average as
+// used by Knative's default autoscaler, naive last-value, and zero).
+//
+// Every forecaster consumes a history window of per-interval average
+// concurrency (the Knative representation, §4.3.1) and predicts the next
+// horizon intervals. Forecasts are clamped to be non-negative: negative
+// concurrency has no meaning for scaling.
+package forecast
+
+import "fmt"
+
+// Forecaster predicts future values of a fixed-interval series.
+// Implementations must be deterministic and cheap: FeMux budgets a few
+// milliseconds per forecast (§5.2 reports a 7 ms mean).
+type Forecaster interface {
+	// Name identifies the forecaster in classifier assignments and reports.
+	Name() string
+	// Forecast predicts the next horizon values following history.
+	// history may be shorter than the forecaster's preferred window; all
+	// implementations degrade gracefully (typically to a mean or naive
+	// forecast) rather than failing.
+	Forecast(history []float64, horizon int) []float64
+}
+
+// clampNonNegative zeroes negative predictions in place and returns the
+// slice for chaining.
+func clampNonNegative(xs []float64) []float64 {
+	for i, v := range xs {
+		if v < 0 || v != v { // also clear NaNs defensively
+			xs[i] = 0
+		}
+	}
+	return xs
+}
+
+// constant returns a horizon-length forecast of v (clamped at 0).
+func constant(v float64, horizon int) []float64 {
+	if v < 0 || v != v {
+		v = 0
+	}
+	out := make([]float64, horizon)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// mean returns the arithmetic mean of xs, or 0 for empty input.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// DefaultSet returns the forecaster set FeMux ships with, in the paper's
+// configuration: AR(10), SETAR(10 lags, 2 thresholds), FFT with the top 10
+// harmonics, Exponential Smoothing and Holt with dynamic parameter
+// selection, a 4-state Markov chain, and a family of keep-alive-style
+// forecasters (Fig 17 lists fixed keep-alive in FeMux's set): a 10-interval
+// peak-hold plus keep-warm ceiling variants at 1, 10, and 30 intervals,
+// covering trickle traffic and different idle-gap economics.
+func DefaultSet() []Forecaster {
+	return []Forecaster{
+		NewAR(10),
+		NewSETAR(10, 2),
+		NewFFT(10),
+		NewExpSmoothing(),
+		NewHolt(),
+		NewMarkovChain(4),
+		NewRecentPeak(10),
+		NewCeilPeak(1),
+		NewCeilPeak(10),
+		NewCeilPeak(30),
+	}
+}
+
+// ByName returns the forecaster with the given name from set.
+func ByName(set []Forecaster, name string) (Forecaster, error) {
+	for _, f := range set {
+		if f.Name() == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("forecast: unknown forecaster %q", name)
+}

@@ -1,0 +1,134 @@
+package forecast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MarkovChain discretizes the history into quantile states, estimates the
+// state-transition matrix, and forecasts the expected value of the state
+// distribution rolled forward. It captures repetitive invocation patterns —
+// the paper's Fig 9 shows it learning a periodic trace "perfectly" in its
+// second hour — using four states (§4.3.3).
+type MarkovChain struct {
+	states int
+}
+
+// NewMarkovChain returns a Markov chain forecaster with the given number of
+// states (the paper uses 4).
+func NewMarkovChain(states int) *MarkovChain {
+	if states < 2 {
+		states = 2
+	}
+	return &MarkovChain{states: states}
+}
+
+// Name implements Forecaster.
+func (m *MarkovChain) Name() string { return fmt.Sprintf("markov%d", m.states) }
+
+// Forecast implements Forecaster.
+func (m *MarkovChain) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	if len(history) < m.states*2 {
+		return constant(mean(history), horizon)
+	}
+	bounds, centroids := discretize(history, m.states)
+	if bounds == nil {
+		return constant(history[len(history)-1], horizon)
+	}
+	k := len(centroids)
+	// Transition counts with add-one smoothing to keep the chain ergodic.
+	trans := make([][]float64, k)
+	for i := range trans {
+		trans[i] = make([]float64, k)
+		for j := range trans[i] {
+			trans[i][j] = 0.1
+		}
+	}
+	prev := stateOf(history[0], bounds)
+	for i := 1; i < len(history); i++ {
+		cur := stateOf(history[i], bounds)
+		trans[prev][cur]++
+		prev = cur
+	}
+	for i := range trans {
+		var row float64
+		for _, v := range trans[i] {
+			row += v
+		}
+		for j := range trans[i] {
+			trans[i][j] /= row
+		}
+	}
+	// Roll the state distribution forward from the last observation.
+	dist := make([]float64, k)
+	dist[stateOf(history[len(history)-1], bounds)] = 1
+	out := make([]float64, horizon)
+	next := make([]float64, k)
+	for t := 0; t < horizon; t++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := range dist {
+			if dist[i] == 0 {
+				continue
+			}
+			for j := range next {
+				next[j] += dist[i] * trans[i][j]
+			}
+		}
+		copy(dist, next)
+		var ev float64
+		for j := range dist {
+			ev += dist[j] * centroids[j]
+		}
+		out[t] = ev
+	}
+	return clampNonNegative(out)
+}
+
+// discretize splits the value range into up to k quantile states and returns
+// the state upper bounds (len k-1) and per-state centroids. It returns nil
+// bounds for a constant series.
+func discretize(history []float64, k int) (bounds, centroids []float64) {
+	sorted := append([]float64(nil), history...)
+	sort.Float64s(sorted)
+	if sorted[0] == sorted[len(sorted)-1] {
+		return nil, nil
+	}
+	bounds = make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		q := float64(i) / float64(k)
+		v := sorted[int(q*float64(len(sorted)-1))]
+		if len(bounds) == 0 || v > bounds[len(bounds)-1] {
+			bounds = append(bounds, v)
+		}
+	}
+	n := len(bounds) + 1
+	sums := make([]float64, n)
+	counts := make([]float64, n)
+	for _, v := range history {
+		s := stateOf(v, bounds)
+		sums[s] += v
+		counts[s]++
+	}
+	centroids = make([]float64, n)
+	for i := range centroids {
+		if counts[i] > 0 {
+			centroids[i] = sums[i] / counts[i]
+		}
+	}
+	return bounds, centroids
+}
+
+// stateOf maps a value to its state index given ascending upper bounds.
+func stateOf(v float64, bounds []float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}

@@ -1,0 +1,157 @@
+package forecast
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+)
+
+// SETAR is a Self-Excitation Threshold AutoRegressive forecaster: the series
+// is partitioned into regimes by thresholds on the most recent value, and a
+// separate AR model is fit per regime. SETAR handles piece-wise linear,
+// non-stationary patterns that defeat a single AR fit (§4.3.2) — e.g. an
+// application that alternates between an idle regime and a busy regime with
+// different dynamics.
+type SETAR struct {
+	lags       int
+	thresholds int // number of thresholds => thresholds+1 regimes
+}
+
+// NewSETAR returns a SETAR forecaster with the given lags and up to the
+// given number of thresholds (the paper uses 10 lags, up to 2 thresholds).
+func NewSETAR(lags, thresholds int) *SETAR {
+	if lags < 1 {
+		lags = 1
+	}
+	if thresholds < 1 {
+		thresholds = 1
+	}
+	return &SETAR{lags: lags, thresholds: thresholds}
+}
+
+// Name implements Forecaster.
+func (s *SETAR) Name() string { return fmt.Sprintf("setar%d-%d", s.lags, s.thresholds) }
+
+// Forecast implements Forecaster.
+func (s *SETAR) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	thr := regimeThresholds(history, s.thresholds)
+	if len(thr) == 0 {
+		// Degenerate (constant or tiny) history: plain AR fallback.
+		return NewAR(s.lags).Forecast(history, horizon)
+	}
+	// Fit one AR per regime over the observations whose delay-1 value
+	// falls in that regime.
+	type regimeFit struct {
+		coef []float64
+		ok   bool
+	}
+	nRegimes := len(thr) + 1
+	fits := make([]regimeFit, nRegimes)
+	// Partition training rows by regime of y_{t-1}.
+	rows := len(history) - s.lags
+	if rows < s.lags+2 {
+		return NewAR(s.lags).Forecast(history, horizon)
+	}
+	regimeRows := make([][]int, nRegimes)
+	for r := 0; r < rows; r++ {
+		reg := regimeOf(history[r+s.lags-1], thr)
+		regimeRows[reg] = append(regimeRows[reg], r)
+	}
+	for reg := 0; reg < nRegimes; reg++ {
+		coef, ok := fitARRows(history, regimeRows[reg], s.lags)
+		fits[reg] = regimeFit{coef: coef, ok: ok}
+	}
+	// Global fallback coefficients.
+	globalCoef, globalOK := fitAR(history, s.lags)
+
+	buf := append([]float64(nil), history...)
+	out := make([]float64, horizon)
+	for t := 0; t < horizon; t++ {
+		reg := regimeOf(buf[len(buf)-1], thr)
+		var coef []float64
+		switch {
+		case fits[reg].ok:
+			coef = fits[reg].coef
+		case globalOK:
+			coef = globalCoef
+		default:
+			out[t] = mean(history)
+			buf = append(buf, out[t])
+			continue
+		}
+		v := coef[0]
+		for l := 1; l <= s.lags; l++ {
+			idx := len(buf) - l
+			if idx >= 0 {
+				v += coef[l] * buf[idx]
+			}
+		}
+		if v < 0 || v != v {
+			v = 0
+		}
+		out[t] = v
+		buf = append(buf, v)
+	}
+	return out
+}
+
+// fitARRows fits an AR(lags) model using only the given training rows
+// (row r predicts history[r+lags] from the preceding lags values).
+func fitARRows(history []float64, rowIdx []int, lags int) ([]float64, bool) {
+	if len(rowIdx) < lags+2 {
+		return nil, false
+	}
+	x := make([][]float64, len(rowIdx))
+	y := make([]float64, len(rowIdx))
+	for i, r := range rowIdx {
+		row := make([]float64, lags+1)
+		row[0] = 1
+		for l := 1; l <= lags; l++ {
+			row[l] = history[r+lags-l]
+		}
+		x[i] = row
+		y[i] = history[r+lags]
+	}
+	coef, err := mathx.LeastSquares(x, y)
+	if err != nil {
+		return nil, false
+	}
+	return coef, true
+}
+
+// regimeThresholds picks up to k thresholds at evenly spaced quantiles of
+// the history. It returns nil when the history has no spread (all regimes
+// would coincide).
+func regimeThresholds(history []float64, k int) []float64 {
+	if len(history) < 4 {
+		return nil
+	}
+	sorted := append([]float64(nil), history...)
+	sort.Float64s(sorted)
+	if sorted[0] == sorted[len(sorted)-1] {
+		return nil
+	}
+	out := make([]float64, 0, k)
+	for i := 1; i <= k; i++ {
+		q := float64(i) / float64(k+1)
+		v := sorted[int(q*float64(len(sorted)-1))]
+		if len(out) == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// regimeOf returns the regime index of value v given ascending thresholds.
+func regimeOf(v float64, thr []float64) int {
+	for i, t := range thr {
+		if v <= t {
+			return i
+		}
+	}
+	return len(thr)
+}

@@ -1,0 +1,159 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// MovingAverage forecasts the mean of the last Window values — the data
+// path of Knative's default autoscaler, which sizes pods from a 1-minute
+// sliding average of concurrency (§3.2). It is the "1-min moving average"
+// baseline in Fig 5.
+type MovingAverage struct {
+	window int
+}
+
+// NewMovingAverage returns a moving-average forecaster over the last window
+// intervals.
+func NewMovingAverage(window int) *MovingAverage {
+	if window < 1 {
+		window = 1
+	}
+	return &MovingAverage{window: window}
+}
+
+// Name implements Forecaster.
+func (m *MovingAverage) Name() string { return fmt.Sprintf("ma%d", m.window) }
+
+// Forecast implements Forecaster.
+func (m *MovingAverage) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	w := m.window
+	if w > len(history) {
+		w = len(history)
+	}
+	if w == 0 {
+		return make([]float64, horizon)
+	}
+	return constant(mean(history[len(history)-w:]), horizon)
+}
+
+// RecentPeak forecasts the maximum over the trailing window — the
+// keep-alive behaviour expressed as a forecaster. It is the conservative
+// member of FeMux's set (Fig 17 lists fixed keep-alive among the
+// forecasters): bursty blocks route here, trading memory for cold starts.
+type RecentPeak struct {
+	window int
+}
+
+// NewRecentPeak returns a peak-hold forecaster over the last window
+// intervals.
+func NewRecentPeak(window int) *RecentPeak {
+	if window < 1 {
+		window = 1
+	}
+	return &RecentPeak{window: window}
+}
+
+// Name implements Forecaster.
+func (r *RecentPeak) Name() string { return fmt.Sprintf("peak%d", r.window) }
+
+// Forecast implements Forecaster.
+func (r *RecentPeak) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	w := r.window
+	if w > len(history) {
+		w = len(history)
+	}
+	peak := 0.0
+	for _, v := range history[len(history)-w:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return constant(peak, horizon)
+}
+
+// CeilPeak forecasts the ceiling of the trailing-window peak: whenever the
+// window saw any traffic at all, it predicts at least one full unit of
+// concurrency. This is the keep-warm forecaster for trickle traffic —
+// applications whose average concurrency is a small fraction (a few short
+// requests per minute) but whose requests arrive every minute. Fractional
+// forecasts for such apps scale to zero and incur a cold start per minute;
+// CeilPeak keeps one unit warm, which the default RUM's exchange rate
+// (≈99.7 GB-s per cold-start second) strongly favours. Single-forecaster
+// baselines lack this option; FeMux's classifier routes trickle blocks
+// here via the density feature.
+type CeilPeak struct {
+	window int
+}
+
+// NewCeilPeak returns a keep-warm forecaster over the last window
+// intervals.
+func NewCeilPeak(window int) *CeilPeak {
+	if window < 1 {
+		window = 1
+	}
+	return &CeilPeak{window: window}
+}
+
+// Name implements Forecaster.
+func (c *CeilPeak) Name() string { return fmt.Sprintf("warm%d", c.window) }
+
+// Forecast implements Forecaster.
+func (c *CeilPeak) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	w := c.window
+	if w > len(history) {
+		w = len(history)
+	}
+	peak := 0.0
+	for _, v := range history[len(history)-w:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak > 0 {
+		peak = math.Ceil(peak)
+	}
+	return constant(peak, horizon)
+}
+
+// Naive forecasts the most recent observation for every future interval.
+type Naive struct{}
+
+// Name implements Forecaster.
+func (Naive) Name() string { return "naive" }
+
+// Forecast implements Forecaster.
+func (Naive) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	if len(history) == 0 {
+		return make([]float64, horizon)
+	}
+	return constant(history[len(history)-1], horizon)
+}
+
+// Zero always forecasts zero — the scale-to-zero extreme, useful as a floor
+// in comparisons (anything that loses to Zero is wasting resources for no
+// cold-start benefit).
+type Zero struct{}
+
+// Name implements Forecaster.
+func (Zero) Name() string { return "zero" }
+
+// Forecast implements Forecaster.
+func (Zero) Forecast(_ []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	return make([]float64, horizon)
+}

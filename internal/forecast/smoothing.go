@@ -1,0 +1,115 @@
+package forecast
+
+import "math"
+
+// ExpSmoothing is single exponential smoothing with dynamic parameter
+// selection: the smoothing factor alpha is chosen per call by minimizing the
+// one-step-ahead squared error over the history window (§4.3.3 notes ES and
+// Holt have "dynamic parameter selection"). ES tracks general trends in
+// dense traffic without assuming structure.
+type ExpSmoothing struct {
+	grid []float64
+}
+
+// NewExpSmoothing returns an exponential smoothing forecaster.
+func NewExpSmoothing() *ExpSmoothing {
+	return &ExpSmoothing{grid: alphaGrid()}
+}
+
+func alphaGrid() []float64 {
+	g := make([]float64, 0, 19)
+	for a := 0.05; a < 1.0; a += 0.05 {
+		g = append(g, a)
+	}
+	return g
+}
+
+// Name implements Forecaster.
+func (e *ExpSmoothing) Name() string { return "expsmooth" }
+
+// Forecast implements Forecaster.
+func (e *ExpSmoothing) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	if len(history) == 0 {
+		return make([]float64, horizon)
+	}
+	bestLevel := history[len(history)-1]
+	bestSSE := math.Inf(1)
+	for _, alpha := range e.grid {
+		level := history[0]
+		var sse float64
+		for i := 1; i < len(history); i++ {
+			err := history[i] - level
+			sse += err * err
+			level += alpha * err
+		}
+		if sse < bestSSE {
+			bestSSE = sse
+			bestLevel = level
+		}
+	}
+	// ES forecasts a flat continuation of the smoothed level.
+	return constant(bestLevel, horizon)
+}
+
+// Holt is double exponential smoothing: a smoothed level plus a smoothed
+// linear trend, with (alpha, beta) selected per call by one-step-ahead SSE.
+// Holt follows trending traffic (growing adoption, ramping launches) that a
+// flat ES forecast lags behind.
+type Holt struct {
+	alphas []float64
+	betas  []float64
+}
+
+// NewHolt returns a Holt double-exponential-smoothing forecaster.
+func NewHolt() *Holt {
+	return &Holt{
+		alphas: []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9},
+		betas:  []float64{0.05, 0.1, 0.2, 0.4, 0.8},
+	}
+}
+
+// Name implements Forecaster.
+func (h *Holt) Name() string { return "holt" }
+
+// Forecast implements Forecaster.
+func (h *Holt) Forecast(history []float64, horizon int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	if len(history) < 2 {
+		v := 0.0
+		if len(history) == 1 {
+			v = history[0]
+		}
+		return constant(v, horizon)
+	}
+	bestSSE := math.Inf(1)
+	var bestLevel, bestTrend float64
+	for _, alpha := range h.alphas {
+		for _, beta := range h.betas {
+			level := history[0]
+			trend := history[1] - history[0]
+			var sse float64
+			for i := 1; i < len(history); i++ {
+				pred := level + trend
+				err := history[i] - pred
+				sse += err * err
+				newLevel := pred + alpha*err
+				trend += alpha * beta * err
+				level = newLevel
+			}
+			if sse < bestSSE {
+				bestSSE = sse
+				bestLevel, bestTrend = level, trend
+			}
+		}
+	}
+	out := make([]float64, horizon)
+	for t := 0; t < horizon; t++ {
+		out[t] = bestLevel + float64(t+1)*bestTrend
+	}
+	return clampNonNegative(out)
+}

@@ -1,0 +1,148 @@
+// Package knative emulates the Knative Serving control loop FeMux
+// integrates with (§5.2, Fig 13): a per-application Autoscaler with stable
+// and panic windows ticking every two seconds, an Activator that buffers
+// requests for under-scaled applications, queue-proxy concurrency metrics,
+// pod lifecycles with cold starts, and a FeMux forecasting microservice
+// reachable over a real net/http REST API. The emulation runs on a virtual
+// clock, so a 24-hour experiment completes in seconds while the REST path
+// still measures real request latencies.
+package knative
+
+import (
+	"math"
+	"time"
+)
+
+// AutoscalerConfig mirrors the Knative KPA defaults relevant to the paper.
+type AutoscalerConfig struct {
+	TickInterval    time.Duration // scaling decision period (2 s)
+	StableWindow    time.Duration // averaging window (60 s -> the "1-min KA" behaviour)
+	PanicWindow     time.Duration // short window for burst detection (6 s)
+	PanicThreshold  float64       // panic when panic-window demand / capacity exceeds this (2.0)
+	ScaleToZeroWait time.Duration // grace period before removing the last pod (30 s)
+}
+
+// DefaultAutoscalerConfig returns Knative's stock settings.
+func DefaultAutoscalerConfig() AutoscalerConfig {
+	return AutoscalerConfig{
+		TickInterval:    2 * time.Second,
+		StableWindow:    time.Minute,
+		PanicWindow:     6 * time.Second,
+		PanicThreshold:  2.0,
+		ScaleToZeroWait: 30 * time.Second,
+	}
+}
+
+// Autoscaler is one application's reactive scaler: it ingests concurrency
+// observations (one per tick, as the queue-proxy reports every 2 s) and
+// produces a desired pod count.
+type Autoscaler struct {
+	cfg   AutoscalerConfig
+	unitC int
+
+	obs        []obsPoint // ring of recent observations
+	panicUntil time.Duration
+	panicPods  int
+	zeroSince  time.Duration // when desired first hit zero; -1 when active
+}
+
+type obsPoint struct {
+	at   time.Duration
+	conc float64
+}
+
+// NewAutoscaler returns an autoscaler for an app with the given container
+// concurrency limit.
+func NewAutoscaler(cfg AutoscalerConfig, unitConcurrency int) *Autoscaler {
+	if unitConcurrency < 1 {
+		unitConcurrency = 1
+	}
+	return &Autoscaler{cfg: cfg, unitC: unitConcurrency, zeroSince: -1}
+}
+
+// Observe records the average concurrency measured over the last tick
+// (including requests queued at the activator, which is what drives
+// Knative's scale-from-zero).
+func (a *Autoscaler) Observe(now time.Duration, concurrency float64) {
+	a.obs = append(a.obs, obsPoint{at: now, conc: concurrency})
+	// Trim beyond the stable window.
+	cut := now - a.cfg.StableWindow
+	i := 0
+	for i < len(a.obs) && a.obs[i].at <= cut {
+		i++
+	}
+	if i > 0 {
+		a.obs = append(a.obs[:0], a.obs[i:]...)
+	}
+}
+
+func (a *Autoscaler) windowAvg(now, window time.Duration) float64 {
+	cut := now - window
+	var sum float64
+	var n int
+	for _, o := range a.obs {
+		if o.at > cut {
+			sum += o.conc
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Desired computes the pod count for the next tick, given the current pod
+// count, applying Knative's stable/panic logic and scale-to-zero grace.
+func (a *Autoscaler) Desired(now time.Duration, current, minScale int) int {
+	stable := a.windowAvg(now, a.cfg.StableWindow)
+	panicAvg := a.windowAvg(now, a.cfg.PanicWindow)
+
+	want := podsFor(stable, a.unitC)
+
+	// Panic mode: the short window sees demand at or beyond the threshold
+	// times current capacity.
+	capacity := float64(current * a.unitC)
+	if capacity > 0 && panicAvg/capacity >= a.cfg.PanicThreshold {
+		a.panicUntil = now + a.cfg.StableWindow
+		if p := podsFor(panicAvg, a.unitC); p > a.panicPods {
+			a.panicPods = p
+		}
+	} else if current == 0 && panicAvg > 0 {
+		// Scale from zero reacts on the panic window too.
+		if p := podsFor(panicAvg, a.unitC); p > want {
+			want = p
+		}
+	}
+	if now < a.panicUntil {
+		// During panic Knative never scales down.
+		if a.panicPods > want {
+			want = a.panicPods
+		}
+	} else {
+		a.panicPods = 0
+	}
+
+	if want < minScale {
+		want = minScale
+	}
+	// Scale-to-zero grace: hold the last pod for ScaleToZeroWait.
+	if want == 0 && current > 0 {
+		if a.zeroSince < 0 {
+			a.zeroSince = now
+		}
+		if now-a.zeroSince < a.cfg.ScaleToZeroWait {
+			return 1
+		}
+		return 0
+	}
+	a.zeroSince = -1
+	return want
+}
+
+func podsFor(concurrency float64, unitC int) int {
+	if concurrency <= 0 {
+		return 0
+	}
+	return int(math.Ceil(concurrency / float64(unitC)))
+}

@@ -1,0 +1,63 @@
+package knative
+
+import (
+	"sync"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+)
+
+// ScaleProvider is the hook through which FeMux overrides the default
+// reactive autoscaler (Fig 13): once per minute the emulation reports the
+// completed minute's average concurrency and receives the pod target to
+// hold until the next report. ok=false falls back to the reactive logic.
+type ScaleProvider interface {
+	Target(app string, minuteAvg float64, unitConcurrency int) (target int, ok bool)
+}
+
+// DirectProvider hosts FeMux AppPolicy instances in-process — the
+// configuration used for fast emulation runs. It is safe for concurrent
+// use.
+type DirectProvider struct {
+	model *femux.Model
+
+	mu   sync.Mutex
+	apps map[string]*directApp
+}
+
+type directApp struct {
+	policy  *femux.AppPolicy
+	history []float64
+}
+
+// NewDirectProvider returns a provider backed by a trained model.
+func NewDirectProvider(model *femux.Model) *DirectProvider {
+	return &DirectProvider{model: model, apps: map[string]*directApp{}}
+}
+
+// Target implements ScaleProvider.
+func (p *DirectProvider) Target(app string, minuteAvg float64, unitConcurrency int) (int, bool) {
+	p.mu.Lock()
+	st, ok := p.apps[app]
+	if !ok {
+		st = &directApp{policy: p.model.NewAppPolicy(0)}
+		p.apps[app] = st
+	}
+	st.history = append(st.history, minuteAvg)
+	hist := st.history
+	policy := st.policy
+	p.mu.Unlock()
+
+	return policy.Target(hist, unitConcurrency), true
+}
+
+// ForecastersUsed reports the distinct forecaster count per app, for
+// diagnostics.
+func (p *DirectProvider) ForecastersUsed() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.apps))
+	for name, st := range p.apps {
+		out[name] = st.policy.ForecastersUsed()
+	}
+	return out
+}

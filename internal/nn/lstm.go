@@ -1,0 +1,343 @@
+// Package nn implements a small LSTM regressor with backpropagation through
+// time, the substrate for the Aquatope baseline (§5.1.1): Aquatope trains a
+// per-application LSTM over 48-minute input windows to forecast invocations.
+// The implementation is stdlib-only and deterministic for a given seed.
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer LSTM followed by a scalar dense head. It predicts
+// one value from an input sequence (sequence-to-one regression).
+type LSTM struct {
+	inputDim int
+	hidden   int
+
+	// Gate weights, laid out [hidden][inputDim+hidden], plus biases.
+	wf, wi, wo, wc [][]float64
+	bf, bi, bo, bc []float64
+	// Output head.
+	wy []float64
+	by float64
+}
+
+// NewLSTM constructs an LSTM with Xavier-style initialization.
+func NewLSTM(inputDim, hidden int, seed int64) *LSTM {
+	if inputDim < 1 {
+		inputDim = 1
+	}
+	if hidden < 1 {
+		hidden = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := 1 / math.Sqrt(float64(inputDim+hidden))
+	mk := func() [][]float64 {
+		w := make([][]float64, hidden)
+		for i := range w {
+			w[i] = make([]float64, inputDim+hidden)
+			for j := range w[i] {
+				w[i][j] = rng.NormFloat64() * scale
+			}
+		}
+		return w
+	}
+	vec := func(fill float64) []float64 {
+		v := make([]float64, hidden)
+		for i := range v {
+			v[i] = fill
+		}
+		return v
+	}
+	n := &LSTM{
+		inputDim: inputDim, hidden: hidden,
+		wf: mk(), wi: mk(), wo: mk(), wc: mk(),
+		bf: vec(1), // forget-gate bias 1: standard trick for gradient flow
+		bi: vec(0), bo: vec(0), bc: vec(0),
+		wy: make([]float64, hidden),
+	}
+	for i := range n.wy {
+		n.wy[i] = rng.NormFloat64() * scale
+	}
+	return n
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// step state captured for BPTT.
+type stepCache struct {
+	x          []float64 // concatenated [input, prevHidden]
+	f, i, o, g []float64
+	c, h       []float64
+	cPrev      []float64
+}
+
+// forward runs the sequence and returns the prediction plus per-step caches.
+func (n *LSTM) forward(seq [][]float64) (float64, []stepCache) {
+	h := make([]float64, n.hidden)
+	c := make([]float64, n.hidden)
+	caches := make([]stepCache, len(seq))
+	for t, in := range seq {
+		x := make([]float64, n.inputDim+n.hidden)
+		copy(x, in)
+		copy(x[n.inputDim:], h)
+		sc := stepCache{
+			x: x,
+			f: make([]float64, n.hidden), i: make([]float64, n.hidden),
+			o: make([]float64, n.hidden), g: make([]float64, n.hidden),
+			c: make([]float64, n.hidden), h: make([]float64, n.hidden),
+			cPrev: append([]float64(nil), c...),
+		}
+		for j := 0; j < n.hidden; j++ {
+			sc.f[j] = sigmoid(dot(n.wf[j], x) + n.bf[j])
+			sc.i[j] = sigmoid(dot(n.wi[j], x) + n.bi[j])
+			sc.o[j] = sigmoid(dot(n.wo[j], x) + n.bo[j])
+			sc.g[j] = math.Tanh(dot(n.wc[j], x) + n.bc[j])
+			sc.c[j] = sc.f[j]*c[j] + sc.i[j]*sc.g[j]
+			sc.h[j] = sc.o[j] * math.Tanh(sc.c[j])
+		}
+		copy(c, sc.c)
+		copy(h, sc.h)
+		caches[t] = sc
+	}
+	pred := n.by
+	for j := 0; j < n.hidden; j++ {
+		pred += n.wy[j] * h[j]
+	}
+	return pred, caches
+}
+
+// Predict returns the model output for one input sequence. Each element of
+// seq must have length inputDim.
+func (n *LSTM) Predict(seq [][]float64) float64 {
+	if len(seq) == 0 {
+		return n.by
+	}
+	pred, _ := n.forward(seq)
+	return pred
+}
+
+// grads accumulates parameter gradients.
+type grads struct {
+	wf, wi, wo, wc [][]float64
+	bf, bi, bo, bc []float64
+	wy             []float64
+	by             float64
+}
+
+func newGrads(n *LSTM) *grads {
+	mk := func() [][]float64 {
+		w := make([][]float64, n.hidden)
+		for i := range w {
+			w[i] = make([]float64, n.inputDim+n.hidden)
+		}
+		return w
+	}
+	return &grads{
+		wf: mk(), wi: mk(), wo: mk(), wc: mk(),
+		bf: make([]float64, n.hidden), bi: make([]float64, n.hidden),
+		bo: make([]float64, n.hidden), bc: make([]float64, n.hidden),
+		wy: make([]float64, n.hidden),
+	}
+}
+
+// backward accumulates gradients for one (sequence, target) example and
+// returns the squared error.
+func (n *LSTM) backward(seq [][]float64, target float64, g *grads) float64 {
+	pred, caches := n.forward(seq)
+	diff := pred - target
+	loss := diff * diff
+
+	// Output head gradients.
+	last := caches[len(caches)-1]
+	dh := make([]float64, n.hidden)
+	for j := 0; j < n.hidden; j++ {
+		g.wy[j] += 2 * diff * last.h[j]
+		dh[j] = 2 * diff * n.wy[j]
+	}
+	g.by += 2 * diff
+
+	dc := make([]float64, n.hidden)
+	for t := len(caches) - 1; t >= 0; t-- {
+		sc := caches[t]
+		dhNext := make([]float64, n.hidden)
+		dcNext := make([]float64, n.hidden)
+		for j := 0; j < n.hidden; j++ {
+			tanhC := math.Tanh(sc.c[j])
+			do := dh[j] * tanhC
+			dcj := dc[j] + dh[j]*sc.o[j]*(1-tanhC*tanhC)
+			df := dcj * sc.cPrev[j]
+			di := dcj * sc.g[j]
+			dg := dcj * sc.i[j]
+			dcNext[j] = dcj * sc.f[j]
+
+			// Pre-activation gradients.
+			dfPre := df * sc.f[j] * (1 - sc.f[j])
+			diPre := di * sc.i[j] * (1 - sc.i[j])
+			doPre := do * sc.o[j] * (1 - sc.o[j])
+			dgPre := dg * (1 - sc.g[j]*sc.g[j])
+
+			g.bf[j] += dfPre
+			g.bi[j] += diPre
+			g.bo[j] += doPre
+			g.bc[j] += dgPre
+			for k, xv := range sc.x {
+				g.wf[j][k] += dfPre * xv
+				g.wi[j][k] += diPre * xv
+				g.wo[j][k] += doPre * xv
+				g.wc[j][k] += dgPre * xv
+				if k >= n.inputDim {
+					hIdx := k - n.inputDim
+					dhNext[hIdx] += dfPre*n.wf[j][k] + diPre*n.wi[j][k] +
+						doPre*n.wo[j][k] + dgPre*n.wc[j][k]
+				}
+			}
+		}
+		dh = dhNext
+		dc = dcNext
+	}
+	return loss
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	LearnRate float64
+	ClipNorm  float64 // gradient clipping threshold (0 disables)
+	BatchSize int
+}
+
+// DefaultTrainConfig returns conservative settings that converge on the
+// small per-app datasets Aquatope uses.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LearnRate: 0.01, ClipNorm: 5, BatchSize: 16}
+}
+
+// Fit trains the network on (sequence, target) pairs with mini-batch SGD
+// and returns the mean squared error of the final epoch.
+func (n *LSTM) Fit(seqs [][][]float64, targets []float64, cfg TrainConfig) (float64, error) {
+	if len(seqs) == 0 || len(seqs) != len(targets) {
+		return 0, errors.New("nn: bad training data")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.01
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		for start := 0; start < len(seqs); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(seqs) {
+				end = len(seqs)
+			}
+			g := newGrads(n)
+			for i := start; i < end; i++ {
+				epochLoss += n.backward(seqs[i], targets[i], g)
+			}
+			n.apply(g, cfg.LearnRate/float64(end-start), cfg.ClipNorm)
+		}
+		lastLoss = epochLoss / float64(len(seqs))
+	}
+	return lastLoss, nil
+}
+
+// apply performs one clipped SGD update.
+func (n *LSTM) apply(g *grads, lr, clip float64) {
+	if clip > 0 {
+		norm := g.norm()
+		if norm > clip {
+			scale := clip / norm
+			g.scale(scale)
+		}
+	}
+	upd := func(w, gw [][]float64) {
+		for i := range w {
+			for j := range w[i] {
+				w[i][j] -= lr * gw[i][j]
+			}
+		}
+	}
+	updv := func(v, gv []float64) {
+		for i := range v {
+			v[i] -= lr * gv[i]
+		}
+	}
+	upd(n.wf, g.wf)
+	upd(n.wi, g.wi)
+	upd(n.wo, g.wo)
+	upd(n.wc, g.wc)
+	updv(n.bf, g.bf)
+	updv(n.bi, g.bi)
+	updv(n.bo, g.bo)
+	updv(n.bc, g.bc)
+	updv(n.wy, g.wy)
+	n.by -= lr * g.by
+}
+
+func (g *grads) norm() float64 {
+	var s float64
+	add := func(w [][]float64) {
+		for i := range w {
+			for _, v := range w[i] {
+				s += v * v
+			}
+		}
+	}
+	addv := func(v []float64) {
+		for _, x := range v {
+			s += x * x
+		}
+	}
+	add(g.wf)
+	add(g.wi)
+	add(g.wo)
+	add(g.wc)
+	addv(g.bf)
+	addv(g.bi)
+	addv(g.bo)
+	addv(g.bc)
+	addv(g.wy)
+	s += g.by * g.by
+	return math.Sqrt(s)
+}
+
+func (g *grads) scale(f float64) {
+	sc := func(w [][]float64) {
+		for i := range w {
+			for j := range w[i] {
+				w[i][j] *= f
+			}
+		}
+	}
+	scv := func(v []float64) {
+		for i := range v {
+			v[i] *= f
+		}
+	}
+	sc(g.wf)
+	sc(g.wi)
+	sc(g.wo)
+	sc(g.wc)
+	scv(g.bf)
+	scv(g.bi)
+	scv(g.bo)
+	scv(g.bc)
+	scv(g.wy)
+	g.by *= f
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

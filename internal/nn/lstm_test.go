@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// windows builds sequence-to-one training pairs from a scalar series.
+func windows(series []float64, w int) (seqs [][][]float64, targets []float64) {
+	for i := 0; i+w < len(series); i++ {
+		seq := make([][]float64, w)
+		for j := 0; j < w; j++ {
+			seq[j] = []float64{series[i+j]}
+		}
+		seqs = append(seqs, seq)
+		targets = append(targets, series[i+w])
+	}
+	return seqs, targets
+}
+
+func TestLSTMDeterministicInit(t *testing.T) {
+	a := NewLSTM(1, 8, 42)
+	b := NewLSTM(1, 8, 42)
+	seq := [][]float64{{1}, {2}, {3}}
+	if a.Predict(seq) != b.Predict(seq) {
+		t.Error("same seed should give identical predictions")
+	}
+	c := NewLSTM(1, 8, 43)
+	if a.Predict(seq) == c.Predict(seq) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestLSTMPredictEmptySequence(t *testing.T) {
+	n := NewLSTM(1, 4, 1)
+	if got := n.Predict(nil); got != n.by {
+		t.Errorf("empty sequence should return bias, got %v", got)
+	}
+}
+
+func TestLSTMFitReducesLoss(t *testing.T) {
+	// Learn to continue a sine wave.
+	series := make([]float64, 200)
+	for i := range series {
+		series[i] = math.Sin(2*math.Pi*float64(i)/20)*0.5 + 0.5
+	}
+	seqs, targets := windows(series, 10)
+	n := NewLSTM(1, 8, 7)
+	// Loss before training.
+	var before float64
+	for i := range seqs {
+		d := n.Predict(seqs[i]) - targets[i]
+		before += d * d
+	}
+	before /= float64(len(seqs))
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 25
+	after, err := n.Fit(seqs, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("training did not reduce loss: before %v after %v", before, after)
+	}
+	if after > before*0.5 {
+		t.Errorf("loss only dropped from %v to %v", before, after)
+	}
+}
+
+func TestLSTMLearnsConstant(t *testing.T) {
+	// Constant target: the network must converge to predicting it.
+	seqs := make([][][]float64, 40)
+	targets := make([]float64, 40)
+	for i := range seqs {
+		seqs[i] = [][]float64{{0.3}, {0.3}, {0.3}}
+		targets[i] = 0.7
+	}
+	n := NewLSTM(1, 4, 3)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 100
+	cfg.LearnRate = 0.05
+	if _, err := n.Fit(seqs, targets, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Predict(seqs[0])
+	if math.Abs(got-0.7) > 0.1 {
+		t.Errorf("prediction = %v, want ~0.7", got)
+	}
+}
+
+func TestLSTMFitErrors(t *testing.T) {
+	n := NewLSTM(1, 4, 1)
+	if _, err := n.Fit(nil, nil, DefaultTrainConfig()); err == nil {
+		t.Error("empty training should error")
+	}
+	if _, err := n.Fit([][][]float64{{{1}}}, []float64{1, 2}, DefaultTrainConfig()); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestLSTMGradientCheck(t *testing.T) {
+	// Numerical gradient check on a single weight: the analytic BPTT
+	// gradient must match finite differences.
+	n := NewLSTM(1, 3, 5)
+	seq := [][]float64{{0.5}, {0.2}, {0.9}, {0.1}}
+	target := 0.4
+
+	g := newGrads(n)
+	n.backward(seq, target, g)
+
+	check := func(name string, w *float64, analytic float64) {
+		const eps = 1e-6
+		orig := *w
+		*w = orig + eps
+		predP, _ := n.forward(seq)
+		lossP := (predP - target) * (predP - target)
+		*w = orig - eps
+		predM, _ := n.forward(seq)
+		lossM := (predM - target) * (predM - target)
+		*w = orig
+		numeric := (lossP - lossM) / (2 * eps)
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("%s: analytic %v vs numeric %v", name, analytic, numeric)
+		}
+	}
+	check("wy[0]", &n.wy[0], g.wy[0])
+	check("by", &n.by, g.by)
+	check("wf[0][0]", &n.wf[0][0], g.wf[0][0])
+	check("wi[1][0]", &n.wi[1][0], g.wi[1][0])
+	check("wo[2][1]", &n.wo[2][1], g.wo[2][1])
+	check("wc[0][2]", &n.wc[0][2], g.wc[0][2])
+	check("bf[1]", &n.bf[1], g.bf[1])
+	check("bc[2]", &n.bc[2], g.bc[2])
+}
+
+func TestGradientClipping(t *testing.T) {
+	n := NewLSTM(1, 3, 9)
+	g := newGrads(n)
+	// Inflate gradients artificially.
+	for i := range g.wy {
+		g.wy[i] = 1000
+	}
+	norm := g.norm()
+	if norm <= 5 {
+		t.Fatal("test setup: norm should exceed clip")
+	}
+	g.scale(5 / norm)
+	if math.Abs(g.norm()-5) > 1e-9 {
+		t.Errorf("clipped norm = %v, want 5", g.norm())
+	}
+}
+
+func TestLSTMStability(t *testing.T) {
+	// Training on noisy data must not produce NaN/Inf weights.
+	series := make([]float64, 150)
+	for i := range series {
+		series[i] = math.Mod(float64(i)*0.37, 1)
+	}
+	seqs, targets := windows(series, 8)
+	n := NewLSTM(1, 6, 11)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 20
+	cfg.LearnRate = 0.05
+	if _, err := n.Fit(seqs, targets, cfg); err != nil {
+		t.Fatal(err)
+	}
+	pred := n.Predict(seqs[0])
+	if math.IsNaN(pred) || math.IsInf(pred, 0) {
+		t.Errorf("prediction diverged: %v", pred)
+	}
+}
+
+func BenchmarkLSTMPredict48(b *testing.B) {
+	n := NewLSTM(1, 16, 1)
+	seq := make([][]float64, 48)
+	for i := range seq {
+		seq[i] = []float64{float64(i % 5)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Predict(seq)
+	}
+}
+
+func BenchmarkLSTMTrainEpoch(b *testing.B) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = math.Sin(float64(i) / 5)
+	}
+	seqs, targets := windows(series, 10)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := NewLSTM(1, 8, 1)
+		if _, err := n.Fit(seqs, targets, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

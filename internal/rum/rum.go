@@ -1,0 +1,168 @@
+// Package rum implements the Representative Unified Metric framework
+// (§4.1): a pluggable objective that unifies performance (cold-start
+// seconds) and efficiency (wasted GB-seconds) into one tunable score,
+// decoupling platform optimization from any hard-coded metric.
+//
+// RUM values are costs — lower is better. The same Sample feeds any Metric,
+// so a provider can re-score a run under a new objective without re-running
+// it, and FeMux can be trained against whichever metric a service tier
+// sells.
+package rum
+
+import "math"
+
+// Constants derived in §4.1 from public cloud data:
+//
+//   - a market-share-weighted keep-alive time of 537 s across AWS, Azure,
+//     and Google, with a 150 MB median memory consumption, wastes up to
+//     537 s x 0.150 GB ≈ 80.5 GB-seconds per cold start avoided;
+//   - the popularity-and-market-share-weighted average cold start across
+//     providers and languages is 0.808 s;
+//   - hence providers implicitly trade 80.5 / 0.808 ≈ 99.7 GB-seconds of
+//     memory per cold-start second.
+const (
+	// DefaultColdStartSec is the provider-weighted average cold start
+	// duration used when a trace does not record real cold start times.
+	DefaultColdStartSec = 0.808
+	// GBSecondsPerColdStartSec is the implied exchange rate between wasted
+	// memory and cold-start latency.
+	GBSecondsPerColdStartSec = 99.7
+)
+
+// Sample aggregates the raw outcomes of a lifetime-management run for one
+// application (or, summed, for a fleet). All fields are totals over the
+// evaluated window.
+type Sample struct {
+	ColdStarts     int     // number of cold starts incurred
+	ColdStartSec   float64 // total cold-start seconds experienced
+	WastedGBSec    float64 // idle pod memory-time (allocated but unused)
+	AllocatedGBSec float64 // total pod memory-time allocated
+	ExecSec        float64 // total execution seconds served
+	Invocations    int     // invocations served
+}
+
+// Add returns the element-wise sum of two samples.
+func (s Sample) Add(o Sample) Sample {
+	return Sample{
+		ColdStarts:     s.ColdStarts + o.ColdStarts,
+		ColdStartSec:   s.ColdStartSec + o.ColdStartSec,
+		WastedGBSec:    s.WastedGBSec + o.WastedGBSec,
+		AllocatedGBSec: s.AllocatedGBSec + o.AllocatedGBSec,
+		ExecSec:        s.ExecSec + o.ExecSec,
+		Invocations:    s.Invocations + o.Invocations,
+	}
+}
+
+// Sum aggregates many samples.
+func Sum(samples []Sample) Sample {
+	var total Sample
+	for _, s := range samples {
+		total = total.Add(s)
+	}
+	return total
+}
+
+// ColdStartFraction returns ColdStarts / Invocations (0 when idle).
+func (s Sample) ColdStartFraction() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return float64(s.ColdStarts) / float64(s.Invocations)
+}
+
+// Metric scores a Sample. Lower is better. Implementations must be pure
+// functions of the sample so training and evaluation agree (§4.2.1's
+// objective-aware principle).
+type Metric interface {
+	Name() string
+	Eval(s Sample) float64
+}
+
+// Weighted is the paper's first RUM formulation (Eq. 1):
+//
+//	w1 x (cold start seconds) + w2 x (wasted GB-seconds)
+//
+// The ratio w2/w1 states how much memory the provider will waste to avoid
+// one cold-start second.
+type Weighted struct {
+	MetricName string
+	W1, W2     float64
+}
+
+// Name implements Metric.
+func (w Weighted) Name() string {
+	if w.MetricName != "" {
+		return w.MetricName
+	}
+	return "weighted"
+}
+
+// Eval implements Metric.
+func (w Weighted) Eval(s Sample) float64 {
+	return w.W1*s.ColdStartSec + w.W2*s.WastedGBSec
+}
+
+// Default returns Eq. (1) with the derived weights w1 = 1,
+// w2 = 1/99.7 — the RUM used throughout the paper unless stated otherwise.
+func Default() Weighted {
+	return Weighted{MetricName: "rum-default", W1: 1, W2: 1 / GBSecondsPerColdStartSec}
+}
+
+// ColdStartHeavy returns the FeMux-CS variant: 4x higher cold-start weight,
+// for latency-sensitive (premium) tiers.
+func ColdStartHeavy() Weighted {
+	return Weighted{MetricName: "rum-cs", W1: 4, W2: 1 / GBSecondsPerColdStartSec}
+}
+
+// MemoryHeavy returns the FeMux-Mem variant: 4x higher wasted-memory
+// weight, for efficiency-oriented tiers.
+func MemoryHeavy() Weighted {
+	return Weighted{MetricName: "rum-mem", W1: 1, W2: 4 / GBSecondsPerColdStartSec}
+}
+
+// ExecAware is the paper's second RUM formulation (Eq. 2):
+//
+//	w1 x sqrt(cold start seconds / execution time) + w2 x (wasted GB-seconds)
+//
+// It discounts cold starts for long-running executions, emphasising
+// mitigation where a cold start dominates the request (short executions).
+type ExecAware struct {
+	W1, W2 float64
+}
+
+// Name implements Metric.
+func (ExecAware) Name() string { return "rum-exec" }
+
+// Eval implements Metric.
+func (e ExecAware) Eval(s Sample) float64 {
+	var ratio float64
+	if s.ColdStartSec > 0 {
+		exec := s.ExecSec
+		if exec <= 0 {
+			// No recorded execution time: treat the impact as maximal by
+			// normalizing against one second.
+			exec = 1
+		}
+		ratio = math.Sqrt(s.ColdStartSec / exec)
+	}
+	return e.W1*ratio + e.W2*s.WastedGBSec
+}
+
+// DefaultExecAware returns Eq. (2) with weights aligned to the default
+// exchange rate.
+func DefaultExecAware() ExecAware {
+	return ExecAware{W1: 1, W2: 1 / GBSecondsPerColdStartSec}
+}
+
+// EvalPerApp scores each app sample under m and returns the total. For
+// Weighted metrics the per-app sum equals the aggregate score; for
+// non-linear metrics such as ExecAware the per-app application is the
+// definition (cold-start impact is relative to each app's execution time,
+// §5.1.3).
+func EvalPerApp(m Metric, samples []Sample) float64 {
+	var total float64
+	for _, s := range samples {
+		total += m.Eval(s)
+	}
+	return total
+}

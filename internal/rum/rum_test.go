@@ -1,0 +1,170 @@
+package rum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultWeights(t *testing.T) {
+	d := Default()
+	if d.W1 != 1 {
+		t.Errorf("W1 = %v, want 1", d.W1)
+	}
+	if math.Abs(d.W2-1/99.7) > 1e-12 {
+		t.Errorf("W2 = %v, want 1/99.7", d.W2)
+	}
+	// One cold start of the average duration costs the same as ~80.5
+	// wasted GB-seconds (the §4.1 exchange-rate derivation).
+	csCost := d.Eval(Sample{ColdStartSec: DefaultColdStartSec})
+	memCost := d.Eval(Sample{WastedGBSec: 80.5})
+	if math.Abs(csCost-memCost) > 0.01 {
+		t.Errorf("exchange rate broken: cs %v vs mem %v", csCost, memCost)
+	}
+}
+
+func TestWeightedEval(t *testing.T) {
+	m := Weighted{W1: 2, W2: 0.5}
+	s := Sample{ColdStartSec: 3, WastedGBSec: 10}
+	if got := m.Eval(s); got != 11 {
+		t.Errorf("Eval = %v, want 11", got)
+	}
+	if m.Eval(Sample{}) != 0 {
+		t.Error("empty sample should score 0")
+	}
+}
+
+func TestVariantWeights(t *testing.T) {
+	cs, mem, def := ColdStartHeavy(), MemoryHeavy(), Default()
+	if cs.W1 != 4*def.W1 || cs.W2 != def.W2 {
+		t.Errorf("ColdStartHeavy = %+v", cs)
+	}
+	if mem.W2 != 4*def.W2 || mem.W1 != def.W1 {
+		t.Errorf("MemoryHeavy = %+v", mem)
+	}
+	// A cold-start-heavy metric must penalize cold starts more than the
+	// memory-heavy one on the same sample.
+	s := Sample{ColdStartSec: 5, WastedGBSec: 5}
+	if cs.Eval(s) <= mem.Eval(s) {
+		t.Error("CS variant should score cold-start-heavy samples higher")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Default().Name() != "rum-default" {
+		t.Errorf("name = %q", Default().Name())
+	}
+	if ColdStartHeavy().Name() != "rum-cs" || MemoryHeavy().Name() != "rum-mem" {
+		t.Error("variant names wrong")
+	}
+	if (Weighted{}).Name() != "weighted" {
+		t.Error("anonymous weighted name wrong")
+	}
+	if DefaultExecAware().Name() != "rum-exec" {
+		t.Error("exec-aware name wrong")
+	}
+}
+
+func TestExecAwareDiscountsLongExecutions(t *testing.T) {
+	m := DefaultExecAware()
+	short := Sample{ColdStartSec: 1, ExecSec: 0.1}
+	long := Sample{ColdStartSec: 1, ExecSec: 100}
+	if m.Eval(short) <= m.Eval(long) {
+		t.Errorf("short-exec cold starts should cost more: %v vs %v",
+			m.Eval(short), m.Eval(long))
+	}
+}
+
+func TestExecAwareEdgeCases(t *testing.T) {
+	m := DefaultExecAware()
+	// No cold starts: only the memory term.
+	s := Sample{WastedGBSec: 99.7, ExecSec: 0}
+	if math.Abs(m.Eval(s)-1) > 1e-9 {
+		t.Errorf("memory-only eval = %v, want 1", m.Eval(s))
+	}
+	// Cold starts with zero recorded exec: normalized against 1 s.
+	s = Sample{ColdStartSec: 4}
+	if math.Abs(m.Eval(s)-2) > 1e-9 {
+		t.Errorf("zero-exec eval = %v, want sqrt(4) = 2", m.Eval(s))
+	}
+}
+
+func TestSampleAddAndSum(t *testing.T) {
+	a := Sample{ColdStarts: 1, ColdStartSec: 2, WastedGBSec: 3, AllocatedGBSec: 4, ExecSec: 5, Invocations: 6}
+	b := Sample{ColdStarts: 10, ColdStartSec: 20, WastedGBSec: 30, AllocatedGBSec: 40, ExecSec: 50, Invocations: 60}
+	got := a.Add(b)
+	want := Sample{ColdStarts: 11, ColdStartSec: 22, WastedGBSec: 33, AllocatedGBSec: 44, ExecSec: 55, Invocations: 66}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	if Sum([]Sample{a, b}) != want {
+		t.Error("Sum mismatch")
+	}
+	if Sum(nil) != (Sample{}) {
+		t.Error("empty Sum should be zero")
+	}
+}
+
+func TestColdStartFraction(t *testing.T) {
+	if (Sample{}).ColdStartFraction() != 0 {
+		t.Error("idle app fraction should be 0")
+	}
+	s := Sample{ColdStarts: 3, Invocations: 12}
+	if got := s.ColdStartFraction(); got != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", got)
+	}
+}
+
+func TestEvalPerAppLinearMetricMatchesAggregate(t *testing.T) {
+	m := Default()
+	samples := []Sample{
+		{ColdStartSec: 1, WastedGBSec: 10},
+		{ColdStartSec: 5, WastedGBSec: 2},
+		{ColdStartSec: 0, WastedGBSec: 40},
+	}
+	perApp := EvalPerApp(m, samples)
+	agg := m.Eval(Sum(samples))
+	if math.Abs(perApp-agg) > 1e-9 {
+		t.Errorf("linear metric: per-app %v != aggregate %v", perApp, agg)
+	}
+}
+
+func TestEvalPerAppNonLinearMetricDiffers(t *testing.T) {
+	// For ExecAware the per-app evaluation is not the aggregate one —
+	// that asymmetry is exactly why the paper trains FeMux-Exec per-app.
+	m := DefaultExecAware()
+	samples := []Sample{
+		{ColdStartSec: 4, ExecSec: 1},
+		{ColdStartSec: 0, ExecSec: 100},
+	}
+	perApp := EvalPerApp(m, samples)
+	agg := m.Eval(Sum(samples))
+	if math.Abs(perApp-agg) < 1e-9 {
+		t.Error("expected per-app and aggregate exec-aware scores to differ")
+	}
+}
+
+func TestWeightedMonotonicityProperty(t *testing.T) {
+	// Property: adding cold-start seconds or waste never lowers any
+	// weighted RUM with non-negative weights.
+	metrics := []Metric{Default(), ColdStartHeavy(), MemoryHeavy(), DefaultExecAware()}
+	f := func(cs, waste, extraCS, extraWaste float64) bool {
+		s := Sample{
+			ColdStartSec: math.Abs(math.Mod(cs, 1e6)),
+			WastedGBSec:  math.Abs(math.Mod(waste, 1e6)),
+			ExecSec:      10,
+		}
+		bigger := s
+		bigger.ColdStartSec += math.Abs(math.Mod(extraCS, 1e6))
+		bigger.WastedGBSec += math.Abs(math.Mod(extraWaste, 1e6))
+		for _, m := range metrics {
+			if m.Eval(bigger)+1e-9 < m.Eval(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package stats provides the descriptive statistics used throughout the
+// characterization and evaluation: moments, coefficient of variation,
+// percentiles, empirical CDFs, and histograms.
+//
+// The characterization section of the paper (§3) is expressed almost
+// entirely in these terms — "94.5% of invocations have sub-second IATs",
+// "96% of workloads have CV > 1", "median p99 execution time is 800 ms" —
+// so these primitives are shared by internal/characterize and the
+// benchmark harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CV returns the coefficient of variation sigma/mu. A CV above one marks a
+// highly variable workload (§3.2). For a zero mean it returns +Inf if any
+// variance exists, else 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if m == 0 {
+		if sd == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return sd / math.Abs(m)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile for data already in ascending order. Use it
+// when computing many percentiles of the same sample to avoid re-sorting.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// FractionBelow reports the share of values strictly below threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Summary bundles the descriptive statistics reported per workload in the
+// characterization figures.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	CV     float64
+	Min    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		Count:  len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		CV:     CV(xs),
+		Min:    sorted[0],
+		P50:    PercentileSorted(sorted, 50),
+		P90:    PercentileSorted(sorted, 90),
+		P99:    PercentileSorted(sorted, 99),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // P(X <= Value)
+}
+
+// CDF returns the empirical cumulative distribution of xs, one point per
+// distinct value. It is what the characterization figures plot.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, len(sorted))
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of identical values to their final (highest) rank.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{Value: sorted[i], Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates the empirical CDF of xs at v: P(X <= v).
+func CDFAt(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Histogram counts values into nbins equal-width bins across [min, max].
+// Values outside the range clamp to the edge bins.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins.
+func NewHistogram(xs []float64, nbins int, min, max float64) *Histogram {
+	if nbins <= 0 {
+		nbins = 1
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, nbins)}
+	for _, v := range xs {
+		h.Add(v)
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	n := len(h.Counts)
+	var idx int
+	if h.Max > h.Min {
+		idx = int(float64(n) * (v - h.Min) / (h.Max - h.Min))
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// OnlineStats accumulates count/mean/variance incrementally (Welford) so the
+// simulator can track metrics over millions of events without storing them.
+type OnlineStats struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (o *OnlineStats) Add(v float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = v, v
+	} else {
+		if v < o.min {
+			o.min = v
+		}
+		if v > o.max {
+			o.max = v
+		}
+	}
+	d := v - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (v - o.mean)
+}
+
+// Count returns the number of observations.
+func (o *OnlineStats) Count() int { return o.n }
+
+// Mean returns the running mean.
+func (o *OnlineStats) Mean() float64 { return o.mean }
+
+// Variance returns the running population variance.
+func (o *OnlineStats) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (o *OnlineStats) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 when empty).
+func (o *OnlineStats) Max() float64 { return o.max }

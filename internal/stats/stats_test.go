@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if sd := StdDev(xs); sd != 2 {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || CV(nil) != 0 {
+		t.Error("empty slice statistics should be zero")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("singleton variance should be zero")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be zero")
+	}
+	if Median([]float64{7}) != 7 {
+		t.Error("singleton median should be the value")
+	}
+}
+
+func TestCV(t *testing.T) {
+	// Constant series: CV = 0.
+	if cv := CV([]float64{5, 5, 5}); cv != 0 {
+		t.Errorf("constant CV = %v, want 0", cv)
+	}
+	// Zero-mean with variance: +Inf.
+	if cv := CV([]float64{-1, 1}); !math.IsInf(cv, 1) {
+		t.Errorf("zero-mean CV = %v, want +Inf", cv)
+	}
+	// Known case: mean 5, sd 2 -> 0.4.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if cv := CV(xs); math.Abs(cv-0.4) > 1e-12 {
+		t.Errorf("CV = %v, want 0.4", cv)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {110, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotModifyInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	// Property: percentiles are monotone in p and bounded by min/max.
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return Percentile(xs, 0) == sorted[0] && Percentile(xs, 100) == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{0.1, 0.5, 1.0, 2.0}
+	if got := FractionBelow(xs, 1.0); got != 0.5 {
+		t.Errorf("FractionBelow = %v, want 0.5", got)
+	}
+	if got := FractionBelow(nil, 1); got != 0 {
+		t.Errorf("empty FractionBelow = %v, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(xs)
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("Summary count/min/max wrong: %+v", s)
+	}
+	if math.Abs(s.P50-50.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 50.5", s.P50)
+	}
+	if s.P99 < 98 || s.P99 > 100 {
+		t.Errorf("P99 = %v, out of range", s.P99)
+	}
+	if (Summary{}) != Summarize(nil) {
+		t.Error("empty Summarize should be zero value")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	cdf := CDF(xs)
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	if len(cdf) != len(want) {
+		t.Fatalf("CDF has %d points, want %d", len(cdf), len(want))
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Errorf("cdf[%d] = %+v, want %+v", i, cdf[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := CDFAt(xs, 2.5); got != 0.5 {
+		t.Errorf("CDFAt(2.5) = %v, want 0.5", got)
+	}
+	if got := CDFAt(xs, 0); got != 0 {
+		t.Errorf("CDFAt(0) = %v, want 0", got)
+	}
+	if got := CDFAt(xs, 10); got != 1 {
+		t.Errorf("CDFAt(10) = %v, want 1", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 0.5, 1.5, 2.5, 9.5, 100, -7}, 10, 0, 10)
+	if h.Total != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total)
+	}
+	// -7 clamps to bin 0, 100 clamps to bin 9.
+	if h.Counts[0] != 3 { // 0, 0.5, -7
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[9] != 2 { // 9.5, 100
+		t.Errorf("bin9 = %d, want 2", h.Counts[9])
+	}
+	if f := h.Fraction(0); math.Abs(f-3.0/7) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", f)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3}, 0, 5, 5) // nbins<=0 and min==max
+	if h.Total != 3 || len(h.Counts) != 1 || h.Counts[0] != 3 {
+		t.Errorf("degenerate histogram misbehaved: %+v", h)
+	}
+	var empty Histogram
+	empty.Counts = []int{0}
+	if empty.Fraction(0) != 0 {
+		t.Error("empty histogram Fraction should be 0")
+	}
+}
+
+func TestOnlineStatsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1000)
+	var o OnlineStats
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		o.Add(xs[i])
+	}
+	if o.Count() != 1000 {
+		t.Errorf("Count = %d", o.Count())
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("online mean %v != batch %v", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("online variance %v != batch %v", o.Variance(), Variance(xs))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if o.Min() != sorted[0] || o.Max() != sorted[len(sorted)-1] {
+		t.Error("online min/max mismatch")
+	}
+}
+
+func TestOnlineStatsEmpty(t *testing.T) {
+	var o OnlineStats
+	if o.Count() != 0 || o.Mean() != 0 || o.Variance() != 0 || o.Min() != 0 || o.Max() != 0 {
+		t.Error("zero-value OnlineStats should report zeros")
+	}
+}
+
+func BenchmarkSummarize10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}

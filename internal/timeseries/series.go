@@ -1,0 +1,236 @@
+// Package timeseries defines the fixed-interval series representation used
+// across FeMux, plus the transforms between raw invocation events and the
+// average-concurrency representation Knative (and hence FeMux, §4.3.1)
+// operates on, and the block slicing used for feature extraction (§4.3.2).
+package timeseries
+
+import (
+	"fmt"
+	"time"
+)
+
+// Series is a fixed-interval time series: Values[i] covers
+// [Start + i*Step, Start + (i+1)*Step). Start is an offset in the same unit
+// space as Step and is usually zero (trace-relative time).
+type Series struct {
+	Step   time.Duration
+	Values []float64
+}
+
+// New returns a Series with the given step and values.
+func New(step time.Duration, values []float64) Series {
+	return Series{Step: step, Values: values}
+}
+
+// Len returns the number of intervals.
+func (s Series) Len() int { return len(s.Values) }
+
+// Duration returns the total time the series covers.
+func (s Series) Duration() time.Duration {
+	return time.Duration(len(s.Values)) * s.Step
+}
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	return Series{Step: s.Step, Values: append([]float64(nil), s.Values...)}
+}
+
+// Window returns the last n values, or all values when fewer exist. The
+// returned slice aliases the series.
+func (s Series) Window(n int) []float64 {
+	if n >= len(s.Values) {
+		return s.Values
+	}
+	return s.Values[len(s.Values)-n:]
+}
+
+// Slice returns the sub-series covering intervals [from, to). It panics on
+// out-of-range indices, mirroring Go slice semantics.
+func (s Series) Slice(from, to int) Series {
+	return Series{Step: s.Step, Values: s.Values[from:to]}
+}
+
+// Resample aggregates the series to a coarser step, which must be an integer
+// multiple of the current step. Each output value is the mean of the inputs
+// it covers (mean preserves the average-concurrency semantics). A trailing
+// partial bucket is averaged over the intervals present.
+func (s Series) Resample(step time.Duration) (Series, error) {
+	if step == s.Step {
+		return s.Clone(), nil
+	}
+	if step <= 0 || s.Step <= 0 || step%s.Step != 0 {
+		return Series{}, fmt.Errorf("timeseries: cannot resample step %v to %v", s.Step, step)
+	}
+	factor := int(step / s.Step)
+	n := (len(s.Values) + factor - 1) / factor
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * factor
+		hi := lo + factor
+		if hi > len(s.Values) {
+			hi = len(s.Values)
+		}
+		var sum float64
+		for _, v := range s.Values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return Series{Step: step, Values: out}, nil
+}
+
+// Interval is a half-open time range [Start, End) used for request spans.
+type Interval struct {
+	Start time.Duration // offset from trace start
+	End   time.Duration
+}
+
+// AverageConcurrency converts request spans into the Knative
+// average-concurrency representation: for each step-sized bucket, the
+// integral of in-flight requests over the bucket divided by the bucket
+// length. Spans outside [0, n*step) are clipped. This is the exact quantity
+// Knative's autoscaler aggregates from queue-proxy metrics.
+func AverageConcurrency(spans []Interval, step time.Duration, n int) Series {
+	vals := make([]float64, n)
+	if step <= 0 || n == 0 {
+		return Series{Step: step, Values: vals}
+	}
+	total := time.Duration(n) * step
+	for _, sp := range spans {
+		start, end := sp.Start, sp.End
+		if end <= start || end <= 0 || start >= total {
+			continue
+		}
+		if start < 0 {
+			start = 0
+		}
+		if end > total {
+			end = total
+		}
+		first := int(start / step)
+		last := int((end - 1) / step)
+		for b := first; b <= last && b < n; b++ {
+			bStart := time.Duration(b) * step
+			bEnd := bStart + step
+			lo, hi := start, end
+			if lo < bStart {
+				lo = bStart
+			}
+			if hi > bEnd {
+				hi = bEnd
+			}
+			if hi > lo {
+				vals[b] += float64(hi-lo) / float64(step)
+			}
+		}
+	}
+	return Series{Step: step, Values: vals}
+}
+
+// CountsToConcurrency converts per-interval invocation counts plus a mean
+// execution duration into approximate average concurrency, assuming
+// invocations are uniformly distributed within each interval — the same
+// assumption the paper uses when transforming the Azure dataset
+// ("uniformly distribute invocations within each minute", §5.1).
+// Average concurrency over an interval is arrivalRate × execDuration
+// (Little's law) when executions fit in the interval; longer executions
+// spill into following intervals, which this transform also accounts for.
+func CountsToConcurrency(counts []float64, step, execDuration time.Duration) Series {
+	n := len(counts)
+	vals := make([]float64, n)
+	if step <= 0 {
+		return Series{Step: step, Values: vals}
+	}
+	d := float64(execDuration)
+	st := float64(step)
+	if d <= 0 {
+		return Series{Step: step, Values: vals}
+	}
+	for i, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		// Work contributed by interval i's arrivals is c*d request-time,
+		// spread from interval i onward. With uniform arrivals in [0, st),
+		// the request-time landing in interval i+k is c times the overlap
+		// of [x, x+d) with [k*st, (k+1)*st) averaged over x~U[0,st).
+		// We integrate exactly via the trapezoid geometry.
+		for k := 0; ; k++ {
+			overlap := uniformOverlap(d, st, k)
+			if overlap <= 0 {
+				break
+			}
+			if i+k < n {
+				vals[i+k] += c * overlap / st
+			}
+			if float64(k)*st > d+st {
+				break
+			}
+		}
+	}
+	return Series{Step: step, Values: vals}
+}
+
+// uniformOverlap returns E[len([x, x+d) ∩ [k*st, (k+1)*st))] for x uniform
+// on [0, st): the expected time a duration-d request started uniformly in
+// interval 0 spends inside interval k.
+func uniformOverlap(d, st float64, k int) float64 {
+	// For a start offset x in [0, st), overlap with [k*st,(k+1)*st) is
+	// max(0, min(x+d,(k+1)st) - max(x, k*st)). Integrate numerically-free:
+	// the integrand is piecewise linear in x, so sample endpoints of the
+	// breakpoint partition and use exact trapezoids.
+	a := float64(k) * st
+	b := a + st
+	f := func(x float64) float64 {
+		lo := x
+		if lo < a {
+			lo = a
+		}
+		hi := x + d
+		if hi > b {
+			hi = b
+		}
+		if hi <= lo {
+			return 0
+		}
+		return hi - lo
+	}
+	// Breakpoints where min/max switch: x = a, x = b, x = a-d, x = b-d,
+	// clipped to [0, st).
+	pts := []float64{0, st}
+	for _, p := range []float64{a, b, a - d, b - d} {
+		if p > 0 && p < st {
+			pts = append(pts, p)
+		}
+	}
+	// Sort the small point set.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j] < pts[j-1]; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	var integral float64
+	for i := 1; i < len(pts); i++ {
+		w := pts[i] - pts[i-1]
+		if w <= 0 {
+			continue
+		}
+		integral += w * (f(pts[i-1]) + f(pts[i])) / 2
+	}
+	return integral / st
+}
+
+// Blocks splits the series into consecutive blocks of blockLen intervals,
+// discarding a trailing partial block — FeMux only classifies completed
+// blocks (§4.3.2). The returned sub-series alias the original values.
+func (s Series) Blocks(blockLen int) []Series {
+	if blockLen <= 0 {
+		return nil
+	}
+	n := len(s.Values) / blockLen
+	out := make([]Series, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Slice(i*blockLen, (i+1)*blockLen))
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := New(time.Minute, []float64{1, 2, 3, 4})
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Duration() != 4*time.Minute {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("Clone did not copy values")
+	}
+	w := s.Window(2)
+	if len(w) != 2 || w[0] != 3 || w[1] != 4 {
+		t.Errorf("Window(2) = %v", w)
+	}
+	if len(s.Window(10)) != 4 {
+		t.Error("Window larger than series should return everything")
+	}
+	sub := s.Slice(1, 3)
+	if sub.Len() != 2 || sub.Values[0] != 2 {
+		t.Errorf("Slice = %v", sub.Values)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New(time.Second, []float64{1, 3, 5, 7, 9, 11})
+	r, err := s.Resample(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 10}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Errorf("Resample[%d] = %v, want %v", i, r.Values[i], want[i])
+		}
+	}
+	if r.Step != 2*time.Second {
+		t.Errorf("Step = %v", r.Step)
+	}
+}
+
+func TestResamplePartialTail(t *testing.T) {
+	s := New(time.Second, []float64{2, 4, 6, 8, 10})
+	r, err := s.Resample(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last bucket has a single value; mean over present intervals.
+	want := []float64{3, 7, 10}
+	if len(r.Values) != 3 {
+		t.Fatalf("len = %d", len(r.Values))
+	}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Errorf("Resample[%d] = %v, want %v", i, r.Values[i], want[i])
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	s := New(2*time.Second, []float64{1, 2})
+	if _, err := s.Resample(3 * time.Second); err == nil {
+		t.Error("expected error for non-multiple step")
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Error("expected error for zero step")
+	}
+	same, err := s.Resample(2 * time.Second)
+	if err != nil || same.Len() != 2 {
+		t.Error("identity resample should clone")
+	}
+}
+
+func TestAverageConcurrencySingleRequest(t *testing.T) {
+	// One request occupying exactly one interval: concurrency 1 there.
+	spans := []Interval{{Start: time.Minute, End: 2 * time.Minute}}
+	s := AverageConcurrency(spans, time.Minute, 3)
+	want := []float64{0, 1, 0}
+	for i := range want {
+		if math.Abs(s.Values[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, s.Values[i], want[i])
+		}
+	}
+}
+
+func TestAverageConcurrencyPartialOverlap(t *testing.T) {
+	// Request spans half of bucket 0 and half of bucket 1.
+	spans := []Interval{{Start: 30 * time.Second, End: 90 * time.Second}}
+	s := AverageConcurrency(spans, time.Minute, 2)
+	if math.Abs(s.Values[0]-0.5) > 1e-12 || math.Abs(s.Values[1]-0.5) > 1e-12 {
+		t.Errorf("values = %v, want [0.5 0.5]", s.Values)
+	}
+}
+
+func TestAverageConcurrencyOverlappingRequests(t *testing.T) {
+	spans := []Interval{
+		{Start: 0, End: time.Minute},
+		{Start: 0, End: time.Minute},
+		{Start: 0, End: 30 * time.Second},
+	}
+	s := AverageConcurrency(spans, time.Minute, 1)
+	if math.Abs(s.Values[0]-2.5) > 1e-12 {
+		t.Errorf("concurrency = %v, want 2.5", s.Values[0])
+	}
+}
+
+func TestAverageConcurrencyClipping(t *testing.T) {
+	spans := []Interval{
+		{Start: -time.Minute, End: 30 * time.Second},   // starts before trace
+		{Start: 90 * time.Second, End: time.Hour},      // runs past the horizon
+		{Start: 5 * time.Minute, End: 6 * time.Minute}, // fully outside
+		{Start: time.Minute, End: time.Minute},         // empty span
+	}
+	s := AverageConcurrency(spans, time.Minute, 2)
+	if math.Abs(s.Values[0]-0.5) > 1e-12 {
+		t.Errorf("bucket0 = %v, want 0.5", s.Values[0])
+	}
+	if math.Abs(s.Values[1]-0.5) > 1e-12 {
+		t.Errorf("bucket1 = %v, want 0.5", s.Values[1])
+	}
+}
+
+func TestAverageConcurrencyMassConservation(t *testing.T) {
+	// Property: total request-time inside the horizon equals
+	// sum(concurrency) * step.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 10
+		step := time.Minute
+		horizon := time.Duration(n) * step
+		spans := make([]Interval, 50)
+		var wantTotal time.Duration
+		for i := range spans {
+			st := time.Duration(rng.Int63n(int64(horizon)))
+			d := time.Duration(rng.Int63n(int64(3 * step)))
+			spans[i] = Interval{Start: st, End: st + d}
+			end := st + d
+			if end > horizon {
+				end = horizon
+			}
+			wantTotal += end - st
+		}
+		s := AverageConcurrency(spans, step, n)
+		var got float64
+		for _, v := range s.Values {
+			got += v * float64(step)
+		}
+		if math.Abs(got-float64(wantTotal)) > 1e-3*float64(wantTotal)+1 {
+			t.Fatalf("trial %d: mass %v != %v", trial, got, float64(wantTotal))
+		}
+	}
+}
+
+func TestCountsToConcurrencyLittlesLaw(t *testing.T) {
+	// Steady arrivals of c per minute with d=30s exec: steady-state
+	// concurrency is rate*duration = (c/60s)*30s = c/2.
+	counts := []float64{10, 10, 10, 10, 10}
+	s := CountsToConcurrency(counts, time.Minute, 30*time.Second)
+	// Middle buckets should be at steady state.
+	if math.Abs(s.Values[2]-5) > 1e-9 {
+		t.Errorf("steady concurrency = %v, want 5", s.Values[2])
+	}
+}
+
+func TestCountsToConcurrencySpillover(t *testing.T) {
+	// d = 90s: each request contributes to multiple buckets; total mass
+	// must be count*duration (ignoring the tail that falls off the end).
+	counts := []float64{4, 0, 0, 0, 0, 0}
+	s := CountsToConcurrency(counts, time.Minute, 90*time.Second)
+	var mass float64
+	for _, v := range s.Values {
+		mass += v * 60
+	}
+	want := 4 * 90.0
+	if math.Abs(mass-want) > 1e-6 {
+		t.Errorf("mass = %v, want %v", mass, want)
+	}
+	// Nothing before bucket 0, something in buckets 0..2, nothing after.
+	if s.Values[0] <= 0 || s.Values[1] <= 0 || s.Values[2] <= 0 {
+		t.Errorf("expected spillover into 3 buckets: %v", s.Values)
+	}
+	if s.Values[3] != 0 {
+		t.Errorf("bucket 3 should be empty: %v", s.Values)
+	}
+}
+
+func TestCountsToConcurrencyZeroCases(t *testing.T) {
+	s := CountsToConcurrency([]float64{5}, time.Minute, 0)
+	if s.Values[0] != 0 {
+		t.Error("zero duration should produce zero concurrency")
+	}
+	s = CountsToConcurrency([]float64{0, 0}, time.Minute, time.Second)
+	for _, v := range s.Values {
+		if v != 0 {
+			t.Error("zero counts should produce zero concurrency")
+		}
+	}
+}
+
+func TestCountsToConcurrencyMassProperty(t *testing.T) {
+	// Property: with a horizon long enough to absorb all spillover, total
+	// concurrency-mass equals sum(counts)*duration.
+	f := func(rawCounts []uint8, durSec uint8) bool {
+		if len(rawCounts) == 0 || len(rawCounts) > 30 || durSec == 0 {
+			return true
+		}
+		counts := make([]float64, len(rawCounts)+10)
+		var total float64
+		for i, c := range rawCounts {
+			counts[i] = float64(c % 50)
+			total += counts[i]
+		}
+		d := time.Duration(durSec%120+1) * time.Second
+		s := CountsToConcurrency(counts, time.Minute, d)
+		var mass float64
+		for _, v := range s.Values {
+			mass += v * 60
+		}
+		want := total * d.Seconds()
+		return math.Abs(mass-want) <= 1e-6*want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	s := New(time.Minute, make([]float64, 10))
+	for i := range s.Values {
+		s.Values[i] = float64(i)
+	}
+	bs := s.Blocks(3)
+	if len(bs) != 3 {
+		t.Fatalf("got %d blocks, want 3 (trailing partial discarded)", len(bs))
+	}
+	if bs[1].Values[0] != 3 || bs[2].Values[2] != 8 {
+		t.Errorf("block contents wrong: %v %v", bs[1].Values, bs[2].Values)
+	}
+	if s.Blocks(0) != nil {
+		t.Error("blockLen 0 should return nil")
+	}
+	if got := s.Blocks(20); len(got) != 0 {
+		t.Errorf("oversized block should return empty, got %d", len(got))
+	}
+}
+
+func BenchmarkAverageConcurrency(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	spans := make([]Interval, 10000)
+	for i := range spans {
+		st := time.Duration(rng.Int63n(int64(time.Hour)))
+		spans[i] = Interval{Start: st, End: st + time.Duration(rng.Int63n(int64(5*time.Second)))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AverageConcurrency(spans, time.Minute, 60)
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Configuration marginals from §3.4. Each sampler reproduces the published
+// shares of workloads at, below, and above the platform defaults.
+
+// SampleCPU draws a vCPU allocation: 50.8% at the 1-vCPU default, 44.8%
+// below it, 4.4% above (up to 8 vCPUs).
+func SampleCPU(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.508:
+		return 1
+	case u < 0.508+0.448:
+		// Sub-vCPU fractions offered by the platform.
+		opts := []float64{0.125, 0.25, 0.5, 0.75}
+		return opts[rng.Intn(len(opts))]
+	default:
+		opts := []float64{2, 4, 6, 8}
+		return opts[rng.Intn(len(opts))]
+	}
+}
+
+// SampleMemoryGB draws a memory allocation: 41.9% at the 4-GB default,
+// 53.6% below, 4.5% above (up to 48 GB).
+func SampleMemoryGB(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.419:
+		return 4
+	case u < 0.419+0.536:
+		opts := []float64{0.25, 0.5, 1, 2, 3}
+		return opts[rng.Intn(len(opts))]
+	default:
+		opts := []float64{8, 16, 32, 48}
+		return opts[rng.Intn(len(opts))]
+	}
+}
+
+// SampleMinScale draws a minimum pod count: 41.2% at the 0 default, 53.8%
+// at exactly one, 4.9% above one.
+func SampleMinScale(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < 0.412:
+		return 0
+	case u < 0.412+0.538:
+		return 1
+	default:
+		return 2 + rng.Intn(4) // 2..5
+	}
+}
+
+// SampleConcurrency draws a container concurrency limit: 93.3% at the
+// Knative default of 100, 3.2% above (up to 1000), the rest below
+// (including 1, the FaaS-style setting).
+func SampleConcurrency(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < 0.933:
+		return 100
+	case u < 0.933+0.032:
+		opts := []int{200, 250, 500, 1000}
+		return opts[rng.Intn(len(opts))]
+	default:
+		opts := []int{1, 5, 10, 50}
+		return opts[rng.Intn(len(opts))]
+	}
+}
+
+// SampleColdStart draws a cold-start duration. Most images are standard
+// runtimes starting in under ~2 s, but custom containers produce the long
+// tail the paper reports (p99 delays over 10 s, extremes above 400 s, §3.3).
+// The mixture: 85% lognormal around the 0.8 s provider average, 12% heavy
+// custom images (seconds to tens of seconds), 3% extreme (up to ~400 s).
+func SampleColdStart(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	var sec float64
+	switch {
+	case u < 0.85:
+		sec = lognormal(rng, math.Log(0.8), 0.35)
+	case u < 0.97:
+		sec = lognormal(rng, math.Log(6), 0.8)
+	default:
+		sec = lognormal(rng, math.Log(60), 0.9)
+	}
+	if sec < 0.05 {
+		sec = 0.05
+	}
+	if sec > 420 {
+		sec = 420
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// SampleKind draws a workload kind with the platform mix from §2.1:
+// 75% applications, 15% batch jobs, 10% functions.
+func SampleKind(rng *rand.Rand) WorkloadKind {
+	u := rng.Float64()
+	switch {
+	case u < 0.75:
+		return KindApplication
+	case u < 0.90:
+		return KindBatchJob
+	default:
+		return KindFunction
+	}
+}
+
+// SampleConfig draws a complete workload configuration consistent with the
+// §3.4 marginals. Functions always run single-concurrency on standard
+// images (fast cold starts); batch jobs keep the application defaults.
+func SampleConfig(rng *rand.Rand, kind WorkloadKind) Config {
+	c := Config{
+		CPU:         SampleCPU(rng),
+		MemoryGB:    SampleMemoryGB(rng),
+		Concurrency: SampleConcurrency(rng),
+		MinScale:    SampleMinScale(rng),
+		ColdStart:   SampleColdStart(rng),
+	}
+	if kind == KindFunction {
+		c.Concurrency = 1
+		c.ColdStart = time.Duration(lognormal(rng, math.Log(0.6), 0.4) * float64(time.Second))
+	}
+	return c
+}
+
+// ExecModel draws per-invocation execution durations for one app. Durations
+// are lognormal with large within-app dispersion, matching Fig 4: the
+// median app has ~10 ms mean executions yet ~800 ms p99.
+type ExecModel struct {
+	Mu    float64 // log-scale location
+	Sigma float64 // log-scale dispersion
+	Floor time.Duration
+	Cap   time.Duration
+}
+
+// NewExecModel draws an app-level execution model. meanHint biases the
+// app's central duration (seconds); pass <= 0 to sample it from the dataset
+// distribution (82% of apps sub-second mean, §3.2).
+func NewExecModel(rng *rand.Rand, meanHint float64) ExecModel {
+	median := meanHint
+	if median <= 0 {
+		// App medians span ~1 ms .. ~30 s, with 82% of means sub-second.
+		u := rng.Float64()
+		switch {
+		case u < 0.55:
+			median = lognormal(rng, math.Log(0.010), 1.0) // ~10 ms class
+		case u < 0.82:
+			median = lognormal(rng, math.Log(0.150), 0.7) // ~150 ms class
+		case u < 0.96:
+			median = lognormal(rng, math.Log(2.0), 0.6) // seconds class
+		default:
+			median = lognormal(rng, math.Log(20), 0.5) // long-running class
+		}
+	}
+	// Dispersion: sigma ~ 1.4-2.2 gives p99/median ratios of 25-170x,
+	// bracketing the paper's ~80x median ratio.
+	sigma := 1.4 + rng.Float64()*0.8
+	return ExecModel{
+		Mu:    math.Log(median),
+		Sigma: sigma,
+		Floor: time.Millisecond,
+		Cap:   10 * time.Minute,
+	}
+}
+
+// Draw samples one execution duration.
+func (m ExecModel) Draw(rng *rand.Rand) time.Duration {
+	sec := lognormal(rng, m.Mu, m.Sigma)
+	d := time.Duration(sec * float64(time.Second))
+	if d < m.Floor {
+		d = m.Floor
+	}
+	if d > m.Cap {
+		d = m.Cap
+	}
+	return d
+}
+
+// lognormal draws exp(N(mu, sigma^2)).
+func lognormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}

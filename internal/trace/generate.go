@@ -1,0 +1,343 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// IBMGenConfig parameterizes synthesis of an IBM-shape dataset: millisecond
+// invocation events with full per-app configurations over a multi-week
+// horizon. Defaults are laptop-scale; the production trace's 1,283 apps over
+// 62 days are reached by raising Apps and Days.
+type IBMGenConfig struct {
+	Seed         int64
+	Apps         int
+	Days         float64
+	TrafficScale float64 // multiplies every pattern's rate (default 1)
+}
+
+// DefaultIBMConfig returns a laptop-scale configuration.
+func DefaultIBMConfig() IBMGenConfig {
+	return IBMGenConfig{Seed: 1, Apps: 120, Days: 2, TrafficScale: 1}
+}
+
+// patternSpec couples a sampling weight with a pattern factory. The weights
+// are calibrated so the generated dataset reproduces §3.2's IAT statistics:
+// >94% of invocations sub-second IAT, ~46% of workloads with sub-second
+// median IAT, ~86% sub-minute, ~96% with CV > 1.
+type patternSpec struct {
+	weight float64
+	make   func(rng *rand.Rand, mod *RateModulator) Pattern
+}
+
+func ibmPatternMix() []patternSpec {
+	return []patternSpec{
+		{0.08, func(rng *rand.Rand, mod *RateModulator) Pattern { // heavy hitters: most of the volume
+			return PoissonPattern{Rate: 2 + rng.Float64()*8, Modulator: mod}
+		}},
+		{0.30, func(rng *rand.Rand, mod *RateModulator) Pattern { // bursty on/off
+			return OnOffPattern{
+				OnRate:    1 + rng.Float64()*5,
+				MeanOn:    time.Duration(20+rng.Intn(120)) * time.Second,
+				MeanOff:   time.Duration(2+rng.Intn(20)) * time.Minute,
+				Modulator: mod,
+			}
+		}},
+		{0.10, func(rng *rand.Rand, mod *RateModulator) Pattern { // steady medium traffic
+			return PoissonPattern{Rate: 0.05 + rng.Float64()*0.9, Modulator: mod}
+		}},
+		{0.22, func(rng *rand.Rand, _ *RateModulator) Pattern { // timers
+			periods := []time.Duration{30 * time.Second, time.Minute, 5 * time.Minute, 10 * time.Minute}
+			return PeriodicPattern{
+				Period:     periods[rng.Intn(len(periods))],
+				Burst:      1 + rng.Intn(3),
+				JitterFrac: 0.02,
+			}
+		}},
+		{0.20, func(rng *rand.Rand, _ *RateModulator) Pattern { // low-traffic apps
+			return PoissonPattern{Rate: 1 / (60 + rng.Float64()*540)} // one per 1-10 min
+		}},
+		{0.05, func(rng *rand.Rand, _ *RateModulator) Pattern { // spiky
+			return SpikePattern{
+				BaseRate:   0.02,
+				SpikeEvery: time.Duration(1+rng.Intn(4)) * time.Hour,
+				SpikeLen:   time.Duration(1+rng.Intn(5)) * time.Minute,
+				SpikeRate:  5 + rng.Float64()*20,
+			}
+		}},
+		{0.05, func(rng *rand.Rand, _ *RateModulator) Pattern { // growing adoption
+			start := 0.01 + rng.Float64()*0.1
+			return TrendPattern{StartRate: start, EndRate: start * (3 + rng.Float64()*5)}
+		}},
+	}
+}
+
+// GenerateIBM synthesizes an IBM-shape dataset.
+func GenerateIBM(cfg IBMGenConfig) *Dataset {
+	if cfg.Apps <= 0 {
+		cfg.Apps = DefaultIBMConfig().Apps
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = DefaultIBMConfig().Days
+	}
+	if cfg.TrafficScale <= 0 {
+		cfg.TrafficScale = 1
+	}
+	horizon := time.Duration(cfg.Days * 24 * float64(time.Hour))
+	mix := ibmPatternMix()
+	mod := DefaultModulator()
+
+	d := &Dataset{Name: "ibm-synthetic", Horizon: horizon, Apps: make([]*App, 0, cfg.Apps)}
+	for i := 0; i < cfg.Apps; i++ {
+		// Per-app RNG keeps apps independent of each other and of Apps
+		// count changes.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		spec := pickPattern(rng, mix)
+		pat := spec.make(rng, &mod)
+		if sc := cfg.TrafficScale; sc != 1 {
+			pat = scalePattern(pat, sc)
+		}
+		kind := SampleKind(rng)
+		app := &App{
+			Name:    fmt.Sprintf("app-%04d", i),
+			Kind:    kind,
+			Config:  SampleConfig(rng, kind),
+			Pattern: pat.Name(),
+		}
+		arrivals := pat.Arrivals(rng, horizon)
+		em := NewExecModel(rng, 0)
+		app.Invocations = make([]Invocation, len(arrivals))
+		for j, at := range arrivals {
+			app.Invocations[j] = Invocation{Arrival: at, Duration: em.Draw(rng)}
+		}
+		d.Apps = append(d.Apps, app)
+	}
+	return d
+}
+
+func pickPattern(rng *rand.Rand, mix []patternSpec) patternSpec {
+	var total float64
+	for _, s := range mix {
+		total += s.weight
+	}
+	u := rng.Float64() * total
+	for _, s := range mix {
+		u -= s.weight
+		if u <= 0 {
+			return s
+		}
+	}
+	return mix[len(mix)-1]
+}
+
+// scalePattern multiplies a pattern's traffic volume by sc where the pattern
+// supports it.
+func scalePattern(p Pattern, sc float64) Pattern {
+	switch v := p.(type) {
+	case PoissonPattern:
+		v.Rate *= sc
+		return v
+	case OnOffPattern:
+		v.OnRate *= sc
+		return v
+	case TrendPattern:
+		v.StartRate *= sc
+		v.EndRate *= sc
+		return v
+	case SpikePattern:
+		v.BaseRate *= sc
+		v.SpikeRate *= sc
+		return v
+	case PeriodicPattern:
+		b := int(math.Round(float64(v.Burst) * sc))
+		if b < 1 {
+			b = 1
+		}
+		v.Burst = b
+		return v
+	default:
+		return p
+	}
+}
+
+// AzureApp is one application in an Azure-2019-shape dataset: per-minute
+// invocation counts, a daily average execution time, and app-level memory —
+// exactly the fields that dataset publishes.
+type AzureApp struct {
+	Name            string
+	CountsPerMinute []float64
+	AvgExecSec      float64
+	MemoryGB        float64
+	Class           VolumeClass
+}
+
+// TotalInvocations sums the per-minute counts.
+func (a *AzureApp) TotalInvocations() float64 {
+	var s float64
+	for _, c := range a.CountsPerMinute {
+		s += c
+	}
+	return s
+}
+
+// VolumeClass is the popularity classification used in §4.2.2 / Fig 8.
+type VolumeClass int
+
+const (
+	VolumeLow  VolumeClass = iota // lowest invocation-count tier
+	VolumeMid                     // middle tier
+	VolumeHigh                    // highest tier
+)
+
+// String returns the class name.
+func (v VolumeClass) String() string {
+	switch v {
+	case VolumeLow:
+		return "low"
+	case VolumeMid:
+		return "mid"
+	default:
+		return "high"
+	}
+}
+
+// AzureDataset is an Azure-2019-shape dataset.
+type AzureDataset struct {
+	Days int
+	Apps []*AzureApp
+}
+
+// Minutes returns the series length.
+func (d *AzureDataset) Minutes() int { return d.Days * 24 * 60 }
+
+// AzureGenConfig parameterizes Azure-shape synthesis. ClassShares splits
+// apps across low/mid/high volume tiers (the paper samples subtraces at
+// three traffic levels).
+type AzureGenConfig struct {
+	Seed        int64
+	Apps        int
+	Days        int
+	ClassShares [3]float64 // low, mid, high; normalized internally
+}
+
+// DefaultAzureConfig returns a laptop-scale configuration.
+func DefaultAzureConfig() AzureGenConfig {
+	return AzureGenConfig{Seed: 2, Apps: 150, Days: 12, ClassShares: [3]float64{0.5, 0.35, 0.15}}
+}
+
+// GenerateAzure synthesizes an Azure-2019-shape dataset: counts per minute
+// plus daily-average execution time and app memory. Arrival streams reuse
+// the same generative patterns as the IBM dataset, bucketed to minutes.
+func GenerateAzure(cfg AzureGenConfig) *AzureDataset {
+	def := DefaultAzureConfig()
+	if cfg.Apps <= 0 {
+		cfg.Apps = def.Apps
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = def.Days
+	}
+	shares := cfg.ClassShares
+	sum := shares[0] + shares[1] + shares[2]
+	if sum <= 0 {
+		shares = def.ClassShares
+		sum = 1
+	}
+	horizon := time.Duration(cfg.Days) * 24 * time.Hour
+	minutes := cfg.Days * 24 * 60
+	mod := DefaultModulator()
+
+	d := &AzureDataset{Days: cfg.Days, Apps: make([]*AzureApp, 0, cfg.Apps)}
+	for i := 0; i < cfg.Apps; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729))
+		u := rng.Float64() * sum
+		var class VolumeClass
+		switch {
+		case u < shares[0]:
+			class = VolumeLow
+		case u < shares[0]+shares[1]:
+			class = VolumeMid
+		default:
+			class = VolumeHigh
+		}
+		pat := azurePattern(rng, class, &mod)
+		arrivals := pat.Arrivals(rng, horizon)
+		counts := make([]float64, minutes)
+		for _, at := range arrivals {
+			m := int(at / time.Minute)
+			if m >= 0 && m < minutes {
+				counts[m]++
+			}
+		}
+		// Daily-average execution time (the only duration statistic the
+		// Azure dataset publishes) and median-consumption-style memory.
+		exec := lognormal(rng, math.Log(0.3), 1.2)
+		if exec < 0.005 {
+			exec = 0.005
+		}
+		if exec > 60 {
+			exec = 60
+		}
+		mem := lognormal(rng, math.Log(0.15), 0.8) // median ~150 MB (§4.1)
+		if mem < 0.03 {
+			mem = 0.03
+		}
+		if mem > 4 {
+			mem = 4
+		}
+		d.Apps = append(d.Apps, &AzureApp{
+			Name:            fmt.Sprintf("azure-%05d", i),
+			CountsPerMinute: counts,
+			AvgExecSec:      exec,
+			MemoryGB:        mem,
+			Class:           class,
+		})
+	}
+	return d
+}
+
+// azurePattern picks a generating pattern appropriate to the volume class.
+func azurePattern(rng *rand.Rand, class VolumeClass, mod *RateModulator) Pattern {
+	switch class {
+	case VolumeHigh:
+		if rng.Float64() < 0.5 {
+			return PoissonPattern{Rate: 3 + rng.Float64()*12, Modulator: mod}
+		}
+		return OnOffPattern{
+			OnRate:    8 + rng.Float64()*25,
+			MeanOn:    time.Duration(5+rng.Intn(30)) * time.Minute,
+			MeanOff:   time.Duration(5+rng.Intn(15)) * time.Minute,
+			Modulator: mod,
+		}
+	case VolumeMid:
+		switch rng.Intn(3) {
+		case 0:
+			return PoissonPattern{Rate: 0.02 + rng.Float64()*0.2, Modulator: mod}
+		case 1:
+			// Cron-style batch workloads: tall bursts every few minutes —
+			// the minute-scale periodicity FFT exploits and reactive or
+			// autoregressive policies cannot anticipate.
+			return PeriodicPattern{
+				Period:     time.Duration(5+rng.Intn(56)) * time.Minute,
+				Burst:      20 + rng.Intn(80),
+				JitterFrac: 0.02,
+			}
+		default:
+			return OnOffPattern{
+				OnRate:  0.5 + rng.Float64(),
+				MeanOn:  time.Duration(1+rng.Intn(10)) * time.Minute,
+				MeanOff: time.Duration(10+rng.Intn(60)) * time.Minute,
+			}
+		}
+	default:
+		if rng.Float64() < 0.5 {
+			return PoissonPattern{Rate: 1 / (300 + rng.Float64()*3300)}
+		}
+		return PeriodicPattern{
+			Period:     time.Duration(15+rng.Intn(90)) * time.Minute,
+			Burst:      1,
+			JitterFrac: 0.1,
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallIBM() *Dataset {
+	return GenerateIBM(IBMGenConfig{Seed: 42, Apps: 60, Days: 0.5, TrafficScale: 1})
+}
+
+func TestGenerateIBMDeterministic(t *testing.T) {
+	a := smallIBM()
+	b := smallIBM()
+	if a.TotalInvocations() != b.TotalInvocations() {
+		t.Fatalf("non-deterministic generation: %d vs %d", a.TotalInvocations(), b.TotalInvocations())
+	}
+	for i := range a.Apps {
+		if a.Apps[i].Config != b.Apps[i].Config {
+			t.Fatalf("app %d config differs", i)
+		}
+		if len(a.Apps[i].Invocations) != len(b.Apps[i].Invocations) {
+			t.Fatalf("app %d invocation count differs", i)
+		}
+	}
+}
+
+func TestGenerateIBMAppsIndependentOfCount(t *testing.T) {
+	// Adding apps must not change existing apps' traces (per-app RNG).
+	small := GenerateIBM(IBMGenConfig{Seed: 9, Apps: 10, Days: 0.25, TrafficScale: 1})
+	large := GenerateIBM(IBMGenConfig{Seed: 9, Apps: 20, Days: 0.25, TrafficScale: 1})
+	for i := 0; i < 10; i++ {
+		if len(small.Apps[i].Invocations) != len(large.Apps[i].Invocations) {
+			t.Fatalf("app %d changed when dataset grew", i)
+		}
+	}
+}
+
+func TestGenerateIBMShape(t *testing.T) {
+	d := smallIBM()
+	if len(d.Apps) != 60 {
+		t.Fatalf("apps = %d", len(d.Apps))
+	}
+	if d.TotalInvocations() < 1000 {
+		t.Fatalf("suspiciously few invocations: %d", d.TotalInvocations())
+	}
+	// All arrivals in range and sorted; durations positive.
+	for _, a := range d.Apps {
+		for i, inv := range a.Invocations {
+			if inv.Arrival < 0 || inv.Arrival >= d.Horizon {
+				t.Fatalf("%s invocation %d out of range: %v", a.Name, i, inv.Arrival)
+			}
+			if inv.Duration <= 0 {
+				t.Fatalf("%s invocation %d non-positive duration", a.Name, i)
+			}
+			if i > 0 && inv.Arrival < a.Invocations[i-1].Arrival {
+				t.Fatalf("%s invocations unsorted at %d", a.Name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateIBMMatchesPublishedIATStats(t *testing.T) {
+	// The headline characterization claims (§3.2), at tolerance: most
+	// invocation-level IATs sub-second, most workloads with sub-minute
+	// median IAT, and the vast majority of workloads with CV > 1.
+	d := GenerateIBM(IBMGenConfig{Seed: 7, Apps: 150, Days: 1, TrafficScale: 1})
+	var subSecond, total int
+	var medianSubMinute, cvAbove1, appsWithTraffic int
+	for _, a := range d.Apps {
+		iats := a.IATs()
+		if len(iats) < 5 {
+			continue
+		}
+		appsWithTraffic++
+		sorted := append([]float64(nil), iats...)
+		// count invocation-level
+		for _, v := range iats {
+			total++
+			if v < 1 {
+				subSecond++
+			}
+		}
+		// median
+		med := quickMedian(sorted)
+		if med < 60 {
+			medianSubMinute++
+		}
+		mean, sd := meanStd(iats)
+		if mean > 0 && sd/mean > 1 {
+			cvAbove1++
+		}
+	}
+	if appsWithTraffic < 100 {
+		t.Fatalf("only %d apps with traffic", appsWithTraffic)
+	}
+	if frac := float64(subSecond) / float64(total); frac < 0.85 {
+		t.Errorf("sub-second IAT fraction = %v, want >= 0.85 (paper: 0.945)", frac)
+	}
+	if frac := float64(medianSubMinute) / float64(appsWithTraffic); frac < 0.70 {
+		t.Errorf("sub-minute median IAT workloads = %v, want >= 0.70 (paper: 0.86)", frac)
+	}
+	if frac := float64(cvAbove1) / float64(appsWithTraffic); frac < 0.80 {
+		t.Errorf("CV>1 workloads = %v, want >= 0.80 (paper: 0.96)", frac)
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// simple selection
+	n := len(cp)
+	for i := 0; i <= n/2; i++ {
+		min := i
+		for j := i + 1; j < n; j++ {
+			if cp[j] < cp[min] {
+				min = j
+			}
+		}
+		cp[i], cp[min] = cp[min], cp[i]
+	}
+	return cp[n/2]
+}
+
+func TestConfigMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 20000
+	var cpuDefault, memDefault, minScaleGE1, concDefault int
+	for i := 0; i < n; i++ {
+		if SampleCPU(rng) == 1 {
+			cpuDefault++
+		}
+		if SampleMemoryGB(rng) == 4 {
+			memDefault++
+		}
+		if SampleMinScale(rng) >= 1 {
+			minScaleGE1++
+		}
+		if SampleConcurrency(rng) == 100 {
+			concDefault++
+		}
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"cpu default", float64(cpuDefault) / float64(n), 0.508},
+		{"memory default", float64(memDefault) / float64(n), 0.419},
+		{"min scale >= 1", float64(minScaleGE1) / float64(n), 0.588},
+		{"concurrency default", float64(concDefault) / float64(n), 0.933},
+	}
+	for _, c := range checks {
+		if c.got < c.want-0.02 || c.got > c.want+0.02 {
+			t.Errorf("%s share = %v, want %v +- 0.02", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSampleColdStartDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 20000
+	var under2s, over10s int
+	for i := 0; i < n; i++ {
+		cs := SampleColdStart(rng)
+		if cs <= 0 || cs > 420*time.Second {
+			t.Fatalf("cold start out of range: %v", cs)
+		}
+		if cs < 2*time.Second {
+			under2s++
+		}
+		if cs > 10*time.Second {
+			over10s++
+		}
+	}
+	if frac := float64(under2s) / float64(n); frac < 0.75 {
+		t.Errorf("under-2s cold starts = %v, want most", frac)
+	}
+	if frac := float64(over10s) / float64(n); frac < 0.02 || frac > 0.15 {
+		t.Errorf("over-10s cold starts = %v, want a 2-15%% tail", frac)
+	}
+}
+
+func TestSampleKindMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	counts := map[WorkloadKind]int{}
+	n := 10000
+	for i := 0; i < n; i++ {
+		counts[SampleKind(rng)]++
+	}
+	if f := float64(counts[KindApplication]) / float64(n); f < 0.72 || f > 0.78 {
+		t.Errorf("application share = %v, want ~0.75", f)
+	}
+	if f := float64(counts[KindFunction]) / float64(n); f < 0.07 || f > 0.13 {
+		t.Errorf("function share = %v, want ~0.10", f)
+	}
+}
+
+func TestFunctionConfigsAreSingleConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for i := 0; i < 200; i++ {
+		c := SampleConfig(rng, KindFunction)
+		if c.Concurrency != 1 {
+			t.Fatalf("function concurrency = %d, want 1", c.Concurrency)
+		}
+	}
+}
+
+func TestExecModelVariability(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := NewExecModel(rng, 0.010)
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = m.Draw(rng).Seconds()
+	}
+	med := quickMedian(vals)
+	p99 := quickPercentile(vals, 0.99)
+	if p99/med < 10 {
+		t.Errorf("p99/median = %v, want heavy within-app dispersion (>10x)", p99/med)
+	}
+	for _, v := range vals {
+		if v < 0.001 || v > 600 {
+			t.Fatalf("duration %v outside floor/cap", v)
+		}
+	}
+}
+
+func quickPercentile(xs []float64, p float64) float64 {
+	cp := append([]float64(nil), xs...)
+	n := len(cp)
+	k := int(p * float64(n-1))
+	for i := 0; i <= k; i++ {
+		min := i
+		for j := i + 1; j < n; j++ {
+			if cp[j] < cp[min] {
+				min = j
+			}
+		}
+		cp[i], cp[min] = cp[min], cp[i]
+	}
+	return cp[k]
+}
+
+func TestGenerateAzureShape(t *testing.T) {
+	d := GenerateAzure(AzureGenConfig{Seed: 3, Apps: 60, Days: 2})
+	if len(d.Apps) != 60 {
+		t.Fatalf("apps = %d", len(d.Apps))
+	}
+	if d.Minutes() != 2*24*60 {
+		t.Fatalf("minutes = %d", d.Minutes())
+	}
+	classCounts := map[VolumeClass]int{}
+	for _, a := range d.Apps {
+		if len(a.CountsPerMinute) != d.Minutes() {
+			t.Fatalf("%s counts length %d", a.Name, len(a.CountsPerMinute))
+		}
+		if a.AvgExecSec <= 0 || a.MemoryGB <= 0 {
+			t.Fatalf("%s has non-positive exec/memory", a.Name)
+		}
+		classCounts[a.Class]++
+	}
+	if classCounts[VolumeLow] == 0 || classCounts[VolumeMid] == 0 || classCounts[VolumeHigh] == 0 {
+		t.Errorf("all volume classes should be populated: %v", classCounts)
+	}
+	// High-volume apps should out-invoke low-volume apps on average.
+	var lowSum, highSum, lowN, highN float64
+	for _, a := range d.Apps {
+		switch a.Class {
+		case VolumeLow:
+			lowSum += a.TotalInvocations()
+			lowN++
+		case VolumeHigh:
+			highSum += a.TotalInvocations()
+			highN++
+		}
+	}
+	if highSum/highN <= lowSum/lowN {
+		t.Errorf("high class mean %v should exceed low class mean %v", highSum/highN, lowSum/lowN)
+	}
+}
+
+func TestGenerateAzureDeterministic(t *testing.T) {
+	a := GenerateAzure(AzureGenConfig{Seed: 4, Apps: 10, Days: 1})
+	b := GenerateAzure(AzureGenConfig{Seed: 4, Apps: 10, Days: 1})
+	for i := range a.Apps {
+		if a.Apps[i].TotalInvocations() != b.Apps[i].TotalInvocations() {
+			t.Fatalf("app %d differs across runs", i)
+		}
+	}
+}
+
+func TestScalePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	base := PoissonPattern{Rate: 1}
+	scaled := scalePattern(base, 3).(PoissonPattern)
+	if scaled.Rate != 3 {
+		t.Errorf("scaled rate = %v", scaled.Rate)
+	}
+	per := scalePattern(PeriodicPattern{Period: time.Minute, Burst: 2}, 2.4).(PeriodicPattern)
+	if per.Burst != 5 {
+		t.Errorf("scaled burst = %d, want 5", per.Burst)
+	}
+	perMin := scalePattern(PeriodicPattern{Period: time.Minute, Burst: 1}, 0.1).(PeriodicPattern)
+	if perMin.Burst != 1 {
+		t.Errorf("burst floor = %d, want 1", perMin.Burst)
+	}
+	_ = rng
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := GenerateIBM(IBMGenConfig{Seed: 5, Apps: 8, Days: 0.1, TrafficScale: 1})
+	var apps, invs bytes.Buffer
+	if err := WriteApps(&apps, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInvocations(&invs, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(bytes.NewReader(apps.Bytes()), bytes.NewReader(invs.Bytes()), d.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Apps) != len(d.Apps) {
+		t.Fatalf("apps = %d, want %d", len(got.Apps), len(d.Apps))
+	}
+	for i, a := range d.Apps {
+		g := got.Apps[i]
+		if g.Name != a.Name || g.Kind != a.Kind || g.Pattern != a.Pattern {
+			t.Fatalf("app %d metadata mismatch", i)
+		}
+		if g.Config.Concurrency != a.Config.Concurrency || g.Config.MinScale != a.Config.MinScale {
+			t.Fatalf("app %d config mismatch", i)
+		}
+		if len(g.Invocations) != len(a.Invocations) {
+			t.Fatalf("app %d invocations %d want %d", i, len(g.Invocations), len(a.Invocations))
+		}
+		for j := range a.Invocations {
+			da := a.Invocations[j].Arrival - g.Invocations[j].Arrival
+			if da < -time.Microsecond || da > time.Microsecond {
+				t.Fatalf("app %d inv %d arrival drift %v", i, j, da)
+			}
+		}
+	}
+}
+
+func TestReadDatasetErrors(t *testing.T) {
+	okApps := "name,kind,pattern,cpu,memory_gb,concurrency,min_scale,cold_start_ms\napp-0,application,poisson,1,4,100,0,800\n"
+	okInvs := "app,arrival_ms,duration_ms\napp-0,100.5,30\n"
+	cases := []struct {
+		name string
+		apps string
+		invs string
+	}{
+		{"bad kind", strings.Replace(okApps, "application", "mystery", 1), okInvs},
+		{"unknown app", okApps, "app,arrival_ms,duration_ms\nghost,1,1\n"},
+		{"bad arrival", okApps, "app,arrival_ms,duration_ms\napp-0,xyz,1\n"},
+		{"bad cpu", strings.Replace(okApps, ",1,4,", ",one,4,", 1), okInvs},
+		{"empty apps", "", okInvs},
+	}
+	for _, c := range cases {
+		_, err := ReadDataset(strings.NewReader(c.apps), strings.NewReader(c.invs), time.Hour)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Valid input parses.
+	d, err := ReadDataset(strings.NewReader(okApps), strings.NewReader(okInvs), time.Hour)
+	if err != nil {
+		t.Fatalf("valid input failed: %v", err)
+	}
+	if len(d.Apps) != 1 || len(d.Apps[0].Invocations) != 1 {
+		t.Fatal("valid input parsed incorrectly")
+	}
+	if d.Apps[0].Invocations[0].Arrival != 100500*time.Microsecond {
+		t.Errorf("arrival = %v", d.Apps[0].Invocations[0].Arrival)
+	}
+}
+
+func BenchmarkGenerateIBMSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateIBM(IBMGenConfig{Seed: 1, Apps: 30, Days: 0.25, TrafficScale: 1})
+	}
+}

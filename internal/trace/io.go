@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// The on-disk format mirrors the published dataset layout: one CSV of
+// per-app configuration metadata and one CSV of invocation records with
+// millisecond-resolution arrival times.
+
+// WriteApps writes the configuration table.
+// Columns: name, kind, pattern, cpu, memory_gb, concurrency, min_scale,
+// cold_start_ms.
+func WriteApps(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "kind", "pattern", "cpu", "memory_gb", "concurrency", "min_scale", "cold_start_ms"}); err != nil {
+		return err
+	}
+	for _, a := range d.Apps {
+		rec := []string{
+			a.Name,
+			a.Kind.String(),
+			a.Pattern,
+			strconv.FormatFloat(a.Config.CPU, 'g', -1, 64),
+			strconv.FormatFloat(a.Config.MemoryGB, 'g', -1, 64),
+			strconv.Itoa(a.Config.Concurrency),
+			strconv.Itoa(a.Config.MinScale),
+			strconv.FormatFloat(float64(a.Config.ColdStart)/float64(time.Millisecond), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteInvocations writes the invocation table.
+// Columns: app, arrival_ms, duration_ms.
+func WriteInvocations(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "arrival_ms", "duration_ms"}); err != nil {
+		return err
+	}
+	for _, a := range d.Apps {
+		for _, inv := range a.Invocations {
+			rec := []string{
+				a.Name,
+				strconv.FormatFloat(float64(inv.Arrival)/float64(time.Millisecond), 'f', 3, 64),
+				strconv.FormatFloat(float64(inv.Duration)/float64(time.Millisecond), 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDataset reconstructs a Dataset from the two CSV tables.
+func ReadDataset(apps, invocations io.Reader, horizon time.Duration) (*Dataset, error) {
+	d := &Dataset{Name: "loaded", Horizon: horizon}
+	byName := map[string]*App{}
+
+	ar := csv.NewReader(apps)
+	header, err := ar.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading apps header: %w", err)
+	}
+	if len(header) != 8 {
+		return nil, fmt.Errorf("trace: apps header has %d columns, want 8", len(header))
+	}
+	for {
+		rec, err := ar.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading apps: %w", err)
+		}
+		app, err := parseAppRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		byName[app.Name] = app
+		d.Apps = append(d.Apps, app)
+	}
+
+	ir := csv.NewReader(invocations)
+	if _, err := ir.Read(); err != nil {
+		return nil, fmt.Errorf("trace: reading invocations header: %w", err)
+	}
+	for {
+		rec, err := ir.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading invocations: %w", err)
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("trace: invocation row has %d columns, want 3", len(rec))
+		}
+		app, ok := byName[rec[0]]
+		if !ok {
+			return nil, fmt.Errorf("trace: invocation references unknown app %q", rec[0])
+		}
+		arrMS, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad arrival %q: %w", rec[1], err)
+		}
+		durMS, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad duration %q: %w", rec[2], err)
+		}
+		app.Invocations = append(app.Invocations, Invocation{
+			Arrival:  time.Duration(arrMS * float64(time.Millisecond)),
+			Duration: time.Duration(durMS * float64(time.Millisecond)),
+		})
+	}
+	for _, a := range d.Apps {
+		a.SortInvocations()
+	}
+	return d, nil
+}
+
+func parseAppRecord(rec []string) (*App, error) {
+	if len(rec) != 8 {
+		return nil, fmt.Errorf("trace: app row has %d columns, want 8", len(rec))
+	}
+	var kind WorkloadKind
+	switch rec[1] {
+	case "application":
+		kind = KindApplication
+	case "batch":
+		kind = KindBatchJob
+	case "function":
+		kind = KindFunction
+	default:
+		return nil, fmt.Errorf("trace: unknown kind %q", rec[1])
+	}
+	cpu, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad cpu %q: %w", rec[3], err)
+	}
+	mem, err := strconv.ParseFloat(rec[4], 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad memory %q: %w", rec[4], err)
+	}
+	conc, err := strconv.Atoi(rec[5])
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad concurrency %q: %w", rec[5], err)
+	}
+	minScale, err := strconv.Atoi(rec[6])
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad min_scale %q: %w", rec[6], err)
+	}
+	csMS, err := strconv.ParseFloat(rec[7], 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad cold_start_ms %q: %w", rec[7], err)
+	}
+	return &App{
+		Name:    rec[0],
+		Kind:    kind,
+		Pattern: rec[2],
+		Config: Config{
+			CPU:         cpu,
+			MemoryGB:    mem,
+			Concurrency: conc,
+			MinScale:    minScale,
+			ColdStart:   time.Duration(csMS * float64(time.Millisecond)),
+		},
+	}, nil
+}

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Pattern generates arrival offsets over [0, horizon). Implementations must
+// return ascending offsets and be deterministic given the rng.
+type Pattern interface {
+	Name() string
+	Arrivals(rng *rand.Rand, horizon time.Duration) []time.Duration
+}
+
+// RateModulator scales a base arrival rate over time, producing the diurnal,
+// weekly, and seasonal structure visible in Fig 1: weekday peak-to-trough
+// ~60% of peak, weekend ~40%, plus a slow seasonal ramp.
+type RateModulator struct {
+	DailyDepth    float64 // fraction of peak removed at the daily trough (0..1)
+	WeekendFactor float64 // multiplier applied on days 5 and 6
+	SeasonalRamp  float64 // total fractional growth across the horizon
+	PeakHour      float64 // hour of day with maximum traffic
+}
+
+// DefaultModulator returns the modulation fitted to Fig 1's description.
+func DefaultModulator() RateModulator {
+	return RateModulator{DailyDepth: 0.6, WeekendFactor: 0.62, SeasonalRamp: 0.25, PeakHour: 14}
+}
+
+// Factor returns the rate multiplier at time t within a trace of the given
+// horizon. It is always positive and at most ~1+SeasonalRamp.
+func (m RateModulator) Factor(t, horizon time.Duration) float64 {
+	hours := t.Hours()
+	day := int(hours/24) % 7
+	hourOfDay := math.Mod(hours, 24)
+	// Daily sinusoid peaking at PeakHour, scaled so the trough sits at
+	// (1 - depth) of the peak. Weekends are both lower (WeekendFactor) and
+	// flatter (shallower depth): Fig 1 reports a ~60% weekday span but
+	// only ~40% on weekends.
+	depth := m.DailyDepth
+	if day >= 5 {
+		depth *= 0.62
+	}
+	phase := 2 * math.Pi * (hourOfDay - m.PeakHour) / 24
+	daily := 1 - depth/2 + depth/2*math.Cos(phase)
+	f := daily
+	if day >= 5 {
+		f *= m.WeekendFactor
+	}
+	if horizon > 0 && m.SeasonalRamp != 0 {
+		f *= 1 + m.SeasonalRamp*float64(t)/float64(horizon)
+	}
+	if f < 1e-6 {
+		f = 1e-6
+	}
+	return f
+}
+
+// PoissonPattern produces homogeneous Poisson arrivals at Rate per second,
+// optionally modulated.
+type PoissonPattern struct {
+	Rate      float64 // mean arrivals per second at modulation factor 1
+	Modulator *RateModulator
+}
+
+// Name implements Pattern.
+func (p PoissonPattern) Name() string { return "poisson" }
+
+// Arrivals implements Pattern via thinning when a modulator is present.
+func (p PoissonPattern) Arrivals(rng *rand.Rand, horizon time.Duration) []time.Duration {
+	if p.Rate <= 0 || horizon <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	if p.Modulator == nil {
+		t := time.Duration(0)
+		for {
+			gap := time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+			t += gap
+			if t >= horizon {
+				return out
+			}
+			out = append(out, t)
+		}
+	}
+	// Thinning against the maximum modulation factor.
+	maxF := 1 + math.Max(0, p.Modulator.SeasonalRamp)
+	lambdaMax := p.Rate * maxF
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / lambdaMax * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		if rng.Float64() < p.Modulator.Factor(t, horizon)/maxF {
+			out = append(out, t)
+		}
+	}
+}
+
+// PeriodicPattern produces timer-like traffic: a burst of Burst arrivals
+// every Period, jittered by JitterFrac of the period. This is the dominant
+// pattern for timer-triggered workloads (63% of Huawei workloads are
+// timer-based; our platform sees many too).
+type PeriodicPattern struct {
+	Period     time.Duration
+	Burst      int
+	JitterFrac float64
+}
+
+// Name implements Pattern.
+func (p PeriodicPattern) Name() string { return "periodic" }
+
+// Arrivals implements Pattern.
+func (p PeriodicPattern) Arrivals(rng *rand.Rand, horizon time.Duration) []time.Duration {
+	if p.Period <= 0 || p.Burst <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	for base := p.Period; base < horizon; base += p.Period {
+		jitter := time.Duration((rng.Float64()*2 - 1) * p.JitterFrac * float64(p.Period))
+		for b := 0; b < p.Burst; b++ {
+			at := base + jitter + time.Duration(b)*time.Millisecond
+			if at >= 0 && at < horizon {
+				out = append(out, at)
+			}
+		}
+	}
+	sortDurations(out)
+	return out
+}
+
+// OnOffPattern alternates exponentially-distributed busy periods (Poisson at
+// OnRate) and idle periods — the bursty, high-CV traffic that dominates the
+// dataset (96% of workloads have CV > 1, §3.2).
+type OnOffPattern struct {
+	OnRate    float64       // arrivals per second while on
+	MeanOn    time.Duration // mean busy-period length
+	MeanOff   time.Duration // mean idle-period length
+	Modulator *RateModulator
+}
+
+// Name implements Pattern.
+func (p OnOffPattern) Name() string { return "onoff" }
+
+// Arrivals implements Pattern.
+func (p OnOffPattern) Arrivals(rng *rand.Rand, horizon time.Duration) []time.Duration {
+	if p.OnRate <= 0 || p.MeanOn <= 0 || p.MeanOff < 0 {
+		return nil
+	}
+	var out []time.Duration
+	t := time.Duration(rng.ExpFloat64() * float64(p.MeanOff))
+	for t < horizon {
+		onLen := time.Duration(rng.ExpFloat64() * float64(p.MeanOn))
+		end := t + onLen
+		if end > horizon {
+			end = horizon
+		}
+		rate := p.OnRate
+		if p.Modulator != nil {
+			rate *= p.Modulator.Factor(t, horizon)
+		}
+		for cur := t; cur < end; {
+			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+			cur += gap
+			if cur < end {
+				out = append(out, cur)
+			}
+		}
+		t = end + time.Duration(rng.ExpFloat64()*float64(p.MeanOff))
+	}
+	return out
+}
+
+// TrendPattern produces Poisson arrivals whose rate grows linearly from
+// StartRate to EndRate across the horizon (workload B in Fig 16).
+type TrendPattern struct {
+	StartRate float64
+	EndRate   float64
+}
+
+// Name implements Pattern.
+func (p TrendPattern) Name() string { return "trend" }
+
+// Arrivals implements Pattern via thinning.
+func (p TrendPattern) Arrivals(rng *rand.Rand, horizon time.Duration) []time.Duration {
+	maxRate := math.Max(p.StartRate, p.EndRate)
+	if maxRate <= 0 || horizon <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / maxRate * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		frac := float64(t) / float64(horizon)
+		rate := p.StartRate + (p.EndRate-p.StartRate)*frac
+		if rng.Float64() < rate/maxRate {
+			out = append(out, t)
+		}
+	}
+}
+
+// SpikePattern layers rare, tall spikes over a low Poisson baseline —
+// the "several hourly peaks" behaviour of workload B in Fig 16.
+type SpikePattern struct {
+	BaseRate   float64       // background arrivals per second
+	SpikeEvery time.Duration // mean time between spikes
+	SpikeLen   time.Duration // spike duration
+	SpikeRate  float64       // arrivals per second during a spike
+}
+
+// Name implements Pattern.
+func (p SpikePattern) Name() string { return "spike" }
+
+// Arrivals implements Pattern.
+func (p SpikePattern) Arrivals(rng *rand.Rand, horizon time.Duration) []time.Duration {
+	base := PoissonPattern{Rate: p.BaseRate}
+	out := base.Arrivals(rng, horizon)
+	if p.SpikeEvery <= 0 || p.SpikeRate <= 0 || p.SpikeLen <= 0 {
+		sortDurations(out)
+		return out
+	}
+	t := time.Duration(rng.ExpFloat64() * float64(p.SpikeEvery))
+	for t < horizon {
+		end := t + p.SpikeLen
+		if end > horizon {
+			end = horizon
+		}
+		for cur := t; cur < end; {
+			gap := time.Duration(rng.ExpFloat64() / p.SpikeRate * float64(time.Second))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+			cur += gap
+			if cur < end {
+				out = append(out, cur)
+			}
+		}
+		t = end + time.Duration(rng.ExpFloat64()*float64(p.SpikeEvery))
+	}
+	sortDurations(out)
+	return out
+}
+
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func assertAscending(t *testing.T, ds []time.Duration, horizon time.Duration) {
+	t.Helper()
+	for i := range ds {
+		if ds[i] < 0 || ds[i] >= horizon {
+			t.Fatalf("arrival %d = %v outside [0,%v)", i, ds[i], horizon)
+		}
+		if i > 0 && ds[i] < ds[i-1] {
+			t.Fatalf("arrivals not ascending at %d: %v < %v", i, ds[i], ds[i-1])
+		}
+	}
+}
+
+func TestPoissonPatternRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := PoissonPattern{Rate: 2}
+	horizon := 2 * time.Hour
+	got := p.Arrivals(rng, horizon)
+	assertAscending(t, got, horizon)
+	want := 2 * horizon.Seconds()
+	if math.Abs(float64(len(got))-want) > 4*math.Sqrt(want) {
+		t.Errorf("count = %d, want ~%v", len(got), want)
+	}
+}
+
+func TestPoissonPatternModulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mod := DefaultModulator()
+	p := PoissonPattern{Rate: 1, Modulator: &mod}
+	horizon := 14 * 24 * time.Hour
+	got := p.Arrivals(rng, horizon)
+	assertAscending(t, got, horizon)
+	// Weekday traffic must exceed weekend traffic per-day.
+	var weekday, weekend int
+	var weekdayDays, weekendDays float64
+	for _, at := range got {
+		if int(at.Hours()/24)%7 >= 5 {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	weekdayDays, weekendDays = 10, 4
+	if float64(weekday)/weekdayDays <= float64(weekend)/weekendDays {
+		t.Errorf("weekday rate %v should exceed weekend rate %v",
+			float64(weekday)/weekdayDays, float64(weekend)/weekendDays)
+	}
+}
+
+func TestPoissonPatternDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if got := (PoissonPattern{Rate: 0}).Arrivals(rng, time.Hour); got != nil {
+		t.Error("zero rate should produce no arrivals")
+	}
+	if got := (PoissonPattern{Rate: 1}).Arrivals(rng, 0); got != nil {
+		t.Error("zero horizon should produce no arrivals")
+	}
+}
+
+func TestRateModulatorProperties(t *testing.T) {
+	mod := DefaultModulator()
+	horizon := 62 * 24 * time.Hour
+	// Factor is always positive.
+	for h := 0; h < 62*24; h += 3 {
+		f := mod.Factor(time.Duration(h)*time.Hour, horizon)
+		if f <= 0 {
+			t.Fatalf("factor at hour %d is %v", h, f)
+		}
+	}
+	// Peak hour beats trough hour on the same weekday.
+	peak := mod.Factor(14*time.Hour, horizon)  // day 0, 14:00
+	trough := mod.Factor(2*time.Hour, horizon) // day 0, 02:00
+	if peak <= trough {
+		t.Errorf("peak %v should exceed trough %v", peak, trough)
+	}
+	// Trough-to-peak ratio ~ (1 - DailyDepth) = 0.4 for weekdays.
+	ratio := trough / peak
+	if math.Abs(ratio-0.4) > 0.05 {
+		t.Errorf("weekday trough/peak = %v, want ~0.4", ratio)
+	}
+	// Seasonal ramp: same clock time late in the trace is busier.
+	early := mod.Factor(14*time.Hour, horizon)
+	late := mod.Factor(56*24*time.Hour+14*time.Hour, horizon)
+	if late <= early {
+		t.Errorf("seasonal ramp missing: late %v <= early %v", late, early)
+	}
+}
+
+func TestPeriodicPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := PeriodicPattern{Period: time.Minute, Burst: 2, JitterFrac: 0.01}
+	horizon := time.Hour
+	got := p.Arrivals(rng, horizon)
+	assertAscending(t, got, horizon)
+	// 59 interior periods x 2 per burst.
+	if len(got) != 118 {
+		t.Errorf("count = %d, want 118", len(got))
+	}
+	if (PeriodicPattern{Period: 0, Burst: 1}).Arrivals(rng, horizon) != nil {
+		t.Error("zero period should be empty")
+	}
+}
+
+func TestOnOffPatternBurstiness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := OnOffPattern{OnRate: 5, MeanOn: 30 * time.Second, MeanOff: 10 * time.Minute}
+	horizon := 12 * time.Hour
+	got := p.Arrivals(rng, horizon)
+	assertAscending(t, got, horizon)
+	if len(got) < 50 {
+		t.Fatalf("too few arrivals to assess burstiness: %d", len(got))
+	}
+	// CV of IATs must exceed 1 (the defining property of the bursty class).
+	iats := make([]float64, 0, len(got)-1)
+	for i := 1; i < len(got); i++ {
+		iats = append(iats, (got[i] - got[i-1]).Seconds())
+	}
+	mean, sd := meanStd(iats)
+	if sd/mean <= 1 {
+		t.Errorf("on/off CV = %v, want > 1", sd/mean)
+	}
+}
+
+func TestTrendPatternGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := TrendPattern{StartRate: 0.05, EndRate: 1.0}
+	horizon := 24 * time.Hour
+	got := p.Arrivals(rng, horizon)
+	assertAscending(t, got, horizon)
+	var firstHalf, secondHalf int
+	for _, at := range got {
+		if at < horizon/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if secondHalf <= firstHalf {
+		t.Errorf("trend pattern should grow: first=%d second=%d", firstHalf, secondHalf)
+	}
+}
+
+func TestSpikePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := SpikePattern{BaseRate: 0.01, SpikeEvery: time.Hour, SpikeLen: time.Minute, SpikeRate: 50}
+	horizon := 12 * time.Hour
+	got := p.Arrivals(rng, horizon)
+	assertAscending(t, got, horizon)
+	// Expect far more than the baseline-only count (~432).
+	baseline := 0.01 * horizon.Seconds()
+	if float64(len(got)) < 3*baseline {
+		t.Errorf("spikes missing: %d arrivals vs baseline %v", len(got), baseline)
+	}
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	return mean, sd
+}

@@ -1,0 +1,125 @@
+// Package trace models serverless workload traces: millisecond-resolution
+// invocation events, per-application resource configurations, and seeded
+// synthetic generators whose outputs reproduce the distributions published
+// in the paper's characterization (§3) for the IBM dataset and in prior work
+// for the Azure 2019 dataset.
+//
+// The production traces themselves are not redistributable at this scale, so
+// every experiment in this repository consumes synthetic datasets generated
+// here. The generators are parameterized by the published marginals — IAT
+// CDFs, execution-time CDFs, configuration shares (§3.4), diurnal and weekly
+// seasonality (Fig 1) — which are exactly the statistics the downstream
+// systems are sensitive to.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// WorkloadKind labels the three workload types the platform runs (§2.1):
+// ~75% applications, ~15% batch jobs, ~10% functions.
+type WorkloadKind int
+
+const (
+	KindApplication WorkloadKind = iota
+	KindBatchJob
+	KindFunction
+)
+
+// String returns the kind name.
+func (k WorkloadKind) String() string {
+	switch k {
+	case KindApplication:
+		return "application"
+	case KindBatchJob:
+		return "batch"
+	case KindFunction:
+		return "function"
+	default:
+		return "unknown"
+	}
+}
+
+// Config is the user-visible resource configuration of one workload,
+// mirroring the knobs characterized in §3.4.
+type Config struct {
+	CPU         float64       // vCPUs (default 1)
+	MemoryGB    float64       // memory allocation (default 4 GB)
+	Concurrency int           // container concurrency limit (default 100; functions use 1)
+	MinScale    int           // minimum pod count (default 0)
+	ColdStart   time.Duration // image-dependent cold start duration
+}
+
+// DefaultConfig returns the platform defaults described in §3.4.
+func DefaultConfig() Config {
+	return Config{
+		CPU:         1,
+		MemoryGB:    4,
+		Concurrency: 100,
+		MinScale:    0,
+		ColdStart:   808 * time.Millisecond, // provider-weighted average (§4.1)
+	}
+}
+
+// Invocation is one request: when it arrived (offset from trace start) and
+// how long its execution ran. Queueing and cold-start delay are added by the
+// platform (simulator or Knative emulation), not recorded in the trace.
+type Invocation struct {
+	Arrival  time.Duration
+	Duration time.Duration
+}
+
+// App is one workload's trace: its configuration and its invocation stream,
+// sorted by arrival time.
+type App struct {
+	Name        string
+	Kind        WorkloadKind
+	Config      Config
+	Pattern     string // generating pattern name, for diagnostics
+	Invocations []Invocation
+}
+
+// IATs returns the inter-arrival times of the app's invocations in seconds.
+func (a *App) IATs() []float64 {
+	if len(a.Invocations) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(a.Invocations)-1)
+	for i := 1; i < len(a.Invocations); i++ {
+		out = append(out, (a.Invocations[i].Arrival - a.Invocations[i-1].Arrival).Seconds())
+	}
+	return out
+}
+
+// Durations returns the execution durations in seconds.
+func (a *App) Durations() []float64 {
+	out := make([]float64, len(a.Invocations))
+	for i, inv := range a.Invocations {
+		out[i] = inv.Duration.Seconds()
+	}
+	return out
+}
+
+// SortInvocations orders the invocation stream by arrival time.
+func (a *App) SortInvocations() {
+	sort.Slice(a.Invocations, func(i, j int) bool {
+		return a.Invocations[i].Arrival < a.Invocations[j].Arrival
+	})
+}
+
+// Dataset is a full trace: many apps over a common horizon.
+type Dataset struct {
+	Name    string
+	Horizon time.Duration
+	Apps    []*App
+}
+
+// TotalInvocations returns the invocation count across all apps.
+func (d *Dataset) TotalInvocations() int {
+	n := 0
+	for _, a := range d.Apps {
+		n += len(a.Invocations)
+	}
+	return n
+}
