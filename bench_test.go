@@ -7,6 +7,7 @@ package femuxbench
 // DESIGN.md experiment index maps each benchmark to its paper counterpart.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -378,4 +379,29 @@ func BenchmarkPolicyZoo(b *testing.B) {
 		b.ReportMetric(fm.RUM, "femux-rum")
 	}
 	b.ReportMetric(r.Best().RUM, "best-rum")
+}
+
+// BenchmarkTrainWorkers measures the offline-training speedup from the
+// parallel sweep engine (internal/parallel) at several worker counts.
+// Run on a multi-core host to regenerate the EXPERIMENTS.md speedup
+// table; on a single core all sub-benchmarks collapse to serial time.
+// Output is bit-identical across worker counts (asserted by
+// TestTrainWorkerEquivalence in internal/femux), so this measures pure
+// wall-clock, not a quality trade-off.
+func BenchmarkTrainWorkers(b *testing.B) {
+	fixtures(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := femux.DefaultConfig(rum.Default())
+			cfg.BlockSize = 144
+			cfg.Window = 120
+			cfg.K = 6
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := femux.Train(azureTrain, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -24,13 +24,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("femux-sim: ")
 	var (
-		apps = flag.Int("apps", 48, "number of applications")
-		days = flag.Float64("days", 2, "trace length in days")
-		seed = flag.Int64("seed", 1, "generation seed")
-		exp  = flag.String("exp", "all", "experiment: c1, fig8, fig9, fig11-faascache, fig11-icebreaker, fig11-aquatope, fig12, s513, fig17, fig18, blocksize, classifiers, all")
+		apps    = flag.Int("apps", 48, "number of applications")
+		days    = flag.Float64("days", 2, "trace length in days")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		workers = flag.Int("workers", 0, "worker goroutines for training and sweeps (0 = one per CPU)")
+		exp     = flag.String("exp", "all", "experiment: c1, fig8, fig9, fig11-faascache, fig11-icebreaker, fig11-aquatope, fig12, s513, fig17, fig18, blocksize, classifiers, all")
 	)
 	flag.Parse()
 
+	experiments.SetWorkers(*workers)
 	scale := experiments.Scale{Seed: *seed, Apps: *apps, Days: *days}
 	all := experiments.AzureFleet(scale)
 	train, test := experiments.SplitTrainTest(all, *seed+100)

@@ -31,11 +31,13 @@ func main() {
 		replay    = flag.Int("replay", 12, "apps replayed through the emulation")
 		hours     = flag.Float64("hours", 3, "replay horizon in hours")
 		seed      = flag.Int64("seed", 1, "generation seed")
+		workers   = flag.Int("workers", 0, "worker goroutines for training and sweeps (0 = one per CPU)")
 		scaleOnly = flag.Bool("scalability-only", false, "skip the prototype replay")
 		svcApps   = flag.String("svc-apps", "10,50,200", "comma-separated app counts for the HTTP scalability study")
 	)
 	flag.Parse()
 
+	experiments.SetWorkers(*workers)
 	scale := experiments.Scale{Seed: *seed, Apps: *apps, Days: 2}
 	all := experiments.AzureFleet(scale)
 	train, test := experiments.SplitTrainTest(all, *seed+100)
@@ -44,6 +46,7 @@ func main() {
 	cfg.BlockSize = 144
 	cfg.Window = 120
 	cfg.K = 6
+	cfg.Workers = *workers
 	model, err := femux.Train(train, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -29,6 +29,7 @@ func main() {
 		apps    = flag.Int("apps", 120, "number of applications")
 		days    = flag.Float64("days", 2, "trace length in days")
 		seed    = flag.Int64("seed", 1, "generation seed")
+		workers = flag.Int("workers", 0, "worker goroutines for per-app synthesis (0 = one per CPU; output is seed-determined, not worker-determined)")
 		out     = flag.String("out", ".", "output directory")
 	)
 	flag.Parse()
@@ -38,11 +39,11 @@ func main() {
 	}
 	switch *dataset {
 	case "ibm":
-		if err := writeIBM(*out, *apps, *days, *seed); err != nil {
+		if err := writeIBM(*out, *apps, *days, *seed, *workers); err != nil {
 			log.Fatal(err)
 		}
 	case "azure":
-		if err := writeAzure(*out, *apps, int(*days), *seed); err != nil {
+		if err := writeAzure(*out, *apps, int(*days), *seed, *workers); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -50,8 +51,8 @@ func main() {
 	}
 }
 
-func writeIBM(dir string, apps int, days float64, seed int64) error {
-	d := trace.GenerateIBM(trace.IBMGenConfig{Seed: seed, Apps: apps, Days: days, TrafficScale: 1})
+func writeIBM(dir string, apps int, days float64, seed int64, workers int) error {
+	d := trace.GenerateIBM(trace.IBMGenConfig{Seed: seed, Apps: apps, Days: days, TrafficScale: 1, Workers: workers})
 	appsF, err := os.Create(filepath.Join(dir, "ibm_apps.csv"))
 	if err != nil {
 		return err
@@ -73,8 +74,8 @@ func writeIBM(dir string, apps int, days float64, seed int64) error {
 	return nil
 }
 
-func writeAzure(dir string, apps, days int, seed int64) error {
-	d := trace.GenerateAzure(trace.AzureGenConfig{Seed: seed, Apps: apps, Days: days})
+func writeAzure(dir string, apps, days int, seed int64, workers int) error {
+	d := trace.GenerateAzure(trace.AzureGenConfig{Seed: seed, Apps: apps, Days: days, Workers: workers})
 	f, err := os.Create(filepath.Join(dir, "azure_counts.csv"))
 	if err != nil {
 		return err

@@ -17,7 +17,7 @@ import (
 // IBMDataset generates the IBM-shape dataset used by the characterization
 // experiments.
 func IBMDataset(s Scale) *trace.Dataset {
-	return trace.GenerateIBM(trace.IBMGenConfig{Seed: s.Seed, Apps: s.Apps, Days: s.Days, TrafficScale: 1})
+	return trace.GenerateIBM(trace.IBMGenConfig{Seed: s.Seed, Apps: s.Apps, Days: s.Days, TrafficScale: 1, Workers: sweepWorkers})
 }
 
 // Table1Result summarizes the synthetic dataset against the published

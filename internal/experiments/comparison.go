@@ -7,6 +7,7 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/baselines"
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
 )
@@ -81,9 +82,12 @@ func Fig11FaasCache(train, test []femux.TrainApp, cacheSizes []float64) (Fig11Fa
 		}
 	}
 	res.CacheSizes = cacheSizes
-	for _, size := range cacheSizes {
-		samples := baselines.SimulateFaasCache(appTraces, memGB, baselines.DefaultFaasCacheConfig(size))
-		o := outcomeOf(samples, metric)
+	// Cache sizes are independent sweep points (Fig 11-Left's x-axis).
+	outcomes := parallel.Map(parallel.Workers(sweepWorkers), len(cacheSizes), func(i int) VariantOutcome {
+		samples := baselines.SimulateFaasCache(appTraces, memGB, baselines.DefaultFaasCacheConfig(cacheSizes[i]))
+		return outcomeOf(samples, metric)
+	})
+	for _, o := range outcomes {
 		res.FCColdStarts = append(res.FCColdStarts, o.ColdStarts)
 		res.FCWastedGBs = append(res.FCWastedGBs, o.WastedGBs)
 		res.FCRUM = append(res.FCRUM, o.RUM)
@@ -182,9 +186,13 @@ func Fig11IceBreaker(train, test []femux.TrainApp) (Fig11IceBreakerResult, error
 }
 
 // evalPolicy runs a fixed sim.Policy over apps with per-app overrides.
+// Apps are independent simulations, fanned out under cfg.Workers; every
+// policy in this repository is a stateless value, so one instance safely
+// serves all goroutines.
 func evalPolicy(p sim.Policy, apps []femux.TrainApp, cfg femux.Config) []rum.Sample {
 	out := make([]rum.Sample, len(apps))
-	for i, app := range apps {
+	parallel.ForEach(parallel.Workers(cfg.Workers), len(apps), func(i int) {
+		app := apps[i]
 		simCfg := cfg.Sim
 		if app.MemoryGB > 0 {
 			simCfg.MemoryGB = app.MemoryGB
@@ -199,7 +207,7 @@ func evalPolicy(p sim.Policy, apps []femux.TrainApp, cfg femux.Config) []rum.Sam
 			Invocations: app.Invocations,
 			ExecSec:     app.ExecSec,
 		}, p, simCfg, false).Sample
-	}
+	})
 	return out
 }
 
@@ -240,56 +248,50 @@ func Fig11Aquatope(train, test []femux.TrainApp, lstmEpochs int) (Fig11AquatopeR
 	kaSamples := evalPolicy(baselines.KeepAlive10Min(1), test, cfg)
 	kaAlloc := rum.Sum(kaSamples).AllocatedGBSec
 
+	// The paper's 7-of-12-days split: each app is evaluated on its suffix.
+	evalSuffix := func(app femux.TrainApp) femux.TrainApp {
+		split := app.Demand.Len() * 7 / 12
+		return femux.TrainApp{
+			Demand:      app.Demand.Slice(split, app.Demand.Len()),
+			Invocations: tailFloats(app.Invocations, split),
+			ExecSec:     app.ExecSec,
+			MemoryGB:    app.MemoryGB,
+		}
+	}
+	workers := parallel.Workers(sweepWorkers)
+
 	// Aquatope: train one LSTM per app on its prefix, evaluate on the rest.
+	// Per-app training runs are independent (per-app seeds), the dominant
+	// cost of this comparison.
 	aqSamples := make([]rum.Sample, len(test))
-	var aqTrainTotal time.Duration
-	for i, app := range test {
+	aqTrainTimes := make([]time.Duration, len(test))
+	parallel.ForEach(workers, len(test), func(i int) {
+		app := test[i]
 		split := app.Demand.Len() * 7 / 12
 		aqCfg := baselines.DefaultAquatopeConfig()
 		aqCfg.Epochs = lstmEpochs
 		aqCfg.Seed = int64(i + 1)
 		fc := baselines.TrainAquatope(app.Demand.Values[:split], aqCfg)
-		aqTrainTotal += fc.TrainTime
-		simCfg := cfg.Sim
-		if app.MemoryGB > 0 {
-			simCfg.MemoryGB = app.MemoryGB
-		}
-		simCfg.UnitConcurrency = 1
-		evalApp := femux.TrainApp{
-			Demand:      app.Demand.Slice(split, app.Demand.Len()),
-			Invocations: tailFloats(app.Invocations, split),
-			ExecSec:     app.ExecSec,
-			MemoryGB:    app.MemoryGB,
-		}
-		aqSamples[i] = evalPolicy(sim.ForecastPolicy{Forecaster: fc, Horizon: 1}, []femux.TrainApp{evalApp}, cfg)[0]
+		aqTrainTimes[i] = fc.TrainTime
+		aqSamples[i] = evalPolicy(sim.ForecastPolicy{Forecaster: fc, Horizon: 1}, []femux.TrainApp{evalSuffix(app)}, cfg)[0]
+	})
+	var aqTrainTotal time.Duration
+	for _, d := range aqTrainTimes {
+		aqTrainTotal += d
 	}
 	res.AquatopeTrain = aqTrainTotal
 
 	// FeMux over the same evaluation suffixes.
 	fmSamples := make([]rum.Sample, len(test))
-	for i, app := range test {
-		split := app.Demand.Len() * 7 / 12
-		evalApp := femux.TrainApp{
-			Demand:      app.Demand.Slice(split, app.Demand.Len()),
-			Invocations: tailFloats(app.Invocations, split),
-			ExecSec:     app.ExecSec,
-			MemoryGB:    app.MemoryGB,
-		}
-		fmSamples[i] = femux.Evaluate(model, []femux.TrainApp{evalApp}).Samples[0]
-	}
+	parallel.ForEach(workers, len(test), func(i int) {
+		fmSamples[i] = femux.Evaluate(model, []femux.TrainApp{evalSuffix(test[i])}).Samples[0]
+	})
 
 	// KA baseline over the same suffixes for the allocation ratio.
 	kaSuffix := make([]rum.Sample, len(test))
-	for i, app := range test {
-		split := app.Demand.Len() * 7 / 12
-		evalApp := femux.TrainApp{
-			Demand:      app.Demand.Slice(split, app.Demand.Len()),
-			Invocations: tailFloats(app.Invocations, split),
-			ExecSec:     app.ExecSec,
-			MemoryGB:    app.MemoryGB,
-		}
-		kaSuffix[i] = evalPolicy(baselines.KeepAlive10Min(1), []femux.TrainApp{evalApp}, cfg)[0]
-	}
+	parallel.ForEach(workers, len(test), func(i int) {
+		kaSuffix[i] = evalPolicy(baselines.KeepAlive10Min(1), []femux.TrainApp{evalSuffix(test[i])}, cfg)[0]
+	})
 	kaAlloc = rum.Sum(kaSuffix).AllocatedGBSec
 
 	aqAgg, fmAgg := rum.Sum(aqSamples), rum.Sum(fmSamples)

@@ -19,6 +19,16 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
 
+// sweepWorkers bounds the goroutines used by experiment sweeps and by the
+// femux configs they construct (0 = one per CPU). It is a process-wide
+// knob set once at CLI startup (femux-sim/knative-emu -workers); results
+// are bit-identical for any value because every sweep writes results by
+// index and reduces serially.
+var sweepWorkers int
+
+// SetWorkers sets the sweep worker bound (0 = one per CPU).
+func SetWorkers(n int) { sweepWorkers = n }
+
 // Scale bounds an experiment's workload size.
 type Scale struct {
 	Seed int64
@@ -35,9 +45,10 @@ func DefaultScale() Scale { return Scale{Seed: 1, Apps: 60, Days: 2} }
 // app-level memory (§5.1's transformation).
 func AzureFleet(s Scale) []femux.TrainApp {
 	ds := trace.GenerateAzure(trace.AzureGenConfig{
-		Seed: s.Seed,
-		Apps: s.Apps,
-		Days: int(s.Days + 0.5),
+		Seed:    s.Seed,
+		Apps:    s.Apps,
+		Days:    int(s.Days + 0.5),
+		Workers: sweepWorkers,
 	})
 	return AzureToTrainApps(ds)
 }

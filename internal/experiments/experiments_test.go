@@ -129,6 +129,9 @@ func TestCharacterizationExperiments(t *testing.T) {
 }
 
 func TestFig5SubMinuteScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("event-driven sub-minute sim (~25s)")
+	}
 	// Small dataset keeps the event sim fast; the orderings are the claim.
 	d := trace.GenerateIBM(trace.IBMGenConfig{Seed: 6, Apps: 25, Days: 0.5, TrafficScale: 0.5})
 	res := Fig5(d)
@@ -159,6 +162,9 @@ func TestFig6PlatformDelay(t *testing.T) {
 }
 
 func TestC1MetricMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-app forecaster sweep (~20s)")
+	}
 	train, test := fleet(t)
 	res := C1(append(train, test...))
 	if res.Apps < 20 {
@@ -176,6 +182,9 @@ func TestC1MetricMismatch(t *testing.T) {
 }
 
 func TestFig8PerClassForecasting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-class forecaster sweep (~15s)")
+	}
 	train, test := fleet(t)
 	res := Fig8(append(train, test...))
 	if len(res.Classes) != 3 {
@@ -203,6 +212,9 @@ func TestFig9TemporalSwitching(t *testing.T) {
 }
 
 func TestFig11FaasCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache-size sweep plus three FeMux trainings (~60s)")
+	}
 	train, test := fleet(t)
 	res, err := Fig11FaasCache(train, test, []float64{0.5, 2, 8})
 	if err != nil {
@@ -232,6 +244,9 @@ func TestFig11FaasCache(t *testing.T) {
 }
 
 func TestFig11IceBreaker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison with full training (~25s)")
+	}
 	train, test := fleet(t)
 	res, err := Fig11IceBreaker(train, test)
 	if err != nil {
@@ -253,6 +268,9 @@ func TestFig11IceBreaker(t *testing.T) {
 }
 
 func TestFig11Aquatope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-app LSTM training (~20s)")
+	}
 	train, test := fleet(t)
 	if len(test) > 8 {
 		test = test[:8] // per-app LSTM training is the expensive part
@@ -274,6 +292,9 @@ func TestFig11Aquatope(t *testing.T) {
 }
 
 func TestFig12MultiTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two tiered trainings (~30s)")
+	}
 	train, test := fleet(t)
 	res, err := Fig12(train, test)
 	if err != nil {
@@ -294,6 +315,9 @@ func TestFig12MultiTier(t *testing.T) {
 }
 
 func TestS513ExecAwareRUM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two trainings under different RUMs (~20s)")
+	}
 	train, test := fleet(t)
 	res, err := S513(train, test)
 	if err != nil {
@@ -311,6 +335,9 @@ func TestS513ExecAwareRUM(t *testing.T) {
 }
 
 func TestFig17VsIndividualForecasters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training plus every individual forecaster (~18s)")
+	}
 	train, test := fleet(t)
 	res, err := Fig17(train, test)
 	if err != nil {
@@ -326,6 +353,9 @@ func TestFig17VsIndividualForecasters(t *testing.T) {
 }
 
 func TestFig18FeatureAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight feature-combo trainings (~85s)")
+	}
 	train, test := fleet(t)
 	res, err := Fig18(train, test)
 	if err != nil {
@@ -347,6 +377,9 @@ func TestFig18FeatureAblation(t *testing.T) {
 }
 
 func TestBlockSizeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three block-size trainings (~30s)")
+	}
 	train, test := fleet(t)
 	res, err := BlockSize(train, test, []int{96, 144, 288})
 	if err != nil {
@@ -372,6 +405,9 @@ func TestBlockSizeSweep(t *testing.T) {
 }
 
 func TestClassifierComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three classifier trainings (~30s)")
+	}
 	train, test := fleet(t)
 	res, err := Classifiers(train, test)
 	if err != nil {
@@ -391,6 +427,9 @@ func TestFig14LeftRepresentativity(t *testing.T) {
 }
 
 func TestFig14PrototypeAndScalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training plus Knative emulation and HTTP study (~13s)")
+	}
 	train, test := fleet(t)
 	model, err := femux.Train(train, expConfig(rum.Default()))
 	if err != nil {
@@ -459,6 +498,9 @@ func TestSpecsFromTrainApps(t *testing.T) {
 }
 
 func TestPolicyZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("every lifetime policy on one fleet (~15s)")
+	}
 	train, test := fleet(t)
 	res, err := PolicyZoo(train, test)
 	if err != nil {

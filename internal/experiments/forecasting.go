@@ -20,6 +20,7 @@ func expConfig(metric rum.Metric) femux.Config {
 	cfg.Window = 120
 	cfg.Horizon = 1
 	cfg.K = 6
+	cfg.Workers = sweepWorkers
 	return cfg
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/baselines"
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
 )
@@ -52,17 +53,19 @@ func PolicyZoo(train, test []femux.TrainApp) (PolicyZooResult, error) {
 	// Drop the placeholder (Aquatope is per-app trained; it has its own
 	// dedicated comparison in Fig11Aquatope).
 	policies = policies[:len(policies)-1]
+	singles := []forecast.Forecaster{forecast.NewFFT(10), forecast.NewAR(10)}
 
-	for _, entry := range policies {
-		samples := evalPolicy(entry.p, test, cfg)
-		res.Rows = append(res.Rows, zooRow(entry.name, samples, metric))
-	}
-
-	// Single forecasters, for context.
-	for _, fc := range []forecast.Forecaster{forecast.NewFFT(10), forecast.NewAR(10)} {
+	// Every zoo entry is an independent fleet evaluation; fan them out and
+	// collect rows in fixed (policies, then singles) order.
+	res.Rows = parallel.Map(parallel.Workers(sweepWorkers), len(policies)+len(singles), func(i int) PolicyZooRow {
+		if i < len(policies) {
+			entry := policies[i]
+			return zooRow(entry.name, evalPolicy(entry.p, test, cfg), metric)
+		}
+		fc := singles[i-len(policies)]
 		r := femux.EvaluateSingle(fc, test, cfg)
-		res.Rows = append(res.Rows, zooRow("single-"+fc.Name(), r.Samples, metric))
-	}
+		return zooRow("single-"+fc.Name(), r.Samples, metric)
+	})
 
 	model, err := femux.Train(train, cfg)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/features"
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 )
 
@@ -84,14 +85,21 @@ func Fig18(train, test []femux.TrainApp) (Fig18Result, error) {
 		features.AllFeatureNames,
 	}
 	res := Fig18Result{RUM: map[string]float64{}}
-	for _, combo := range combos {
+	// Feature combinations are independent train+evaluate sweep points.
+	rums, err := parallel.MapErr(parallel.Workers(sweepWorkers), len(combos), func(i int) (float64, error) {
 		cfg := expConfig(rum.Default())
-		cfg.Features = combo
+		cfg.Features = combos[i]
 		model, err := femux.Train(train, cfg)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
-		res.RUM[strings.Join(combo, "+")] = femux.Evaluate(model, test).RUM
+		return femux.Evaluate(model, test).RUM, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, combo := range combos {
+		res.RUM[strings.Join(combo, "+")] = rums[i]
 	}
 	return res, nil
 }
@@ -114,14 +122,20 @@ type BlockSizeResult struct {
 // 7 to 24 hours, trading adaptation speed for pattern capture.
 func BlockSize(train, test []femux.TrainApp, sizes []int) (BlockSizeResult, error) {
 	res := BlockSizeResult{RUM: map[int]float64{}}
-	for _, bs := range sizes {
+	rums, err := parallel.MapErr(parallel.Workers(sweepWorkers), len(sizes), func(i int) (float64, error) {
 		cfg := expConfig(rum.Default())
-		cfg.BlockSize = bs
+		cfg.BlockSize = sizes[i]
 		model, err := femux.Train(train, cfg)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
-		res.RUM[bs] = femux.Evaluate(model, test).RUM
+		return femux.Evaluate(model, test).RUM, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, bs := range sizes {
+		res.RUM[bs] = rums[i]
 	}
 	return res, nil
 }
@@ -146,23 +160,20 @@ type ClassifierComparison struct {
 // Classifiers runs the classifier comparison.
 func Classifiers(train, test []femux.TrainApp) (ClassifierComparison, error) {
 	var res ClassifierComparison
-	for _, clf := range []string{"kmeans", "tree", "forest"} {
+	clfs := []string{"kmeans", "tree", "forest"}
+	rums, err := parallel.MapErr(parallel.Workers(sweepWorkers), len(clfs), func(i int) (float64, error) {
 		cfg := expConfig(rum.Default())
-		cfg.Classifier = clf
+		cfg.Classifier = clfs[i]
 		model, err := femux.Train(train, cfg)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
-		v := femux.Evaluate(model, test).RUM
-		switch clf {
-		case "kmeans":
-			res.KMeansRUM = v
-		case "tree":
-			res.TreeRUM = v
-		default:
-			res.ForestRUM = v
-		}
+		return femux.Evaluate(model, test).RUM, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.KMeansRUM, res.TreeRUM, res.ForestRUM = rums[0], rums[1], rums[2]
 	return res, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/cluster"
 	"github.com/ubc-cirrus-lab/femux-go/internal/features"
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
@@ -47,6 +48,12 @@ type Config struct {
 	// Classifier selects the block->forecaster mapper: "kmeans" (default),
 	// "tree", or "forest" — the supervised baselines of §4.3.4.
 	Classifier string
+	// Workers bounds the goroutines used for the training sweeps and fleet
+	// evaluation (0 = one per CPU). Output is bit-identical for any worker
+	// count: the per-(app, forecaster) simulations and per-block feature
+	// extractions are independent, and all reductions run serially in
+	// block-index order.
+	Workers int
 }
 
 // DefaultConfig returns the paper's settings, with a block size suited to
@@ -82,13 +89,19 @@ type Model struct {
 	Diag Diagnostics
 }
 
-// Diagnostics captures training statistics used by the sensitivity studies.
+// Diagnostics captures training statistics used by the sensitivity studies
+// and by the serial-vs-parallel equivalence tests.
 type Diagnostics struct {
 	Blocks          int
 	Clusters        int
 	TrainTime       time.Duration
 	ForecasterWins  map[string]int // blocks where each forecaster was per-block best
 	GroupForecaster []string
+	// BlockRUM[i][f] is the RUM of forecaster f on global block i, in
+	// training input order; GroupOf[i] is block i's assigned group. Both
+	// are deterministic for a fixed seed and independent of Workers.
+	BlockRUM [][]float64
+	GroupOf  []int
 }
 
 // Train builds a FeMux model from training apps. It follows §4.3.3-4.3.4:
@@ -120,40 +133,76 @@ func Train(apps []TrainApp, cfg Config) (*Model, error) {
 	}
 
 	ext := features.NewExtractor()
-	var rows [][]float64
-	// rumByBlock[i][f]: RUM of forecaster f on block i.
-	var rumByBlock [][]float64
 	nf := len(cfg.Forecasters)
-	totalRUM := make([]float64, nf)
+	workers := parallel.Workers(cfg.Workers)
 
+	// Lay out the global block index space in input order: only apps with
+	// at least one completed block contribute training units.
+	type trainUnit struct {
+		app    TrainApp
+		blocks []timeseries.Series
+		row0   int // global index of the unit's first block
+	}
+	var units []trainUnit
+	nBlocks := 0
 	for _, app := range apps {
 		blocks := app.Demand.Blocks(cfg.BlockSize)
 		if len(blocks) == 0 {
 			continue
 		}
-		// One simulation pass per forecaster over the whole series, with
-		// per-interval stats attributed back to blocks.
-		perForecaster := make([][]rum.Sample, nf)
-		for fi, fc := range cfg.Forecasters {
-			perForecaster[fi] = blockSamples(app, fc, cfg)
-		}
-		execFeat := 0.0
-		if hasExecFeature(cfg.Features) {
-			execFeat = app.ExecSec
-		}
-		for bi, block := range blocks {
-			vec := ext.Extract(block.Values, execFeat)
-			rows = append(rows, vec.Select(cfg.Features))
-			scores := make([]float64, nf)
-			for fi := range cfg.Forecasters {
-				scores[fi] = cfg.Metric.Eval(perForecaster[fi][bi])
-				totalRUM[fi] += scores[fi]
-			}
-			rumByBlock = append(rumByBlock, scores)
+		units = append(units, trainUnit{app: app, blocks: blocks, row0: nBlocks})
+		nBlocks += len(blocks)
+	}
+	if nBlocks == 0 {
+		return nil, errors.New("femux: no completed blocks in training data")
+	}
+
+	// Sweep 1 — the hot path (§4.3.3): one full-series simulation per
+	// (app, forecaster) pair. Every pair is independent, so the flat job
+	// space fans out across workers; each job writes only its own slot.
+	perForecaster := make([][][]rum.Sample, len(units)) // [unit][forecaster] -> per-block samples
+	for ui := range perForecaster {
+		perForecaster[ui] = make([][]rum.Sample, nf)
+	}
+	parallel.ForEach(workers, len(units)*nf, func(j int) {
+		ui, fi := j/nf, j%nf
+		perForecaster[ui][fi] = blockSamples(units[ui].app, cfg.Forecasters[fi], cfg)
+	})
+
+	// Sweep 2: per-block feature extraction and RUM scoring, fanned out
+	// over global block indices. unitOf[i] locates block i's unit.
+	unitOf := make([]int, nBlocks)
+	for ui, u := range units {
+		for bi := range u.blocks {
+			unitOf[u.row0+bi] = ui
 		}
 	}
-	if len(rows) == 0 {
-		return nil, errors.New("femux: no completed blocks in training data")
+	rows := make([][]float64, nBlocks)
+	rumByBlock := make([][]float64, nBlocks) // rumByBlock[i][f]: RUM of forecaster f on block i
+	execFeature := hasExecFeature(cfg.Features)
+	parallel.ForEach(workers, nBlocks, func(i int) {
+		u := units[unitOf[i]]
+		bi := i - u.row0
+		execFeat := 0.0
+		if execFeature {
+			execFeat = u.app.ExecSec
+		}
+		vec := ext.Extract(u.blocks[bi].Values, execFeat)
+		rows[i] = vec.Select(cfg.Features)
+		scores := make([]float64, nf)
+		for fi := 0; fi < nf; fi++ {
+			scores[fi] = cfg.Metric.Eval(perForecaster[unitOf[i]][fi][bi])
+		}
+		rumByBlock[i] = scores
+	})
+
+	// Serial reduction in block-index order: float summation order is
+	// fixed, so totals are bit-identical for any worker count.
+	totalRUM := make([]float64, nf)
+	for _, scores := range rumByBlock {
+		for fi, s := range scores {
+			totalRUM[fi] += s
+		}
 	}
 
 	scaler, err := cluster.FitScaler(rows)
@@ -269,6 +318,8 @@ func Train(apps []TrainApp, cfg Config) (*Model, error) {
 	}
 	m.Diag.Clusters = nGroups
 	m.Diag.GroupForecaster = append([]string(nil), m.perGroup...)
+	m.Diag.BlockRUM = rumByBlock
+	m.Diag.GroupOf = groupOf
 	m.Diag.TrainTime = time.Since(start)
 	return m, nil
 }

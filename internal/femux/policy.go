@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
 )
@@ -112,10 +113,14 @@ type EvalResult struct {
 }
 
 // Evaluate runs the trained model over test apps through the concurrency
-// simulator and scores the result under the model's metric.
+// simulator and scores the result under the model's metric. Apps are
+// simulated concurrently (bounded by the model's Workers setting); each
+// app's simulation is independent, so results match the serial order.
 func Evaluate(m *Model, apps []TrainApp) EvalResult {
 	res := EvalResult{Samples: make([]rum.Sample, len(apps))}
-	for i, app := range apps {
+	used := make([]int, len(apps))
+	parallel.ForEach(parallel.Workers(m.cfg.Workers), len(apps), func(i int) {
+		app := apps[i]
 		simCfg := m.cfg.Sim
 		if app.MemoryGB > 0 {
 			simCfg.MemoryGB = app.MemoryGB
@@ -132,10 +137,13 @@ func Evaluate(m *Model, apps []TrainApp) EvalResult {
 			ExecSec:     app.ExecSec,
 		}, p, simCfg, false)
 		res.Samples[i] = out.Sample
-		if p.ForecastersUsed() > 1 {
+		used[i] = p.ForecastersUsed()
+	})
+	for _, u := range used {
+		if u > 1 {
 			res.AppsSwitched++
 		}
-		if p.ForecastersUsed() >= 4 {
+		if u >= 4 {
 			res.AppsManySwitched++
 		}
 	}
@@ -144,10 +152,12 @@ func Evaluate(m *Model, apps []TrainApp) EvalResult {
 }
 
 // EvaluateSingle runs one fixed forecaster over the same apps, for the
-// FeMux-vs-individual-forecasters study (Fig 17).
+// FeMux-vs-individual-forecasters study (Fig 17). Like Evaluate, apps are
+// simulated concurrently under cfg.Workers.
 func EvaluateSingle(fc forecast.Forecaster, apps []TrainApp, cfg Config) EvalResult {
 	res := EvalResult{Samples: make([]rum.Sample, len(apps))}
-	for i, app := range apps {
+	parallel.ForEach(parallel.Workers(cfg.Workers), len(apps), func(i int) {
+		app := apps[i]
 		simCfg := cfg.Sim
 		if app.MemoryGB > 0 {
 			simCfg.MemoryGB = app.MemoryGB
@@ -164,7 +174,7 @@ func EvaluateSingle(fc forecast.Forecaster, apps []TrainApp, cfg Config) EvalRes
 			ExecSec:     app.ExecSec,
 		}, p, simCfg, false)
 		res.Samples[i] = out.Sample
-	}
+	})
 	res.RUM = rum.EvalPerApp(cfg.Metric, res.Samples)
 	return res
 }

@@ -1,0 +1,138 @@
+// Package parallel provides the bounded fan-out primitive used by every
+// embarrassingly-parallel sweep in this repository: offline FeMux training
+// (one simulation per (app, forecaster) pair), the experiment sweeps over
+// policies, cache sizes, and feature combinations, and per-app trace
+// synthesis. The design constraint is determinism: callers index work by
+// position and every worker writes only its own slot, so a seeded run
+// produces bit-identical output whether it uses one worker or many. All
+// cross-worker reductions stay with the caller, who performs them serially
+// in index order after the fan-out completes.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means one per CPU). Indices are handed out in ascending
+// order via an atomic counter, so the set of executed indices is exactly
+// [0, n) regardless of worker count. fn must be safe to call concurrently;
+// determinism is achieved by having fn write only to position i of
+// caller-owned storage. A panic in any fn is re-raised in the caller after
+// all workers have stopped.
+//
+// With one worker (or n <= 1) the loop runs inline on the calling
+// goroutine: no goroutines, no synchronization — the exact serial
+// reference path the equivalence tests compare against.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal atomic.Value
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			if panicked.Load() {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						// First panic wins; later ones are dropped. The
+						// sentinel wrapper keeps nil-valued panics visible.
+						if panicked.CompareAndSwap(false, true) {
+							panicVal.Store(capturedPanic{val: r})
+						}
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if p, ok := panicVal.Load().(capturedPanic); ok {
+		panic(p.val)
+	}
+}
+
+type capturedPanic struct{ val any }
+
+// Map applies fn to every index in [0, n) using at most workers goroutines
+// and returns the results in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr is Map with error propagation. If any call fails, workers stop
+// picking up new work (calls already in flight run to completion) and the
+// error from the lowest-indexed failure among the calls that ran is
+// returned. With one worker this is exactly the first error a serial loop
+// would hit. On error the result slice is nil.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		failed   atomic.Bool
+	)
+	ForEach(workers, n, func(i int) {
+		if failed.Load() {
+			return
+		}
+		v, err := fn(i)
+		if err != nil {
+			failed.Store(true)
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = v
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{-1, runtime.GOMAXPROCS(0)},
+		{0, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{4, 4},
+		{64, 64},
+	}
+	for _, c := range cases {
+		if got := Workers(c.in); got != c.want {
+			t.Errorf("Workers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			name := fmt.Sprintf("workers=%d/n=%d", workers, n)
+			counts := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("%s: index %d executed %d times", name, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		got := Map(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	// The determinism contract: any worker count produces the serial result.
+	serial := Map(1, 200, work)
+	for _, workers := range []int{2, 4, 9} {
+		par := Map(workers, 200, work)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d diverges from serial at %d: %v vs %v",
+					workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func work(i int) float64 {
+	v := float64(i)
+	for k := 0; k < 100; k++ {
+		v = v*1.0000001 + 0.5
+	}
+	return v
+}
+
+func TestForEachPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate")
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("unexpected panic value %v", r)
+				}
+			}()
+			ForEach(workers, 20, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		})
+	}
+}
+
+func TestForEachPanicStopsNewWork(t *testing.T) {
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		ForEach(2, 10000, func(i int) {
+			ran.Add(1)
+			panic("stop")
+		})
+	}()
+	// Both workers may each hit one panic before observing the flag, but
+	// the remaining thousands of indices must be abandoned.
+	if n := ran.Load(); n > 100 {
+		t.Errorf("ran %d tasks after panic, want early cancellation", n)
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	errBad := errors.New("bad index")
+	cases := []struct {
+		name    string
+		workers int
+		n       int
+		failAt  map[int]bool
+		wantErr bool
+	}{
+		{"no error serial", 1, 30, nil, false},
+		{"no error parallel", 4, 30, nil, false},
+		{"fails serial", 1, 30, map[int]bool{12: true}, true},
+		{"fails parallel", 4, 30, map[int]bool{12: true}, true},
+		{"multiple failures", 4, 30, map[int]bool{5: true, 20: true}, true},
+		{"empty", 4, 0, nil, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := MapErr(c.workers, c.n, func(i int) (int, error) {
+				if c.failAt[i] {
+					return 0, errBad
+				}
+				return i + 1, nil
+			})
+			if c.wantErr {
+				if !errors.Is(err, errBad) {
+					t.Fatalf("err = %v, want %v", err, errBad)
+				}
+				if out != nil {
+					t.Fatalf("out should be nil on error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != c.n {
+				t.Fatalf("len = %d, want %d", len(out), c.n)
+			}
+			for i, v := range out {
+				if v != i+1 {
+					t.Fatalf("out[%d] = %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestMapErrSerialReturnsFirstError(t *testing.T) {
+	e5, e9 := errors.New("e5"), errors.New("e9")
+	_, err := MapErr(1, 20, func(i int) (int, error) {
+		switch i {
+		case 5:
+			return 0, e5
+		case 9:
+			return 0, e9
+		}
+		return i, nil
+	})
+	if !errors.Is(err, e5) {
+		t.Fatalf("err = %v, want first (lowest-index) error e5", err)
+	}
+}
+
+func TestMapErrCancelsRemainingWork(t *testing.T) {
+	var ran atomic.Int32
+	_, err := MapErr(2, 10000, func(i int) (int, error) {
+		ran.Add(1)
+		return 0, errors.New("immediate")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("ran %d tasks after error, want early cancellation", n)
+	}
+}

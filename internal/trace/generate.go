@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 )
 
 // IBMGenConfig parameterizes synthesis of an IBM-shape dataset: millisecond
@@ -16,6 +18,10 @@ type IBMGenConfig struct {
 	Apps         int
 	Days         float64
 	TrafficScale float64 // multiplies every pattern's rate (default 1)
+	// Workers bounds the goroutines used for per-app synthesis (0 = one
+	// per CPU). Each app derives its own child seed from Seed, so the
+	// generated dataset is bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultIBMConfig returns a laptop-scale configuration.
@@ -89,10 +95,11 @@ func GenerateIBM(cfg IBMGenConfig) *Dataset {
 	mix := ibmPatternMix()
 	mod := DefaultModulator()
 
-	d := &Dataset{Name: "ibm-synthetic", Horizon: horizon, Apps: make([]*App, 0, cfg.Apps)}
-	for i := 0; i < cfg.Apps; i++ {
-		// Per-app RNG keeps apps independent of each other and of Apps
-		// count changes.
+	d := &Dataset{Name: "ibm-synthetic", Horizon: horizon, Apps: make([]*App, cfg.Apps)}
+	// Apps are synthesized concurrently: the per-app child seed keeps apps
+	// independent of each other, of the Apps count, and of the worker
+	// count, so parallel output equals serial output bit for bit.
+	parallel.ForEach(parallel.Workers(cfg.Workers), cfg.Apps, func(i int) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		spec := pickPattern(rng, mix)
 		pat := spec.make(rng, &mod)
@@ -112,8 +119,8 @@ func GenerateIBM(cfg IBMGenConfig) *Dataset {
 		for j, at := range arrivals {
 			app.Invocations[j] = Invocation{Arrival: at, Duration: em.Draw(rng)}
 		}
-		d.Apps = append(d.Apps, app)
-	}
+		d.Apps[i] = app
+	})
 	return d
 }
 
@@ -220,6 +227,9 @@ type AzureGenConfig struct {
 	Apps        int
 	Days        int
 	ClassShares [3]float64 // low, mid, high; normalized internally
+	// Workers bounds the goroutines used for per-app synthesis (0 = one
+	// per CPU); output is identical for any value (per-app child seeds).
+	Workers int
 }
 
 // DefaultAzureConfig returns a laptop-scale configuration.
@@ -248,8 +258,8 @@ func GenerateAzure(cfg AzureGenConfig) *AzureDataset {
 	minutes := cfg.Days * 24 * 60
 	mod := DefaultModulator()
 
-	d := &AzureDataset{Days: cfg.Days, Apps: make([]*AzureApp, 0, cfg.Apps)}
-	for i := 0; i < cfg.Apps; i++ {
+	d := &AzureDataset{Days: cfg.Days, Apps: make([]*AzureApp, cfg.Apps)}
+	parallel.ForEach(parallel.Workers(cfg.Workers), cfg.Apps, func(i int) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729))
 		u := rng.Float64() * sum
 		var class VolumeClass
@@ -286,14 +296,14 @@ func GenerateAzure(cfg AzureGenConfig) *AzureDataset {
 		if mem > 4 {
 			mem = 4
 		}
-		d.Apps = append(d.Apps, &AzureApp{
+		d.Apps[i] = &AzureApp{
 			Name:            fmt.Sprintf("azure-%05d", i),
 			CountsPerMinute: counts,
 			AvgExecSec:      exec,
 			MemoryGB:        mem,
 			Class:           class,
-		})
-	}
+		}
+	})
 	return d
 }
 

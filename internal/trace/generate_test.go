@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -109,19 +110,7 @@ func TestGenerateIBMMatchesPublishedIATStats(t *testing.T) {
 }
 
 func quickMedian(xs []float64) float64 {
-	cp := append([]float64(nil), xs...)
-	// simple selection
-	n := len(cp)
-	for i := 0; i <= n/2; i++ {
-		min := i
-		for j := i + 1; j < n; j++ {
-			if cp[j] < cp[min] {
-				min = j
-			}
-		}
-		cp[i], cp[min] = cp[min], cp[i]
-	}
-	return cp[n/2]
+	return quickPercentile(xs, 0.5)
 }
 
 func TestConfigMarginals(t *testing.T) {
@@ -227,18 +216,16 @@ func TestExecModelVariability(t *testing.T) {
 	}
 }
 
+// quickPercentile sorts a copy and indexes it. The previous selection-sort
+// implementation was O(n²) over per-app IAT slices that reach 10⁵+
+// elements, which alone pushed this package past the 600 s test timeout.
 func quickPercentile(xs []float64, p float64) float64 {
 	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
 	n := len(cp)
 	k := int(p * float64(n-1))
-	for i := 0; i <= k; i++ {
-		min := i
-		for j := i + 1; j < n; j++ {
-			if cp[j] < cp[min] {
-				min = j
-			}
-		}
-		cp[i], cp[min] = cp[min], cp[i]
+	if p == 0.5 {
+		k = n / 2
 	}
 	return cp[k]
 }
