@@ -15,6 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/experiments"
@@ -24,15 +27,48 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("femux-sim: ")
 	var (
-		apps    = flag.Int("apps", 48, "number of applications")
-		days    = flag.Float64("days", 2, "trace length in days")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		workers = flag.Int("workers", 0, "worker goroutines for training and sweeps (0 = one per CPU)")
-		exp     = flag.String("exp", "all", "experiment: c1, fig8, fig9, fig11-faascache, fig11-icebreaker, fig11-aquatope, fig12, s513, fig17, fig18, blocksize, classifiers, all")
+		apps       = flag.Int("apps", 48, "number of applications")
+		days       = flag.Float64("days", 2, "trace length in days")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		workers    = flag.Int("workers", 0, "worker goroutines for training and sweeps (0 = one per CPU)")
+		exp        = flag.String("exp", "all", "experiment: c1, fig8, fig9, fig11-faascache, fig11-icebreaker, fig11-aquatope, fig12, s513, fig17, fig18, blocksize, classifiers, all")
+		cacheDir   = flag.String("cache-dir", "", "spill the training cache to this directory so repeated runs warm-start (default: in-memory only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
+
 	experiments.SetWorkers(*workers)
+	if *cacheDir != "" {
+		if err := experiments.SetCacheDir(*cacheDir); err != nil {
+			log.Fatalf("cache-dir: %v", err)
+		}
+	}
 	scale := experiments.Scale{Seed: *seed, Apps: *apps, Days: *days}
 	all := experiments.AzureFleet(scale)
 	train, test := experiments.SplitTrainTest(all, *seed+100)
@@ -130,5 +166,10 @@ func main() {
 		r, err := experiments.PolicyZoo(train, test)
 		fail("zoo", err)
 		fmt.Println(r)
+	}
+
+	if st := experiments.CacheStats(); st.Hits+st.Misses > 0 {
+		fmt.Printf("\ntraining cache: %d hits / %d misses (%.1f%% hit rate, %d from disk)\n",
+			st.Hits, st.Misses, 100*st.HitRate(), st.DiskHits)
 	}
 }

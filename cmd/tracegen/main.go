@@ -18,22 +18,38 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"github.com/ubc-cirrus-lab/femux-go/internal/memo"
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
+
+// genCache, when -cache-dir is set, memoizes generated datasets by a hash
+// of the generation config: regenerating the same (dataset, apps, days,
+// seed) loads the synthesized fleet from disk instead of re-running the
+// per-app synthesis. Workers is excluded from the keys — output is
+// seed-determined, not worker-determined.
+var genCache *memo.Cache
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
-		dataset = flag.String("dataset", "ibm", "dataset shape: ibm or azure")
-		apps    = flag.Int("apps", 120, "number of applications")
-		days    = flag.Float64("days", 2, "trace length in days")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		workers = flag.Int("workers", 0, "worker goroutines for per-app synthesis (0 = one per CPU; output is seed-determined, not worker-determined)")
-		out     = flag.String("out", ".", "output directory")
+		dataset  = flag.String("dataset", "ibm", "dataset shape: ibm or azure")
+		apps     = flag.Int("apps", 120, "number of applications")
+		days     = flag.Float64("days", 2, "trace length in days")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for per-app synthesis (0 = one per CPU; output is seed-determined, not worker-determined)")
+		out      = flag.String("out", ".", "output directory")
+		cacheDir = flag.String("cache-dir", "", "cache generated datasets in this directory, keyed by generation config")
 	)
 	flag.Parse()
 
+	if *cacheDir != "" {
+		c, err := memo.NewDisk(*cacheDir)
+		if err != nil {
+			log.Fatalf("cache-dir: %v", err)
+		}
+		genCache = c
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -49,10 +65,22 @@ func main() {
 	default:
 		log.Fatalf("unknown dataset %q (want ibm or azure)", *dataset)
 	}
+	if st := genCache.Stats(); st.Hits+st.Misses > 0 {
+		fmt.Printf("generation cache: %d hits / %d misses (%d from disk)\n",
+			st.Hits, st.Misses, st.DiskHits)
+	}
 }
 
 func writeIBM(dir string, apps int, days float64, seed int64, workers int) error {
-	d := trace.GenerateIBM(trace.IBMGenConfig{Seed: seed, Apps: apps, Days: days, TrafficScale: 1, Workers: workers})
+	cfg := trace.IBMGenConfig{Seed: seed, Apps: apps, Days: days, TrafficScale: 1, Workers: workers}
+	h := memo.NewHasher("tracegen/ibm/v1")
+	h.Int(cfg.Seed)
+	h.Int(int64(cfg.Apps))
+	h.Float(cfg.Days)
+	h.Float(cfg.TrafficScale)
+	d := memo.Do(genCache, h.Sum(), func() *trace.Dataset {
+		return trace.GenerateIBM(cfg)
+	})
 	appsF, err := os.Create(filepath.Join(dir, "ibm_apps.csv"))
 	if err != nil {
 		return err
@@ -75,7 +103,15 @@ func writeIBM(dir string, apps int, days float64, seed int64, workers int) error
 }
 
 func writeAzure(dir string, apps, days int, seed int64, workers int) error {
-	d := trace.GenerateAzure(trace.AzureGenConfig{Seed: seed, Apps: apps, Days: days, Workers: workers})
+	cfg := trace.AzureGenConfig{Seed: seed, Apps: apps, Days: days, Workers: workers}
+	h := memo.NewHasher("tracegen/azure/v1")
+	h.Int(cfg.Seed)
+	h.Int(int64(cfg.Apps))
+	h.Int(int64(cfg.Days))
+	h.Floats(cfg.ClassShares[:])
+	d := memo.Do(genCache, h.Sum(), func() *trace.AzureDataset {
+		return trace.GenerateAzure(cfg)
+	})
 	f, err := os.Create(filepath.Join(dir, "azure_counts.csv"))
 	if err != nil {
 		return err

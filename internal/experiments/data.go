@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/memo"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
@@ -28,6 +29,35 @@ var sweepWorkers int
 
 // SetWorkers sets the sweep worker bound (0 = one per CPU).
 func SetWorkers(n int) { sweepWorkers = n }
+
+// sweepCache memoizes the pure pipeline stages (per-pair simulations,
+// feature extraction, per-app evaluations) across every experiment in the
+// process. The studies deliberately share fleets and geometry while
+// varying the RUM metric, feature subset, or classifier — exactly the axes
+// the cache keys exclude — so most trainings after the first reuse the
+// bulk of their work. Cached results are bit-identical to uncached ones
+// (internal/femux/cache_equiv_test.go), so sharing is safe by
+// construction.
+var sweepCache = memo.New()
+
+// SetCacheDir switches the process cache to one that spills to dir, so
+// repeated CLI runs warm-start across processes. Call before running
+// experiments.
+func SetCacheDir(dir string) error {
+	c, err := memo.NewDisk(dir)
+	if err != nil {
+		return err
+	}
+	sweepCache = c
+	return nil
+}
+
+// DisableCache turns off experiment memoization (used to measure uncached
+// baselines).
+func DisableCache() { sweepCache = nil }
+
+// CacheStats reports the process cache's hit/miss counters.
+func CacheStats() memo.Stats { return sweepCache.Stats() }
 
 // Scale bounds an experiment's workload size.
 type Scale struct {

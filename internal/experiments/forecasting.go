@@ -21,6 +21,7 @@ func expConfig(metric rum.Metric) femux.Config {
 	cfg.Horizon = 1
 	cfg.K = 6
 	cfg.Workers = sweepWorkers
+	cfg.Cache = sweepCache
 	return cfg
 }
 

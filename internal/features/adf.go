@@ -9,6 +9,7 @@ package features
 
 import (
 	"math"
+	"sync"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
 )
@@ -35,11 +36,19 @@ type ADFResult struct {
 // observations. A constant series is reported as stationary with a strongly
 // negative sentinel statistic.
 func ADF(series []float64, lags int) ADFResult {
+	return adfTest(series, lags, isConstant(series))
+}
+
+// adfTest is ADF with the series' constancy precomputed. The regression
+// buffers (differences, design matrix, normal equations) come from a
+// shared pool: feature extraction runs ADF once per block across thousands
+// of blocks, and these were the extractor's largest per-call allocations.
+func adfTest(series []float64, lags int, constant bool) ADFResult {
 	n := len(series)
 	if n < 8 {
 		return ADFResult{Stat: 0, Stationary: false}
 	}
-	if isConstant(series) {
+	if constant {
 		return ADFResult{Stat: -100, Stationary: true}
 	}
 	if lags < 0 {
@@ -53,7 +62,10 @@ func ADF(series []float64, lags int) ADFResult {
 		lags = 0
 	}
 
-	diffs := make([]float64, n-1)
+	sc := adfScratchPool.Get().(*adfScratch)
+	defer adfScratchPool.Put(sc)
+
+	diffs := sc.floats(&sc.diffs, n-1)
 	for i := 1; i < n; i++ {
 		diffs[i-1] = series[i] - series[i-1]
 	}
@@ -63,20 +75,19 @@ func ADF(series []float64, lags int) ADFResult {
 	if rows <= cols {
 		return ADFResult{Stat: 0, Stationary: false}
 	}
-	x := make([][]float64, rows)
-	y := make([]float64, rows)
+	x := sc.matrix(rows, cols)
+	y := sc.floats(&sc.y, rows)
 	for r := 0; r < rows; r++ {
 		t := r + lags // index into diffs
-		row := make([]float64, cols)
+		row := x[r]
 		row[0] = 1
 		row[1] = series[t] // y_{t-1} in original indexing: diffs[t] = y[t+1]-y[t]
 		for l := 1; l <= lags; l++ {
 			row[1+l] = diffs[t-l]
 		}
-		x[r] = row
 		y[r] = diffs[t]
 	}
-	beta, se, ok := olsWithSE(x, y, 1)
+	beta, se, ok := olsWithSE(x, y, 1, sc)
 	if !ok || se == 0 {
 		return ADFResult{Stat: 0, Lags: lags, Stationary: false}
 	}
@@ -86,14 +97,15 @@ func ADF(series []float64, lags int) ADFResult {
 
 // olsWithSE fits y ~ X by OLS and returns coefficient j and its standard
 // error. It solves the normal equations and extracts the needed diagonal of
-// (X'X)^{-1} by solving against a unit vector.
-func olsWithSE(x [][]float64, y []float64, j int) (coef, se float64, ok bool) {
+// (X'X)^{-1} by solving against a unit vector. sc supplies the X'X and
+// unit-vector buffers; SolveLinear copies its inputs, so reuse is safe.
+func olsWithSE(x [][]float64, y []float64, j int, sc *adfScratch) (coef, se float64, ok bool) {
 	rows, cols := len(x), len(x[0])
-	xtx := make([][]float64, cols)
-	for i := range xtx {
-		xtx[i] = make([]float64, cols)
+	xtx := sc.xtxMatrix(cols)
+	xty := sc.floats(&sc.xty, cols)
+	for i := range xty {
+		xty[i] = 0
 	}
-	xty := make([]float64, cols)
 	for r := 0; r < rows; r++ {
 		for a := 0; a < cols; a++ {
 			va := x[r][a]
@@ -129,7 +141,10 @@ func olsWithSE(x [][]float64, y []float64, j int) (coef, se float64, ok bool) {
 	}
 	sigma2 := rss / float64(dof)
 	// (X'X)^{-1}_{jj} via solving X'X z = e_j.
-	e := make([]float64, cols)
+	e := sc.floats(&sc.unit, cols)
+	for i := range e {
+		e[i] = 0
+	}
 	e[j] = 1
 	z, err := mathx.SolveLinear(xtx, e)
 	if err != nil || z[j] < 0 {
@@ -138,7 +153,61 @@ func olsWithSE(x [][]float64, y []float64, j int) (coef, se float64, ok bool) {
 	return beta[j], math.Sqrt(sigma2 * z[j]), true
 }
 
+// adfScratch holds the reusable regression buffers of one ADF evaluation.
+type adfScratch struct {
+	diffs   []float64
+	y       []float64
+	xty     []float64
+	unit    []float64
+	flat    []float64
+	rows    [][]float64
+	xtxFlat []float64
+	xtxRows [][]float64
+}
+
+var adfScratchPool = sync.Pool{New: func() any { return &adfScratch{} }}
+
+// floats resizes *buf to n (contents unspecified) and returns it.
+func (s *adfScratch) floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// matrix returns an r×c row-view matrix over flat pooled storage; element
+// contents are unspecified (callers overwrite every cell).
+func (s *adfScratch) matrix(r, c int) [][]float64 {
+	flat := s.floats(&s.flat, r*c)
+	if cap(s.rows) < r {
+		s.rows = make([][]float64, r)
+	}
+	s.rows = s.rows[:r]
+	for i := 0; i < r; i++ {
+		s.rows[i] = flat[i*c : (i+1)*c]
+	}
+	return s.rows
+}
+
+// xtxMatrix returns a zeroed c×c matrix over flat pooled storage.
+func (s *adfScratch) xtxMatrix(c int) [][]float64 {
+	flat := s.floats(&s.xtxFlat, c*c)
+	clear(flat)
+	if cap(s.xtxRows) < c {
+		s.xtxRows = make([][]float64, c)
+	}
+	s.xtxRows = s.xtxRows[:c]
+	for i := 0; i < c; i++ {
+		s.xtxRows[i] = flat[i*c : (i+1)*c]
+	}
+	return s.xtxRows
+}
+
 func isConstant(series []float64) bool {
+	if len(series) == 0 {
+		return true
+	}
 	for _, v := range series[1:] {
 		if v != series[0] {
 			return false

@@ -2,6 +2,9 @@ package features
 
 import (
 	"math"
+	"math/bits"
+	"slices"
+	"sync"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
 )
@@ -26,73 +29,136 @@ const BDSCritical5 = 1.96
 // than any serial dependence: linear structure has already been removed.
 // The test needs ≥ ~400 points for its asymptotics, which is what sets the
 // 504-minute block size (§4.3.2).
+//
+// The pairwise-closeness relation is held as packed bitset rows (one
+// []uint64 per base point) rather than an n×n [][]bool: a 504-point block
+// needs ~64 KB of words instead of ~254 KB of bools, and the
+// m-dimensional correlation integral reduces to word-wide
+// shift-AND-popcount operations instead of a per-pair inner loop. The
+// rows themselves are built without any pairwise comparison: closeness
+// |x_i − x_j| ≤ ε is an interval in value order (IEEE subtraction is
+// monotone, so the exact float predicate still delimits a contiguous
+// range), located by a two-pointer sweep over the sorted values, and each
+// row materializes as the difference of two prefix bitsets. Total work is
+// O(n log n + n²/64) versus the boolean formulation's O(n²·m). The counts
+// produced are identical — only the representation changed — so the
+// statistic is bit-for-bit unchanged (asserted against a reference
+// implementation in the tests).
 func BDS(series []float64, m int, eps float64) BDSResult {
+	return bdsWithMoments(series, m, eps, computeMoments(series))
+}
+
+// bdsWithMoments is BDS with the series moments precomputed (the extractor
+// shares one moments pass across kernels; see moments.go).
+func bdsWithMoments(series []float64, m int, eps float64, mom moments) BDSResult {
 	n := len(series)
 	if m < 2 {
 		m = 2
 	}
-	if n < m+10 || isConstant(series) {
+	if n < m+10 || mom.constant {
 		return BDSResult{Stat: 0, Linear: true}
 	}
 	if eps <= 0 {
-		eps = 0.7 * stddev(series)
+		eps = 0.7 * mom.stddev
 		if eps == 0 {
 			return BDSResult{Stat: 0, Linear: true}
 		}
 	}
 
-	// Pairwise closeness over the points usable at dimension m.
-	nm := n - m + 1
-	// close[i][j] for base series; computed on demand via bitsets would be
-	// heavy — store one triangular boolean matrix (n ≈ 504 → ~127k entries).
-	cl := make([][]bool, n)
-	for i := range cl {
-		cl[i] = make([]bool, n)
+	if math.IsNaN(eps) || math.IsNaN(mom.sum) {
+		// Degenerate input (the boolean formulation degenerates to an
+		// all-false matrix and a zero statistic here).
+		return BDSResult{Stat: 0, Linear: true}
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			c := math.Abs(series[i]-series[j]) <= eps
-			cl[i][j] = c
-			cl[j][i] = c
+
+	nm := n - m + 1 // points usable at dimension m
+	sc := bdsScratchPool.Get().(*bdsScratch)
+	defer bdsScratchPool.Put(sc)
+	stride := (n + 63) / 64
+	rows := sc.rows(n, stride)
+	deg := sc.degrees(nm)
+
+	// Sort the points by value (ties in any order: closeness depends only
+	// on the value). idx maps sorted position -> original index.
+	idx, vals := sc.sorted(series)
+
+	// Prefix bitsets over sorted order: P_k holds the original indices of
+	// the k smallest values, so any sorted interval [a, b) converts to an
+	// original-index bitset as P_b &^ P_a in stride word ops.
+	prefixes := sc.prefixBits(n, stride)
+	for k := 0; k < n; k++ {
+		src := prefixes[k*stride : (k+1)*stride]
+		dst := prefixes[(k+1)*stride : (k+2)*stride]
+		copy(dst, src)
+		j := idx[k]
+		dst[j>>6] |= 1 << uint(j&63)
+	}
+
+	// Two-pointer sweep: for each point (in ascending value order) the
+	// close set {j : |x_i − x_j| ≤ ε} is the sorted interval [a, b) — the
+	// exact float predicate delimits a contiguous range because IEEE
+	// subtraction is monotone — and both endpoints only move rightward as
+	// the value grows. Degrees over the C_1 index range [0, nm) fall out
+	// as popcounts (minus the self bit, which is always set).
+	a, b := 0, 0
+	for p := 0; p < n; p++ {
+		si := vals[p]
+		for math.Abs(si-vals[a]) > eps {
+			a++
+		}
+		for b < n && math.Abs(si-vals[b]) <= eps {
+			b++
+		}
+		i := idx[p]
+		row := rows[i*stride : (i+1)*stride]
+		pa := prefixes[a*stride : (a+1)*stride]
+		pb := prefixes[b*stride : (b+1)*stride]
+		for w := range row {
+			row[w] = pb[w] &^ pa[w]
+		}
+		if i < nm {
+			deg[i] = popcountRange(row, 0, nm) - 1
 		}
 	}
 
-	// C_1 over the same index range as C_m, and k (triple closeness).
-	var c1Pairs, cmPairs float64
-	var pairCount float64
-	degree := make([]float64, nm)
-	for i := 0; i < nm; i++ {
-		for j := i + 1; j < nm; j++ {
-			pairCount++
-			if cl[i][j] {
-				c1Pairs++
-				degree[i]++
-				degree[j]++
-			}
-			// m-dimensional closeness: all m coordinates close.
-			all := true
-			for d := 0; d < m; d++ {
-				if !cl[i+d][j+d] {
-					all = false
-					break
-				}
-			}
-			if all {
-				cmPairs++
-			}
-		}
+	// C_1 pair count: each close pair within [0, nm) appears in both
+	// endpoints' degrees.
+	sumDeg := 0
+	for _, d := range deg {
+		sumDeg += d
 	}
+	c1Count := sumDeg / 2
+	pairCount := nm * (nm - 1) / 2
 	if pairCount == 0 {
 		return BDSResult{Stat: 0, Linear: true}
 	}
-	c := c1Pairs / pairCount
-	cm := cmPairs / pairCount
+
+	// C_m pair count: pair (i,j) is m-close iff all m coordinate pairs
+	// (i+d, j+d) are close. Bit j of (row[i+d] >> d) is exactly
+	// close(i+d, j+d), so AND-ing the shifted rows and popcounting bits
+	// (i, nm) counts a whole row of pairs per word op.
+	acc := sc.accumulator(stride)
+	cmCount := 0
+	for i := 0; i < nm; i++ {
+		copy(acc, rows[i*stride:(i+1)*stride])
+		for d := 1; d < m; d++ {
+			andShiftRight(acc, rows[(i+d)*stride:(i+d+1)*stride], d)
+		}
+		cmCount += popcountRange(acc, i+1, nm)
+	}
+
+	// From here on the arithmetic matches the boolean-matrix formulation
+	// term for term; all counts are exact integers well under 2^53, so
+	// the float conversions introduce no rounding.
+	c1Pairs := float64(c1Count)
+	c := c1Pairs / float64(pairCount)
+	cm := float64(cmCount) / float64(pairCount)
 	// k: probability two random points are both close to a common third.
 	// Using degrees: sum_i deg_i^2 counts ordered triples (j,i,l), j≠i≠l
 	// plus the diagonal j==l, which we remove.
 	var kNum float64
-	for i := 0; i < nm; i++ {
-		kNum += degree[i] * degree[i]
+	for _, d := range deg {
+		kNum += float64(d) * float64(d)
 	}
 	kNum -= 2 * c1Pairs // remove j==l ordered duplicates
 	totTriples := float64(nm) * float64(nm-1) * float64(nm-2)
@@ -119,12 +185,150 @@ func BDS(series []float64, m int, eps float64) BDSResult {
 	return BDSResult{Stat: stat, Linear: math.Abs(stat) <= BDSCritical5}
 }
 
+// andShiftRight computes acc &= (src >> shift) over packed bit rows, where
+// shift is in bits. Bits shifted in from beyond src are zero.
+func andShiftRight(acc, src []uint64, shift int) {
+	q, r := shift>>6, uint(shift&63)
+	n := len(acc)
+	if r == 0 {
+		for w := 0; w < n; w++ {
+			var v uint64
+			if w+q < n {
+				v = src[w+q]
+			}
+			acc[w] &= v
+		}
+		return
+	}
+	for w := 0; w < n; w++ {
+		var v uint64
+		if w+q < n {
+			v = src[w+q] >> r
+			if w+q+1 < n {
+				v |= src[w+q+1] << (64 - r)
+			}
+		}
+		acc[w] &= v
+	}
+}
+
+// popcountRange counts the set bits with positions in [lo, hi).
+func popcountRange(words []uint64, lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if loW == hiW {
+		return bits.OnesCount64(words[loW] & loMask & hiMask)
+	}
+	count := bits.OnesCount64(words[loW] & loMask)
+	for w := loW + 1; w < hiW; w++ {
+		count += bits.OnesCount64(words[w])
+	}
+	count += bits.OnesCount64(words[hiW] & hiMask)
+	return count
+}
+
+// bdsScratch holds the reusable buffers of one BDS evaluation. Training
+// extracts features for thousands of blocks; pooling the ~64 KB of bitset
+// storage removes the dominant per-block allocation.
+type bdsScratch struct {
+	words    []uint64
+	prefixes []uint64
+	acc      []uint64
+	deg      []int
+	idx      []int
+	vals     []float64
+}
+
+var bdsScratchPool = sync.Pool{New: func() any { return &bdsScratch{} }}
+
+// rows returns storage for n rows of the given word stride. Contents are
+// unspecified: the fill writes every word of every row exactly once.
+func (s *bdsScratch) rows(n, stride int) []uint64 {
+	need := n * stride
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+	}
+	s.words = s.words[:need]
+	return s.words
+}
+
+// prefixBits returns storage for the n+1 prefix bitsets. Only the empty
+// prefix P_0 needs zeroing; each later row is copy-then-set in full.
+func (s *bdsScratch) prefixBits(n, stride int) []uint64 {
+	need := (n + 1) * stride
+	if cap(s.prefixes) < need {
+		s.prefixes = make([]uint64, need)
+	}
+	s.prefixes = s.prefixes[:need]
+	clear(s.prefixes[:stride])
+	return s.prefixes
+}
+
+// sorted returns the series' indices in ascending value order alongside the
+// values in that order. Tie order is irrelevant: closeness depends only on
+// the value, never the index, so any permutation of equal values yields the
+// same close sets.
+func (s *bdsScratch) sorted(series []float64) (idx []int, vals []float64) {
+	n := len(series)
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	s.idx = s.idx[:n]
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	slices.SortFunc(s.idx, func(a, b int) int {
+		switch {
+		case series[a] < series[b]:
+			return -1
+		case series[a] > series[b]:
+			return 1
+		}
+		return 0
+	})
+	if cap(s.vals) < n {
+		s.vals = make([]float64, n)
+	}
+	s.vals = s.vals[:n]
+	for k, id := range s.idx {
+		s.vals[k] = series[id]
+	}
+	return s.idx, s.vals
+}
+
+// accumulator returns zeroed storage for one shifted-AND row.
+func (s *bdsScratch) accumulator(stride int) []uint64 {
+	if cap(s.acc) < stride {
+		s.acc = make([]uint64, stride)
+	}
+	return s.acc[:stride]
+}
+
+// degrees returns zeroed degree counters for the C_1 index range.
+func (s *bdsScratch) degrees(nm int) []int {
+	if cap(s.deg) < nm {
+		s.deg = make([]int, nm)
+	}
+	s.deg = s.deg[:nm]
+	clear(s.deg)
+	return s.deg
+}
+
 // LinearityTest prewhitens the series with an AR fit and applies BDS to the
 // residuals: a significant statistic then indicates nonlinear structure
 // that no linear model can capture, steering the classifier toward SETAR or
 // the Markov chain.
 func LinearityTest(series []float64, arLags, bdsDim int) BDSResult {
-	res := arResiduals(series, arLags)
+	return linearityTest(series, arLags, bdsDim, isConstant(series))
+}
+
+// linearityTest is LinearityTest with the series' constancy precomputed.
+func linearityTest(series []float64, arLags, bdsDim int, constant bool) BDSResult {
+	res := arResiduals(series, arLags, constant)
 	if res == nil {
 		return BDSResult{Stat: 0, Linear: true}
 	}
@@ -133,19 +337,20 @@ func LinearityTest(series []float64, arLags, bdsDim int) BDSResult {
 
 // arResiduals fits AR(lags) by least squares and returns the residuals, or
 // nil when the series is too short or degenerate.
-func arResiduals(series []float64, lags int) []float64 {
+func arResiduals(series []float64, lags int, constant bool) []float64 {
 	n := len(series)
 	if lags < 1 {
 		lags = 1
 	}
 	rows := n - lags
-	if rows < lags+2 || isConstant(series) {
+	if rows < lags+2 || constant {
 		return nil
 	}
 	x := make([][]float64, rows)
+	flat := make([]float64, rows*(lags+1))
 	y := make([]float64, rows)
 	for r := 0; r < rows; r++ {
-		row := make([]float64, lags+1)
+		row := flat[r*(lags+1) : (r+1)*(lags+1)]
 		row[0] = 1
 		for l := 1; l <= lags; l++ {
 			row[l] = series[r+lags-l]
@@ -164,19 +369,8 @@ func arResiduals(series []float64, lags int) []float64 {
 	return res
 }
 
+// stddev returns the population standard deviation (kept for tests and
+// callers outside the extractor's moments-threading path).
 func stddev(xs []float64) float64 {
-	if len(xs) < 2 {
-		return 0
-	}
-	var mean float64
-	for _, v := range xs {
-		mean += v
-	}
-	mean /= float64(len(xs))
-	var s float64
-	for _, v := range xs {
-		d := v - mean
-		s += d * d
-	}
-	return math.Sqrt(s / float64(len(xs)))
+	return computeMoments(xs).stddev
 }

@@ -46,6 +46,14 @@ func NewExtractor() *Extractor {
 	return &Extractor{arLags: 10, bdsDim: 2, harmonics: 10}
 }
 
+// Params returns the extractor's kernel settings (AR prewhitening lags, BDS
+// embedding dimension, harmonic count). Callers that memoize extraction
+// results hash these so a future parameterized extractor cannot alias a
+// cached vector computed under different settings.
+func (e *Extractor) Params() (arLags, bdsDim, harmonics int) {
+	return e.arLags, e.bdsDim, e.harmonics
+}
+
 // Extract computes the feature vector of one block of average-concurrency
 // values. execSec, when positive, adds the execution-time feature used by
 // FeMux-Exec (§5.1.3).
@@ -64,23 +72,24 @@ func NewExtractor() *Extractor {
 func (e *Extractor) Extract(block []float64, execSec float64) Vector {
 	v := Vector{}
 
-	adf := ADF(block, -1)
+	// One moments pass serves every kernel: ADF and the linearity test
+	// need the constancy check, density is the running sum. Previously
+	// each kernel rescanned the block for its own copy of these.
+	mom := computeMoments(block)
+
+	adf := adfTest(block, -1, mom.constant)
 	v[FeatStationarity] = mathx.Clamp(adf.Stat, -10, 10)
 
-	bds := LinearityTest(block, e.arLags, e.bdsDim)
+	bds := linearityTest(block, e.arLags, e.bdsDim, mom.constant)
 	abs := bds.Stat
 	if abs < 0 {
 		abs = -abs
 	}
 	v[FeatLinearity] = mathx.Clamp(abs, 0, 20)
 
-	v[FeatHarmonics] = HarmonicConcentration(block, e.harmonics)
+	v[FeatHarmonics] = harmonicConcentration(block, e.harmonics, mom.constant)
 
-	var total float64
-	for _, x := range block {
-		total += x
-	}
-	v[FeatDensity] = total
+	v[FeatDensity] = mom.sum
 
 	if execSec > 0 {
 		v[FeatExecTime] = execSec
@@ -92,8 +101,14 @@ func (e *Extractor) Extract(block []float64, execSec float64) Vector {
 // top-k harmonics. A finite number of prominent harmonics — high
 // concentration — indicates a periodic or quasi-periodic block (§4.3.2).
 func HarmonicConcentration(block []float64, k int) float64 {
+	return harmonicConcentration(block, k, isConstant(block))
+}
+
+// harmonicConcentration is HarmonicConcentration with the block's
+// constancy precomputed.
+func harmonicConcentration(block []float64, k int, constant bool) float64 {
 	n := len(block)
-	if n < 4 || isConstant(block) {
+	if n < 4 || constant {
 		return 0
 	}
 	hs := mathx.TopHarmonics(block, n/2)

@@ -1,0 +1,45 @@
+package features
+
+import "math"
+
+// moments carries the per-block summary statistics that several feature
+// kernels need. The extractor computes them once per block and threads
+// them through ADF, the linearity test, and the density feature, instead
+// of each kernel rescanning the series for its own mean/stddev/constant
+// check (the pre-optimization hot path rescanned each block up to five
+// times).
+//
+// The accumulation orders below intentionally mirror the original
+// open-coded loops (sum in index order; two-pass population stddev), so
+// every downstream float is bit-identical to the unoptimized code.
+type moments struct {
+	sum      float64
+	stddev   float64 // population stddev; 0 for n < 2
+	constant bool    // all values exactly equal
+}
+
+// computeMoments summarizes xs in two passes.
+func computeMoments(xs []float64) moments {
+	m := moments{constant: true}
+	if len(xs) == 0 {
+		return m
+	}
+	first := xs[0]
+	for _, v := range xs {
+		m.sum += v
+		if v != first {
+			m.constant = false
+		}
+	}
+	if len(xs) < 2 {
+		return m
+	}
+	mean := m.sum / float64(len(xs))
+	var s float64
+	for _, v := range xs {
+		d := v - mean
+		s += d * d
+	}
+	m.stddev = math.Sqrt(s / float64(len(xs)))
+	return m
+}

@@ -1,0 +1,74 @@
+package femux
+
+import (
+	"testing"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/memo"
+)
+
+// BenchmarkTrainCached measures what the training cache buys: "uncached"
+// is the plain pipeline, "cold" adds cache bookkeeping on an empty cache
+// (the overhead case), and "warm" retrains against a fully populated cache
+// (the steady state of a sweep, where every simulation and extraction is a
+// hit and only clustering and assignment still run).
+func BenchmarkTrainCached(b *testing.B) {
+	apps := mixedFleet(71, 8, 288)
+	train := func(b *testing.B, c *memo.Cache) {
+		cfg := testConfig()
+		cfg.Cache = c
+		if _, err := Train(apps, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			train(b, nil)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			train(b, memo.New())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := memo.New()
+		train(b, cache) // prime
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			train(b, cache)
+		}
+	})
+}
+
+// BenchmarkEvaluate measures a fleet evaluation with and without a warm
+// cache.
+func BenchmarkEvaluate(b *testing.B) {
+	apps := mixedFleet(71, 8, 288)
+	test := mixedFleet(73, 6, 288)
+	cfg := testConfig()
+	m, err := Train(apps, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Evaluate(m, test)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cachedCfg := testConfig()
+		cachedCfg.Cache = memo.New()
+		mc, err := Train(apps, cachedCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		Evaluate(mc, test) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Evaluate(mc, test)
+		}
+	})
+}

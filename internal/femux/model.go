@@ -18,6 +18,7 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/cluster"
 	"github.com/ubc-cirrus-lab/femux-go/internal/features"
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/memo"
 	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
@@ -54,6 +55,13 @@ type Config struct {
 	// extractions are independent, and all reductions run serially in
 	// block-index order.
 	Workers int
+	// Cache, when non-nil, memoizes the pipeline's pure stages (per-pair
+	// block simulations, per-block feature extraction, per-app
+	// evaluations) by content hash. Sharing one cache across trainings and
+	// evaluations deduplicates the bulk of a sweep's work; results are
+	// bit-identical to an uncached run (see cache.go). nil disables
+	// caching.
+	Cache *memo.Cache
 }
 
 // DefaultConfig returns the paper's settings, with a block size suited to
@@ -160,13 +168,21 @@ func Train(apps []TrainApp, cfg Config) (*Model, error) {
 	// Sweep 1 — the hot path (§4.3.3): one full-series simulation per
 	// (app, forecaster) pair. Every pair is independent, so the flat job
 	// space fans out across workers; each job writes only its own slot.
+	// With a cache, each app's trace is hashed once up front and the pairs
+	// derive cheap sub-keys from it.
+	appKeys := make([]memo.Key, len(units))
+	if cfg.Cache != nil {
+		for ui := range units {
+			appKeys[ui] = appTraceKey(units[ui].app)
+		}
+	}
 	perForecaster := make([][][]rum.Sample, len(units)) // [unit][forecaster] -> per-block samples
 	for ui := range perForecaster {
 		perForecaster[ui] = make([][]rum.Sample, nf)
 	}
 	parallel.ForEach(workers, len(units)*nf, func(j int) {
 		ui, fi := j/nf, j%nf
-		perForecaster[ui][fi] = blockSamples(units[ui].app, cfg.Forecasters[fi], cfg)
+		perForecaster[ui][fi] = cachedBlockSamples(cfg.Cache, appKeys[ui], units[ui].app, cfg.Forecasters[fi], cfg)
 	})
 
 	// Sweep 2: per-block feature extraction and RUM scoring, fanned out
@@ -187,7 +203,7 @@ func Train(apps []TrainApp, cfg Config) (*Model, error) {
 		if execFeature {
 			execFeat = u.app.ExecSec
 		}
-		vec := ext.Extract(u.blocks[bi].Values, execFeat)
+		vec := cachedExtract(cfg.Cache, ext, u.blocks[bi].Values, execFeat)
 		rows[i] = vec.Select(cfg.Features)
 		scores := make([]float64, nf)
 		for fi := 0; fi < nf; fi++ {
@@ -327,15 +343,7 @@ func Train(apps []TrainApp, cfg Config) (*Model, error) {
 // blockSamples simulates one forecaster over the app's whole series and
 // returns per-block accounting samples.
 func blockSamples(app TrainApp, fc forecast.Forecaster, cfg Config) []rum.Sample {
-	simCfg := cfg.Sim
-	if app.MemoryGB > 0 {
-		simCfg.MemoryGB = app.MemoryGB
-	}
-	if app.UnitConcurrency > 0 {
-		simCfg.UnitConcurrency = app.UnitConcurrency
-	} else if simCfg.UnitConcurrency < 1 {
-		simCfg.UnitConcurrency = 1
-	}
+	simCfg := appSimConfig(app, cfg.Sim)
 	policy := windowedPolicy{fc: fc, window: cfg.Window, horizon: cfg.Horizon}
 	res := sim.SimulateApp(sim.AppTrace{
 		Demand:      app.Demand,

@@ -6,7 +6,6 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
 	"github.com/ubc-cirrus-lab/femux-go/internal/parallel"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
-	"github.com/ubc-cirrus-lab/femux-go/internal/sim"
 )
 
 // AppPolicy is the online, per-application FeMux instance: it tracks block
@@ -115,29 +114,17 @@ type EvalResult struct {
 // Evaluate runs the trained model over test apps through the concurrency
 // simulator and scores the result under the model's metric. Apps are
 // simulated concurrently (bounded by the model's Workers setting); each
-// app's simulation is independent, so results match the serial order.
+// app's simulation is independent, so results match the serial order. When
+// the model's config carries a cache, per-app simulations are memoized
+// under a fingerprint of the trained model (see cache.go).
 func Evaluate(m *Model, apps []TrainApp) EvalResult {
 	res := EvalResult{Samples: make([]rum.Sample, len(apps))}
 	used := make([]int, len(apps))
+	fp, fpOK := m.evalFingerprint()
 	parallel.ForEach(parallel.Workers(m.cfg.Workers), len(apps), func(i int) {
-		app := apps[i]
-		simCfg := m.cfg.Sim
-		if app.MemoryGB > 0 {
-			simCfg.MemoryGB = app.MemoryGB
-		}
-		if app.UnitConcurrency > 0 {
-			simCfg.UnitConcurrency = app.UnitConcurrency
-		} else if simCfg.UnitConcurrency < 1 {
-			simCfg.UnitConcurrency = 1
-		}
-		p := m.NewAppPolicy(app.ExecSec)
-		out := sim.SimulateApp(sim.AppTrace{
-			Demand:      app.Demand,
-			Invocations: app.Invocations,
-			ExecSec:     app.ExecSec,
-		}, p, simCfg, false)
+		out := cachedEvalApp(m.cfg.Cache, fp, fpOK, m, apps[i])
 		res.Samples[i] = out.Sample
-		used[i] = p.ForecastersUsed()
+		used[i] = out.Used
 	})
 	for _, u := range used {
 		if u > 1 {
@@ -153,27 +140,12 @@ func Evaluate(m *Model, apps []TrainApp) EvalResult {
 
 // EvaluateSingle runs one fixed forecaster over the same apps, for the
 // FeMux-vs-individual-forecasters study (Fig 17). Like Evaluate, apps are
-// simulated concurrently under cfg.Workers.
+// simulated concurrently under cfg.Workers and per-app results are
+// memoized through cfg.Cache.
 func EvaluateSingle(fc forecast.Forecaster, apps []TrainApp, cfg Config) EvalResult {
 	res := EvalResult{Samples: make([]rum.Sample, len(apps))}
 	parallel.ForEach(parallel.Workers(cfg.Workers), len(apps), func(i int) {
-		app := apps[i]
-		simCfg := cfg.Sim
-		if app.MemoryGB > 0 {
-			simCfg.MemoryGB = app.MemoryGB
-		}
-		if app.UnitConcurrency > 0 {
-			simCfg.UnitConcurrency = app.UnitConcurrency
-		} else if simCfg.UnitConcurrency < 1 {
-			simCfg.UnitConcurrency = 1
-		}
-		p := windowedPolicy{fc: fc, window: cfg.Window, horizon: cfg.Horizon}
-		out := sim.SimulateApp(sim.AppTrace{
-			Demand:      app.Demand,
-			Invocations: app.Invocations,
-			ExecSec:     app.ExecSec,
-		}, p, simCfg, false)
-		res.Samples[i] = out.Sample
+		res.Samples[i] = cachedEvalSingle(cfg.Cache, fc, apps[i], cfg)
 	})
 	res.RUM = rum.EvalPerApp(cfg.Metric, res.Samples)
 	return res

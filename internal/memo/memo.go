@@ -1,0 +1,357 @@
+// Package memo provides the content-addressed cache behind FeMux's offline
+// pipeline. The paper's operating model (§4.3.3-4.3.4) retrains monthly
+// offline and ships the classifier to the forecasting pods; between
+// retrains — and between the many sweep points of the evaluation — most of
+// the expensive per-(app, forecaster) block simulations and per-block
+// feature extractions are byte-identical. Callers hash every input that
+// determines a computation's output into a Key and route the computation
+// through Do; repeated requests return the first result without recompute.
+//
+// The cache is concurrency-safe and deduplicates in-flight work
+// (singleflight): concurrent requests for the same key run the computation
+// once and share the result. An optional disk directory spills entries as
+// gob files so repeated CLI runs warm-start across processes.
+//
+// Correctness discipline: a cached pipeline must be bit-identical to an
+// uncached one. That holds trivially when (a) every computation routed
+// through the cache is a deterministic pure function of its inputs and (b)
+// the key covers every input. Keys are 256-bit SHA-256 digests over a
+// canonical binary encoding (see Hasher), so accidental collisions are not
+// a practical concern; under-keyed entries are the real hazard, which is
+// why each call site names a domain and hashes full value contents rather
+// than identities.
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content hash identifying one memoized computation.
+type Key [sha256.Size]byte
+
+// String returns the hex form of the key (used for disk file names).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher accumulates a canonical binary encoding of a computation's inputs
+// into a SHA-256 digest. Every write is prefixed with a kind tag and
+// length-delimited where variable-sized, so adjacent fields cannot alias
+// each other ("ab"+"c" hashes differently from "a"+"bc", an empty slice
+// differently from an absent one, and Int(0) differently from Float(0) or
+// Bool(false)). Hashers are cheap; build one per key. Not safe for
+// concurrent use.
+type Hasher struct {
+	h   hash.Hash
+	buf [9]byte
+}
+
+// NewHasher starts a digest for the given domain. The domain string
+// namespaces key spaces: two computations with identical inputs but
+// different domains get distinct keys.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.String(domain)
+	return h
+}
+
+// word writes a kind tag followed by one 64-bit value.
+func (h *Hasher) word(tag byte, v uint64) {
+	h.buf[0] = tag
+	binary.LittleEndian.PutUint64(h.buf[1:], v)
+	h.h.Write(h.buf[:])
+}
+
+// raw writes a bare 64-bit value (used inside already-tagged slices).
+func (h *Hasher) raw(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[1:], v)
+	h.h.Write(h.buf[1:])
+}
+
+// String hashes a length-prefixed string.
+func (h *Hasher) String(s string) {
+	h.word('s', uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// Int hashes a signed integer.
+func (h *Hasher) Int(v int64) { h.word('i', uint64(v)) }
+
+// Float hashes a float64 by its IEEE-754 bits, so +0/-0 and every NaN
+// payload are distinct — bit-identity is the contract, not numeric
+// equality.
+func (h *Hasher) Float(v float64) { h.word('f', math.Float64bits(v)) }
+
+// Floats hashes a length-prefixed float64 slice.
+func (h *Hasher) Floats(xs []float64) {
+	h.word('F', uint64(len(xs)))
+	for _, v := range xs {
+		h.raw(math.Float64bits(v))
+	}
+}
+
+// Strings hashes a length-prefixed string slice.
+func (h *Hasher) Strings(ss []string) {
+	h.word('S', uint64(len(ss)))
+	for _, s := range ss {
+		h.String(s)
+	}
+}
+
+// Bool hashes a boolean.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.word('b', 1)
+	} else {
+		h.word('b', 0)
+	}
+}
+
+// Key hashes an already-computed key, letting callers build two-level keys
+// (hash a large shared input once, then derive many cheap sub-keys).
+func (h *Hasher) Key(k Key) {
+	h.buf[0] = 'k'
+	h.h.Write(h.buf[:1])
+	h.h.Write(k[:])
+}
+
+// Sum finalizes the digest. The hasher may keep accumulating afterwards;
+// Sum is a snapshot.
+func (h *Hasher) Sum() Key {
+	var k Key
+	copy(k[:], h.h.Sum(nil))
+	return k
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits     uint64 // Do calls answered from memory or disk
+	Misses   uint64 // Do calls that ran the computation
+	DiskHits uint64 // subset of Hits satisfied from the spill directory
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// call tracks one in-flight computation so concurrent requests for the
+// same key share a single execution.
+type call struct {
+	wg  sync.WaitGroup
+	val any
+}
+
+// Cache is a concurrency-safe content-addressed store. The zero value is
+// not usable; construct with New or NewDisk. A nil *Cache is a valid
+// "caching disabled" handle: lookups miss and stores are dropped, so call
+// sites need no nil checks beyond passing it through.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[Key]any
+	flights map[Key]*call
+	dir     string // "" = memory only
+
+	hits, misses, diskHits atomic.Uint64
+}
+
+// New returns an in-memory cache.
+func New() *Cache {
+	return &Cache{entries: map[Key]any{}, flights: map[Key]*call{}}
+}
+
+// NewDisk returns a cache that additionally spills every entry to dir as
+// <hex-key>.gob and consults dir on memory misses, so repeated processes
+// warm-start. The directory is created if missing.
+func NewDisk(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("memo: cache dir: %w", err)
+	}
+	c := New()
+	c.dir = dir
+	return c, nil
+}
+
+// Stats returns a snapshot of the hit/miss counters. Safe on nil.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		DiskHits: c.diskHits.Load(),
+	}
+}
+
+// Len returns the number of in-memory entries. Safe on nil.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Do returns the cached value for key, computing and storing it via fn on
+// a miss. Concurrent calls with the same key run fn once; the others block
+// and share the result. fn must be a deterministic pure function of the
+// inputs hashed into key — the bit-identical-to-uncached guarantee rests
+// on that. A nil cache calls fn directly.
+//
+// The disk tier (if configured) is consulted under the key's flight lock,
+// so a cold process pays at most one decode per key.
+func Do[T any](c *Cache, key Key, fn func() T) T {
+	if c == nil {
+		return fn()
+	}
+	c.mu.RLock()
+	v, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v.(T)
+	}
+
+	c.mu.Lock()
+	// Re-check: the value may have landed while we waited for the lock.
+	if v, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v.(T)
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		fl.wg.Wait()
+		c.hits.Add(1)
+		return fl.val.(T)
+	}
+	fl := &call{}
+	fl.wg.Add(1)
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	var val T
+	fromDisk := false
+	if c.dir != "" {
+		if dv, ok := loadDisk[T](c, key); ok {
+			val, fromDisk = dv, true
+		}
+	}
+	if fromDisk {
+		c.hits.Add(1)
+		c.diskHits.Add(1)
+	} else {
+		c.misses.Add(1)
+		val = fn()
+		if c.dir != "" {
+			c.storeDisk(key, val)
+		}
+	}
+
+	c.mu.Lock()
+	c.entries[key] = val
+	delete(c.flights, key)
+	c.mu.Unlock()
+	fl.val = val
+	fl.wg.Done()
+	return val
+}
+
+// Get returns the in-memory (or disk) value for key without computing.
+func Get[T any](c *Cache, key Key) (T, bool) {
+	var zero T
+	if c == nil {
+		return zero, false
+	}
+	c.mu.RLock()
+	v, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		tv, tok := v.(T)
+		return tv, tok
+	}
+	if c.dir != "" {
+		if dv, ok := loadDisk[T](c, key); ok {
+			c.mu.Lock()
+			c.entries[key] = dv
+			c.mu.Unlock()
+			return dv, true
+		}
+	}
+	return zero, false
+}
+
+// Put stores a value without a computation (used by warm-start writers).
+func Put[T any](c *Cache, key Key, v T) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries[key] = v
+	c.mu.Unlock()
+	if c.dir != "" {
+		c.storeDisk(key, v)
+	}
+}
+
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, key.String()+".gob")
+}
+
+// loadDisk decodes the spilled entry for key. A corrupt or unreadable file
+// is treated as a miss (the computation simply re-runs and overwrites it)
+// — the cache must never turn a bad file into a bad result.
+func loadDisk[T any](c *Cache, key Key) (T, bool) {
+	var out T
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return out, false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err != nil {
+		var zero T
+		return zero, false
+	}
+	return out, true
+}
+
+// storeDisk spills an entry atomically (temp file + rename) so concurrent
+// writers and readers never observe a torn file. Spill errors are dropped:
+// the disk tier is an optimization, not a source of truth.
+func (c *Cache) storeDisk(key Key, v any) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}

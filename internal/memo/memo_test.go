@@ -1,0 +1,296 @@
+package memo
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHashStability pins the canonical encoding: the same logical inputs
+// must produce the same key in every process and on every platform, or a
+// disk-spilled cache would silently go cold (or worse, a future encoding
+// change would reuse old spill files for different content). The expected
+// digests were produced by this implementation; the test fails if the
+// encoding ever drifts.
+func TestHashStability(t *testing.T) {
+	build := func() Key {
+		h := NewHasher("test-domain")
+		h.String("app-7")
+		h.Int(144)
+		h.Float(0.808)
+		h.Floats([]float64{0, 1.5, -2.25})
+		h.Strings([]string{"a", "b"})
+		h.Bool(true)
+		return h.Sum()
+	}
+	k1, k2 := build(), build()
+	if k1 != k2 {
+		t.Fatalf("same inputs hashed differently: %s vs %s", k1, k2)
+	}
+	const want = "576acfa5da5ac5c7cef3721551d9cf29e0677ee7bc908ca6b8a0fb4ca3b7206f"
+	if got := k1.String(); got != want {
+		t.Errorf("canonical encoding drifted: key = %s, pinned %s\n"+
+			"(if the Hasher encoding changed intentionally, bump the pinned value AND invalidate disk caches)", got, want)
+	}
+}
+
+// TestHashCollisionSanity checks that every distinguishing input —
+// domain, field order, boundary aliasing, float signedness — yields a
+// distinct key. Under-keying is the cache's only realistic corruption
+// mode, so each case here is a configuration pair that must never share
+// an entry.
+func TestHashCollisionSanity(t *testing.T) {
+	keys := map[Key]string{}
+	add := func(name string, k Key) {
+		t.Helper()
+		if prev, ok := keys[k]; ok {
+			t.Errorf("collision: %q and %q share key %s", prev, name, k)
+		}
+		keys[k] = name
+	}
+
+	h := NewHasher("d1")
+	h.String("x")
+	add("d1/x", h.Sum())
+
+	h = NewHasher("d2")
+	h.String("x")
+	add("d2/x", h.Sum())
+
+	// Field boundary aliasing: "ab"+"c" vs "a"+"bc".
+	h = NewHasher("d1")
+	h.String("ab")
+	h.String("c")
+	add("d1/ab+c", h.Sum())
+	h = NewHasher("d1")
+	h.String("a")
+	h.String("bc")
+	add("d1/a+bc", h.Sum())
+
+	// Slice boundary aliasing: [1,2]+[3] vs [1]+[2,3] vs [1,2,3].
+	h = NewHasher("d1")
+	h.Floats([]float64{1, 2})
+	h.Floats([]float64{3})
+	add("d1/[1,2]+[3]", h.Sum())
+	h = NewHasher("d1")
+	h.Floats([]float64{1})
+	h.Floats([]float64{2, 3})
+	add("d1/[1]+[2,3]", h.Sum())
+	h = NewHasher("d1")
+	h.Floats([]float64{1, 2, 3})
+	add("d1/[1,2,3]", h.Sum())
+
+	// Empty vs absent slice.
+	h = NewHasher("d1")
+	h.Floats(nil)
+	add("d1/nil-floats", h.Sum())
+	h = NewHasher("d1")
+	add("d1/no-floats", h.Sum())
+
+	// Signed zero, ints vs floats of equal value.
+	h = NewHasher("d1")
+	h.Float(0.0)
+	add("d1/+0.0", h.Sum())
+	h = NewHasher("d1")
+	h.Float(negZero())
+	add("d1/-0.0", h.Sum())
+	h = NewHasher("d1")
+	h.Int(0)
+	add("d1/int0", h.Sum())
+
+	// Bools vs equivalent ints.
+	h = NewHasher("d1")
+	h.Bool(true)
+	add("d1/true", h.Sum())
+	h = NewHasher("d1")
+	h.Bool(false)
+	add("d1/false", h.Sum())
+}
+
+// negZero dodges Go's constant folding (the literal -0.0 is +0).
+func negZero() float64 { return math.Copysign(0, -1) }
+
+func TestDoComputesOnceAndReturnsCached(t *testing.T) {
+	c := New()
+	key := NewHasher("t").Sum()
+	var calls int
+	v := Do(c, key, func() []float64 { calls++; return []float64{1, 2} })
+	if !reflect.DeepEqual(v, []float64{1, 2}) {
+		t.Fatalf("first Do = %v", v)
+	}
+	v2 := Do(c, key, func() []float64 { calls++; return []float64{9} })
+	if !reflect.DeepEqual(v2, []float64{1, 2}) {
+		t.Fatalf("cached Do = %v, want first result", v2)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestNilCacheIsPassthrough(t *testing.T) {
+	var c *Cache
+	var calls int
+	for i := 0; i < 3; i++ {
+		Do(c, Key{}, func() int { calls++; return calls })
+	}
+	if calls != 3 {
+		t.Fatalf("nil cache memoized: %d calls", calls)
+	}
+	if c.Stats() != (Stats{}) || c.Len() != 0 {
+		t.Error("nil cache reported state")
+	}
+	if _, ok := Get[int](c, Key{}); ok {
+		t.Error("nil cache Get reported a value")
+	}
+	Put(c, Key{}, 1) // must not panic
+}
+
+// TestDiskRoundTrip covers the -cache-dir warm-start path: a second cache
+// over the same directory must serve the first cache's entries without
+// recomputing, and corrupt spill files must degrade to a recompute rather
+// than an error or a wrong value.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sample struct {
+		N  int
+		Xs []float64
+	}
+	key := NewHasher("disk").Sum()
+	want := []sample{{N: 3, Xs: []float64{1.5, -2}}, {N: 0}}
+	got := Do(c1, key, func() []sample { return want })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("first Do = %+v", got)
+	}
+
+	// Fresh cache, same dir: must hit disk, not recompute.
+	c2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := false
+	got2 := Do(c2, key, func() []sample { recomputed = true; return nil })
+	if recomputed {
+		t.Error("disk entry ignored: computation re-ran")
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("disk round-trip = %+v, want %+v", got2, want)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.DiskHits)
+	}
+
+	// And the entry is now in memory: a second lookup must not re-read.
+	if v, ok := Get[[]sample](c2, key); !ok || !reflect.DeepEqual(v, want) {
+		t.Errorf("Get after disk hit = %+v, %v", v, ok)
+	}
+
+	// Corrupt file: treated as a miss, recomputed, re-spilled.
+	key2 := NewHasher("disk2").Sum()
+	if err := os.WriteFile(filepath.Join(dir, key2.String()+".gob"), []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got3 := Do(c2, key2, func() []sample { return want[:1] })
+	if !reflect.DeepEqual(got3, want[:1]) {
+		t.Fatalf("corrupt-file Do = %+v", got3)
+	}
+}
+
+func TestPutGetTypedMismatch(t *testing.T) {
+	c := New()
+	key := NewHasher("typed").Sum()
+	Put(c, key, 42)
+	if v, ok := Get[int](c, key); !ok || v != 42 {
+		t.Fatalf("Get[int] = %v, %v", v, ok)
+	}
+	// Wrong type assertion must fail closed, not panic.
+	if _, ok := Get[string](c, key); ok {
+		t.Error("Get[string] on an int entry reported ok")
+	}
+}
+
+// TestConcurrentSingleflight hammers one key from many goroutines: the
+// computation must run exactly once and everyone must observe the same
+// value. Run under -race (CI does) to certify the locking.
+func TestConcurrentSingleflight(t *testing.T) {
+	c := New()
+	key := NewHasher("flight").Sum()
+	var computes atomic.Int64
+	const goroutines = 32
+	results := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			results[g] = Do(c, key, func() []float64 {
+				computes.Add(1)
+				return []float64{3.14}
+			})
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computation ran %d times under contention, want 1", n)
+	}
+	for g, r := range results {
+		if !reflect.DeepEqual(r, []float64{3.14}) {
+			t.Fatalf("goroutine %d got %v", g, r)
+		}
+	}
+}
+
+// TestConcurrentManyKeys drives disjoint and overlapping keys from many
+// goroutines against a disk-backed cache — the exact access pattern of a
+// parallel training sweep with -cache-dir set.
+func TestConcurrentManyKeys(t *testing.T) {
+	c, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				h := NewHasher("many")
+				h.Int(int64(i))
+				want := fmt.Sprintf("value-%d", i)
+				got := Do(c, h.Sum(), func() string { return want })
+				if got != want {
+					t.Errorf("key %d: got %q", i, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != keys {
+		t.Errorf("entries = %d, want %d", c.Len(), keys)
+	}
+	st := c.Stats()
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d (one per distinct key)", st.Misses, keys)
+	}
+}
