@@ -1,0 +1,415 @@
+// Command femux-load replays serverless traffic against a running femuxd
+// and reports serving-path latency, closing the loop the paper measures in
+// Fig 13 (7 ms mean / 25 ms p99 forecasting latency). It converts a
+// tracegen CSV pair (or a synthetic fleet) into the per-app per-minute
+// average-concurrency observations the metrics collector would POST, then
+// streams them at a configurable speedup and concurrency.
+//
+// Usage:
+//
+//	femux-load -url http://localhost:8080 -apps apps.csv -invocations inv.csv -speedup 60
+//	femux-load -url http://localhost:8080 -fleet 8 -minutes 120 -speedup 0 -concurrency 16
+//
+// With -speedup 0 the replay runs as fast as the server allows. The exit
+// code is non-zero if any request fails, and -check-metrics additionally
+// scrapes /metrics afterwards and verifies the server-side observe
+// counters match the number of replayed requests exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
+	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("femux-load: ")
+	var (
+		url     = flag.String("url", "http://localhost:8080", "femuxd base URL")
+		appsCSV = flag.String("apps", "", "apps CSV from tracegen")
+		invCSV  = flag.String("invocations", "", "invocations CSV from tracegen")
+		fleet   = flag.Int("fleet", 8, "synthetic fleet size when no CSV is given")
+		minutes = flag.Int("minutes", 120, "trace minutes to replay (caps CSV traces too)")
+		seed    = flag.Int64("seed", 1, "synthetic workload seed")
+
+		speedup     = flag.Float64("speedup", 0, "replay speedup: 1 = real time, 60 = minute/second, 0 = as fast as possible")
+		concurrency = flag.Int("concurrency", 8, "in-flight request limit")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		checkMetric = flag.Bool("check-metrics", false, "scrape /metrics after the replay and verify observe counters match")
+	)
+	flag.Parse()
+
+	var wl workload
+	var err error
+	if *appsCSV != "" && *invCSV != "" {
+		wl, err = csvWorkload(*appsCSV, *invCSV, *minutes)
+	} else {
+		wl = syntheticWorkload(*fleet, *minutes, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replaying %d observations (%d apps x %d minutes) against %s",
+		len(wl.events), wl.apps, wl.minutes, *url)
+
+	if err := waitHealthy(*url, 60*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	rep := replay(wl, replayConfig{
+		BaseURL:     *url,
+		Speedup:     *speedup,
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+	})
+	fmt.Print(rep.String())
+
+	exit := 0
+	if rep.Errors > 0 {
+		log.Printf("FAIL: %d/%d requests errored", rep.Errors, rep.Requests)
+		exit = 1
+	}
+	if *checkMetric {
+		if err := checkMetrics(*url, rep.Requests-rep.Errors); err != nil {
+			log.Printf("FAIL: %v", err)
+			exit = 1
+		} else {
+			log.Printf("metrics check passed: observe counters match %d replayed requests", rep.Requests-rep.Errors)
+		}
+	}
+	os.Exit(exit)
+}
+
+// obsEvent is one minute's observation for one app.
+type obsEvent struct {
+	app    string
+	minute int
+	conc   float64
+}
+
+type workload struct {
+	events  []obsEvent // sorted by minute
+	apps    int
+	minutes int
+}
+
+// csvWorkload derives per-app per-minute average concurrency from a
+// tracegen CSV pair, exactly as femuxd does for training.
+func csvWorkload(appsPath, invPath string, maxMinutes int) (workload, error) {
+	af, err := os.Open(appsPath)
+	if err != nil {
+		return workload{}, err
+	}
+	defer af.Close()
+	inf, err := os.Open(invPath)
+	if err != nil {
+		return workload{}, err
+	}
+	defer inf.Close()
+	ds, err := trace.ReadDataset(af, inf, 62*24*time.Hour)
+	if err != nil {
+		return workload{}, err
+	}
+
+	var maxEnd time.Duration
+	for _, a := range ds.Apps {
+		for _, inv := range a.Invocations {
+			if end := inv.Arrival + inv.Duration; end > maxEnd {
+				maxEnd = end
+			}
+		}
+	}
+	minutes := int(maxEnd/time.Minute) + 1
+	if maxMinutes > 0 && minutes > maxMinutes {
+		minutes = maxMinutes
+	}
+	var wl workload
+	wl.minutes = minutes
+	for _, a := range ds.Apps {
+		spans := make([]timeseries.Interval, len(a.Invocations))
+		for i, inv := range a.Invocations {
+			spans[i] = timeseries.Interval{Start: inv.Arrival, End: inv.Arrival + inv.Duration}
+		}
+		series := timeseries.AverageConcurrency(spans, time.Minute, minutes)
+		for m := 0; m < minutes; m++ {
+			wl.events = append(wl.events, obsEvent{app: a.Name, minute: m, conc: series.Values[m]})
+		}
+		wl.apps++
+	}
+	sortEvents(wl.events)
+	return wl, nil
+}
+
+// syntheticWorkload builds a seeded fleet of diurnal-ish apps without
+// needing CSV files: app i oscillates with its own period and amplitude.
+func syntheticWorkload(apps, minutes int, seed int64) workload {
+	rng := rand.New(rand.NewSource(seed))
+	var wl workload
+	wl.apps, wl.minutes = apps, minutes
+	for a := 0; a < apps; a++ {
+		base := 0.5 + 4*rng.Float64()
+		period := float64(20 + rng.Intn(120))
+		phase := rng.Float64() * 2 * math.Pi
+		for m := 0; m < minutes; m++ {
+			c := base * (1 + math.Sin(2*math.Pi*float64(m)/period+phase))
+			c += 0.2 * rng.NormFloat64()
+			if c < 0 {
+				c = 0
+			}
+			wl.events = append(wl.events, obsEvent{
+				app:    fmt.Sprintf("load-%d", a),
+				minute: m,
+				conc:   math.Round(c*1000) / 1000,
+			})
+		}
+	}
+	sortEvents(wl.events)
+	return wl
+}
+
+func sortEvents(evs []obsEvent) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].minute < evs[j].minute })
+}
+
+type replayConfig struct {
+	BaseURL     string
+	Speedup     float64 // 0 = as fast as possible
+	Concurrency int
+	Timeout     time.Duration
+}
+
+// Report aggregates the replay outcome.
+type Report struct {
+	Requests   int
+	Errors     int
+	Wall       time.Duration
+	Throughput float64 // requests per wall-clock second
+	Mean       time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests:    %d\n", r.Requests)
+	fmt.Fprintf(&b, "errors:      %d (%.2f%%)\n", r.Errors, 100*float64(r.Errors)/math.Max(1, float64(r.Requests)))
+	fmt.Fprintf(&b, "wall time:   %s\n", r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "throughput:  %.1f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "latency:     mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Max.Round(time.Microsecond))
+	return b.String()
+}
+
+// replay streams the workload minute by minute. Within a minute, events
+// fan out across the worker pool; between minutes the sender sleeps to
+// hold the requested speedup (a real collector posts once per app-minute).
+func replay(wl workload, cfg replayConfig) Report {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency,
+			MaxIdleConnsPerHost: cfg.Concurrency,
+		},
+	}
+
+	jobs := make(chan obsEvent, cfg.Concurrency)
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	durs := make([][]time.Duration, cfg.Concurrency)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ev := range jobs {
+				body := fmt.Sprintf(`{"concurrency": %g}`, ev.conc)
+				start := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/v1/apps/"+ev.app+"/observe",
+					"application/json", strings.NewReader(body))
+				elapsed := time.Since(start)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				durs[w] = append(durs[w], elapsed)
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	minuteBudget := time.Duration(0)
+	if cfg.Speedup > 0 {
+		minuteBudget = time.Duration(float64(time.Minute) / cfg.Speedup)
+	}
+	i := 0
+	for i < len(wl.events) {
+		minuteStart := time.Now()
+		m := wl.events[i].minute
+		for i < len(wl.events) && wl.events[i].minute == m {
+			jobs <- wl.events[i]
+			i++
+		}
+		if minuteBudget > 0 {
+			if sleep := minuteBudget - time.Since(minuteStart); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := Report{
+		Requests:   len(all),
+		Errors:     int(errs.Load()),
+		Wall:       wall,
+		Throughput: float64(len(all)) / math.Max(wall.Seconds(), 1e-9),
+	}
+	if len(all) > 0 {
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		rep.Mean = sum / time.Duration(len(all))
+		rep.P50 = percentile(all, 0.50)
+		rep.P95 = percentile(all, 0.95)
+		rep.P99 = percentile(all, 0.99)
+		rep.Max = all[len(all)-1]
+	}
+	return rep
+}
+
+// percentile reads the nearest-rank percentile from a sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// waitHealthy polls /healthz until the server answers or the deadline
+// passes (femuxd trains its model before it starts listening).
+func waitHealthy(baseURL string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s", baseURL, wait)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// checkMetrics scrapes /metrics and verifies the server counted exactly
+// the observations this process sent (both the HTTP-layer counter and the
+// per-app FeMux counter). Requires an otherwise idle server.
+func checkMetrics(baseURL string, sent int) error {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scraping metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	scrape := string(b)
+	httpObserves := sumMetricFiltered(scrape, "femux_http_requests_total", `endpoint="observe"`, `code="200"`)
+	appObserves := sumMetricPrefix(scrape, "femux_observations_total")
+	if int(httpObserves) != sent {
+		return fmt.Errorf("femux_http_requests_total{endpoint=observe,code=200} = %g, want %d", httpObserves, sent)
+	}
+	if int(appObserves) != sent {
+		return fmt.Errorf("femux_observations_total sum = %g, want %d", appObserves, sent)
+	}
+	return nil
+}
+
+// sumMetricPrefix sums every sample line of one metric family.
+func sumMetricPrefix(scrape, name string) float64 {
+	var sum float64
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// sumMetricFiltered sums samples whose label block contains every filter.
+func sumMetricFiltered(scrape, name string, filters ...string) float64 {
+	var sum float64
+outer:
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		for _, f := range filters {
+			if !strings.Contains(line, f) {
+				continue outer
+			}
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
+	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
+)
+
+func tinyService(t testing.TB) (*knative.Service, *httptest.Server) {
+	t.Helper()
+	cfg := femux.DefaultConfig(rum.Default())
+	cfg.BlockSize = 30
+	cfg.Window = 30
+	cfg.K = 3
+	cfg.Forecasters = []forecast.Forecaster{
+		forecast.NewExpSmoothing(),
+		forecast.NewCeilPeak(10),
+	}
+	rng := rand.New(rand.NewSource(5))
+	apps := make([]femux.TrainApp, 4)
+	for i := range apps {
+		vals := make([]float64, 90)
+		for tt := range vals {
+			if (tt+i)%7 < 3 {
+				vals[tt] = 1 + rng.Float64()
+			}
+		}
+		apps[i] = femux.TrainApp{Demand: timeseries.New(time.Minute, vals), ExecSec: 0.1, MemoryGB: 0.2}
+	}
+	m, err := femux.Train(apps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := knative.NewService(m)
+	reg := serving.NewRegistry()
+	svc.InstrumentWith(reg)
+	hm := serving.NewHTTPMetrics(reg)
+	// Mirror femuxd's route layout: API at /, /metrics alongside.
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	srv := httptest.NewServer(hm.Instrument(mux))
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func TestSyntheticWorkloadShape(t *testing.T) {
+	wl := syntheticWorkload(3, 50, 7)
+	if wl.apps != 3 || wl.minutes != 50 {
+		t.Fatalf("shape = %d apps x %d minutes", wl.apps, wl.minutes)
+	}
+	if len(wl.events) != 150 {
+		t.Fatalf("events = %d, want 150", len(wl.events))
+	}
+	lastMinute := -1
+	for _, ev := range wl.events {
+		if ev.minute < lastMinute {
+			t.Fatal("events not sorted by minute")
+		}
+		lastMinute = ev.minute
+		if ev.conc < 0 {
+			t.Fatalf("negative concurrency %v", ev.conc)
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := syntheticWorkload(3, 50, 7)
+	for i := range wl.events {
+		if wl.events[i] != again.events[i] {
+			t.Fatal("synthetic workload not deterministic")
+		}
+	}
+}
+
+func TestReplayAgainstService(t *testing.T) {
+	_, srv := tinyService(t)
+	wl := syntheticWorkload(4, 40, 3) // 160 observations
+	rep := replay(wl, replayConfig{
+		BaseURL:     srv.URL,
+		Speedup:     0,
+		Concurrency: 8,
+		Timeout:     10 * time.Second,
+	})
+	if rep.Requests != 160 {
+		t.Errorf("requests = %d, want 160", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Errorf("percentiles inconsistent: %+v", rep)
+	}
+	if err := checkMetrics(srv.URL, rep.Requests); err != nil {
+		t.Errorf("metrics check: %v", err)
+	}
+	// The check must actually bite: a wrong expected count fails.
+	if err := checkMetrics(srv.URL, rep.Requests+1); err == nil {
+		t.Error("checkMetrics accepted a wrong count")
+	}
+	out := rep.String()
+	for _, want := range []string{"requests:", "errors:", "throughput:", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplaySpeedupPacing(t *testing.T) {
+	_, srv := tinyService(t)
+	wl := syntheticWorkload(2, 5, 1) // 5 minutes of trace
+	start := time.Now()
+	rep := replay(wl, replayConfig{
+		BaseURL:     srv.URL,
+		Speedup:     1200, // one trace-minute per 50 ms -> >= 200 ms floor
+		Concurrency: 4,
+		Timeout:     5 * time.Second,
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	// 5 minutes at 1200x is 250 ms of pacing; the last minute's sleep also
+	// counts, so the wall clock must be at least 4 full budgets.
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Errorf("replay finished in %s; pacing not applied", elapsed)
+	}
+}
+
+func TestCSVWorkloadRoundTrip(t *testing.T) {
+	// Generate a small dataset, write it with the trace package, and make
+	// sure the load generator derives a consistent workload from it.
+	ds := trace.GenerateIBM(trace.IBMGenConfig{Seed: 9, Apps: 3, Days: 45.0 / (24 * 60)})
+	dir := t.TempDir()
+	appsPath := filepath.Join(dir, "apps.csv")
+	invPath := filepath.Join(dir, "inv.csv")
+	var apps, invs bytes.Buffer
+	if err := trace.WriteApps(&apps, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteInvocations(&invs, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(appsPath, apps.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(invPath, invs.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := csvWorkload(appsPath, invPath, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.apps != 3 {
+		t.Errorf("apps = %d", wl.apps)
+	}
+	if wl.minutes != 30 {
+		t.Errorf("minutes = %d (cap not applied)", wl.minutes)
+	}
+	if len(wl.events) != wl.apps*wl.minutes {
+		t.Errorf("events = %d, want %d", len(wl.events), wl.apps*wl.minutes)
+	}
+
+	// And the CSV-derived workload replays cleanly end to end.
+	_, srv := tinyService(t)
+	rep := replay(wl, replayConfig{BaseURL: srv.URL, Concurrency: 4, Timeout: 5 * time.Second})
+	if rep.Errors != 0 {
+		t.Errorf("replay errors = %d", rep.Errors)
+	}
+	if rep.Requests != len(wl.events) {
+		t.Errorf("requests = %d, want %d", rep.Requests, len(wl.events))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(ds, 0.5); got != 5 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := percentile(ds, 0.99); got != 10 {
+		t.Errorf("p99 = %d", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+}

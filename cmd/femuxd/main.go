@@ -9,23 +9,47 @@
 //	femuxd -addr :8080 -apps ibm_apps.csv -invocations ibm_invocations.csv
 //
 // Endpoints: POST /v1/apps/{app}/observe, GET /v1/apps/{app}/target,
-// GET /v1/apps/{app}/forecast, GET /healthz.
+// GET /v1/apps/{app}/forecast, GET /healthz, GET /metrics (Prometheus
+// text), POST /v1/admin/reload (hot-swap a retrained model; SIGHUP does
+// the same), and /debug/pprof. SIGINT/SIGTERM drain in-flight requests
+// before exiting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/experiments"
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
+
+// buildOpts captures everything needed to (re)build the serving model, so
+// startup, SIGHUP, and POST /v1/admin/reload share one code path.
+type buildOpts struct {
+	modelPath string // load a serialized model instead of training
+	appsCSV   string
+	invCSV    string
+	fleet     int
+	days      float64
+	seed      int64
+	blockMin  int
+	window    int
+	workers   int
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,72 +59,210 @@ func main() {
 		appsCSV   = flag.String("apps", "", "apps CSV from tracegen (optional)")
 		invCSV    = flag.String("invocations", "", "invocations CSV from tracegen (optional)")
 		fleet     = flag.Int("fleet", 48, "synthetic training fleet size when no CSV is given")
+		days      = flag.Float64("days", 2, "synthetic training trace length in days")
 		seed      = flag.Int64("seed", 1, "seed for synthetic training")
 		blockMin  = flag.Int("block", 144, "block size in minutes")
+		workers   = flag.Int("workers", 0, "training worker goroutines (0 = one per CPU)")
 		modelPath = flag.String("model", "", "load a trained model instead of training")
 		savePath  = flag.String("save", "", "save the trained model to this path")
+
+		reqTimeout      = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout on the API path")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "drain deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	var model *femux.Model
-	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		model, err = femux.Load(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded model from %s", *modelPath)
-	} else {
-		var train []femux.TrainApp
-		if *appsCSV != "" && *invCSV != "" {
-			ds, err := loadDataset(*appsCSV, *invCSV)
-			if err != nil {
-				log.Fatal(err)
-			}
-			train = trainAppsFromDataset(ds)
-			log.Printf("loaded %d apps from %s", len(train), *appsCSV)
-		} else {
-			train = experiments.AzureFleet(experiments.Scale{Seed: *seed, Apps: *fleet, Days: 2})
-			log.Printf("training on synthetic fleet of %d apps", len(train))
-		}
-		cfg := femux.DefaultConfig(rum.Default())
-		cfg.BlockSize = *blockMin
-		cfg.Window = 120
-		var err error
-		model, err = femux.Train(train, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+	opts := buildOpts{
+		modelPath: *modelPath, appsCSV: *appsCSV, invCSV: *invCSV,
+		fleet: *fleet, days: *days, seed: *seed, blockMin: *blockMin,
+		window: 120, workers: *workers,
+	}
+	model, err := buildModel(opts)
+	if err != nil {
+		log.Fatal(err)
 	}
 	log.Printf("model ready: %d clusters, default forecaster %s",
 		model.Diag.Clusters, model.DefaultForecaster().Name())
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
+		if err := writeModel(*savePath, model); err != nil {
 			log.Fatal(err)
 		}
-		if err := model.Save(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
 		log.Printf("saved model to %s", *savePath)
 	}
 
 	svc := knative.NewService(model)
+	reg := serving.NewRegistry()
+	reg.RegisterGoMetrics()
+	svc.InstrumentWith(reg)
+
+	reload := func() (*femux.Model, error) { return buildModel(opts) }
+	handler := newHandler(svc, reg, reload, log.Default(), *reqTimeout)
+
 	server := &http.Server{
 		Addr:         *addr,
-		Handler:      svc.Handler(),
+		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		WriteTimeout: 0, // per-route deadlines come from http.TimeoutHandler
 	}
+
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	go func() {
+		for sig := range sigc {
+			if sig == syscall.SIGHUP {
+				log.Printf("SIGHUP: reloading model")
+				go func() {
+					if err := reloadAndSwap(svc, reload); err != nil {
+						log.Printf("reload failed: %v", err)
+					} else {
+						log.Printf("reload complete: %d total", svc.Reloads())
+					}
+				}()
+				continue
+			}
+			log.Printf("received %s", sig)
+			close(stop)
+			return
+		}
+	}()
+
 	log.Printf("serving FeMux API on %s", *addr)
-	if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := serving.Run(server, stop, *shutdownTimeout, log.Printf); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// buildModel loads or trains the serving model according to opts.
+func buildModel(opts buildOpts) (*femux.Model, error) {
+	if opts.modelPath != "" {
+		m, err := loadModelFile(opts.modelPath)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded model from %s", opts.modelPath)
+		return m, nil
+	}
+	var train []femux.TrainApp
+	if opts.appsCSV != "" && opts.invCSV != "" {
+		ds, err := loadDataset(opts.appsCSV, opts.invCSV)
+		if err != nil {
+			return nil, err
+		}
+		train = trainAppsFromDataset(ds)
+		log.Printf("loaded %d apps from %s", len(train), opts.appsCSV)
+	} else {
+		train = experiments.AzureFleet(experiments.Scale{Seed: opts.seed, Apps: opts.fleet, Days: opts.days})
+		log.Printf("training on synthetic fleet of %d apps", len(train))
+	}
+	cfg := femux.DefaultConfig(rum.Default())
+	cfg.BlockSize = opts.blockMin
+	cfg.Window = opts.window
+	cfg.Workers = opts.workers
+	return femux.Train(train, cfg)
+}
+
+// loadModelFile reads a model serialized by femux.Model.Save.
+func loadModelFile(path string) (*femux.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return femux.Load(f)
+}
+
+// writeModel saves the model, reporting Close errors: on a full disk the
+// final flush is what fails, and ignoring it would ship a truncated model.
+func writeModel(path string, m *femux.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("femuxd: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// reloadState serializes hot reloads: a second reload while one is in
+// flight is rejected rather than queued (the newest model wins anyway).
+var reloadBusy atomic.Bool
+
+// reloadAndSwap rebuilds the model and atomically swaps it into the
+// service. In-flight requests keep the old model until they finish.
+func reloadAndSwap(svc *knative.Service, rebuild func() (*femux.Model, error)) error {
+	if !reloadBusy.CompareAndSwap(false, true) {
+		return fmt.Errorf("reload already in progress")
+	}
+	defer reloadBusy.Store(false)
+	m, err := rebuild()
+	if err != nil {
+		return err
+	}
+	svc.SwapModel(m)
+	return nil
+}
+
+// reloadResponse is the admin reload reply.
+type reloadResponse struct {
+	Reloads           int    `json:"reloads"`
+	DefaultForecaster string `json:"defaultForecaster"`
+	Clusters          int    `json:"clusters"`
+	DurationMs        int64  `json:"durationMs"`
+}
+
+// newHandler assembles the production middleware stack:
+//
+//	logging -> instrumentation -> { API (timeout-bounded), /metrics,
+//	                               /v1/admin/reload, /debug/pprof }
+//
+// The admin reload and pprof routes sit outside the request timeout:
+// retraining and CPU profiles legitimately run for longer than an API
+// request is allowed to.
+func newHandler(svc *knative.Service, reg *serving.Registry, rebuild func() (*femux.Model, error), logger *log.Logger, timeout time.Duration) http.Handler {
+	var api http.Handler = svc.Handler()
+	if timeout > 0 {
+		api = http.TimeoutHandler(api, timeout, "request timed out\n")
+	}
+
+	root := http.NewServeMux()
+	root.Handle("/", api)
+	root.Handle("/metrics", reg.Handler())
+	root.HandleFunc("/v1/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "reload requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		start := time.Now()
+		if err := reloadAndSwap(svc, rebuild); err != nil {
+			status := http.StatusInternalServerError
+			if err.Error() == "reload already in progress" {
+				status = http.StatusConflict
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		m := svc.Model()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reloadResponse{
+			Reloads:           svc.Reloads(),
+			DefaultForecaster: m.DefaultForecaster().Name(),
+			Clusters:          m.Diag.Clusters,
+			DurationMs:        time.Since(start).Milliseconds(),
+		})
+	})
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	hm := serving.NewHTTPMetrics(reg)
+	return serving.LogRequests(logger, hm.Instrument(root))
 }
 
 func loadDataset(appsPath, invPath string) (*trace.Dataset, error) {

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
+)
+
+func tinyModel(t testing.TB) *femux.Model {
+	t.Helper()
+	cfg := femux.DefaultConfig(rum.Default())
+	cfg.BlockSize = 30
+	cfg.Window = 30
+	cfg.K = 3
+	// Only registry forecasters: the round-trip test reloads by name.
+	cfg.Forecasters = []forecast.Forecaster{
+		forecast.NewFFT(10),
+		forecast.NewExpSmoothing(),
+		forecast.NewCeilPeak(10),
+	}
+	rng := rand.New(rand.NewSource(11))
+	apps := make([]femux.TrainApp, 6)
+	for i := range apps {
+		vals := make([]float64, 120)
+		for tt := range vals {
+			if (tt+i)%8 < 2 {
+				vals[tt] = 1 + rng.Float64()
+			}
+		}
+		apps[i] = femux.TrainApp{Demand: timeseries.New(time.Minute, vals), ExecSec: 0.1, MemoryGB: 0.2}
+	}
+	m, err := femux.Train(apps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestModelSaveLoadRoundTrip is the regression test for the CLI
+// save/load path (writeModel previously ignored the Close error, so a
+// full disk could silently truncate the model file).
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := tinyModel(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := writeModel(path, m); err != nil {
+		t.Fatalf("writeModel: %v", err)
+	}
+	got, err := loadModelFile(path)
+	if err != nil {
+		t.Fatalf("loadModelFile: %v", err)
+	}
+	if got.DefaultForecaster().Name() != m.DefaultForecaster().Name() {
+		t.Errorf("default forecaster %q != %q",
+			got.DefaultForecaster().Name(), m.DefaultForecaster().Name())
+	}
+	if got.Diag.Clusters != m.Diag.Clusters {
+		t.Errorf("clusters %d != %d", got.Diag.Clusters, m.Diag.Clusters)
+	}
+	// Decisions must survive the round trip byte-for-byte.
+	hist := []float64{0, 1, 2, 3, 2, 1, 0, 1, 2, 3}
+	p1, p2 := m.NewAppPolicy(0), got.NewAppPolicy(0)
+	for i := 1; i <= len(hist); i++ {
+		if a, b := p1.Target(hist[:i], 1), p2.Target(hist[:i], 1); a != b {
+			t.Fatalf("target diverged at step %d: %d != %d", i, a, b)
+		}
+	}
+}
+
+func TestWriteModelErrors(t *testing.T) {
+	m := tinyModel(t)
+	if err := writeModel(filepath.Join(t.TempDir(), "no", "such", "dir", "m.json"), m); err == nil {
+		t.Error("writeModel into a missing directory should fail")
+	}
+	// Loading garbage fails cleanly.
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadModelFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+// TestHandlerAdminReload exercises the full production handler stack:
+// metrics scrape, admin reload happy path, method guard, rebuild failure,
+// and the busy guard against overlapping reloads.
+func TestHandlerAdminReload(t *testing.T) {
+	model := tinyModel(t)
+	svc := knative.NewService(model)
+	reg := serving.NewRegistry()
+	reg.RegisterGoMetrics()
+	svc.InstrumentWith(reg)
+
+	next := tinyModel(t)
+	block := make(chan struct{})
+	var rebuildErr error
+	rebuild := func() (*femux.Model, error) {
+		<-block
+		if rebuildErr != nil {
+			return nil, rebuildErr
+		}
+		return next, nil
+	}
+	logger := log.New(io.Discard, "", 0)
+	srv := httptest.NewServer(newHandler(svc, reg, rebuild, logger, 5*time.Second))
+	defer srv.Close()
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/v1/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET reload = %d, want 405", resp.StatusCode)
+	}
+
+	// Overlapping reloads: the first blocks in rebuild, the second is
+	// rejected with 409.
+	first := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/admin/reload", "", nil)
+		if err != nil {
+			first <- nil
+			return
+		}
+		first <- resp
+	}()
+	waitUntil(t, func() bool { return reloadBusy.Load() })
+	resp, err = http.Post(srv.URL+"/v1/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("concurrent reload = %d, want 409", resp.StatusCode)
+	}
+	close(block)
+	r1 := <-first
+	if r1 == nil {
+		t.Fatal("first reload request failed")
+	}
+	var rr reloadResponse
+	if err := json.NewDecoder(r1.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusOK || rr.Reloads != 1 {
+		t.Errorf("first reload: status=%d resp=%+v", r1.StatusCode, rr)
+	}
+	if svc.Model() != next {
+		t.Error("model not swapped by admin reload")
+	}
+
+	// Rebuild failure surfaces as 500 and leaves the model untouched.
+	rebuildErr = io.ErrUnexpectedEOF
+	resp, err = http.Post(srv.URL+"/v1/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("failed reload = %d, want 500", resp.StatusCode)
+	}
+	if svc.Model() != next {
+		t.Error("failed reload must not swap the model")
+	}
+
+	// The stack serves API traffic and reflects it in /metrics.
+	resp, err = http.Post(srv.URL+"/v1/apps/demo/observe", "application/json",
+		strings.NewReader(`{"concurrency": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe through stack = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`femux_http_requests_total{endpoint="observe",method="POST",code="200"} 1`,
+		`femux_observations_total{app="demo"} 1`,
+		"femux_model_reloads_total 1",
+		"go_goroutines",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// pprof index is mounted.
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

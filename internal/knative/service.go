@@ -2,12 +2,15 @@ package knative
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
 )
 
 // Service is the FeMux forecasting microservice (Fig 13): a REST API that
@@ -28,10 +31,12 @@ import (
 //	    raw concurrency forecast from the app's current forecaster.
 //	GET  /healthz
 type Service struct {
-	model *femux.Model
+	mu      sync.RWMutex
+	model   *femux.Model
+	apps    map[string]*svcApp
+	reloads int
 
-	mu   sync.RWMutex
-	apps map[string]*svcApp
+	metrics *ServiceMetrics // nil when metrics are not wired
 }
 
 type svcApp struct {
@@ -40,9 +45,92 @@ type svcApp struct {
 	history []float64
 }
 
+// maxObserveBody bounds the observe POST body; real observations are a
+// few dozen bytes, so anything near the cap is a client bug or abuse.
+const maxObserveBody = 1 << 20
+
 // NewService returns a Service backed by a trained model.
 func NewService(model *femux.Model) *Service {
 	return &Service{model: model, apps: map[string]*svcApp{}}
+}
+
+// Model returns the model currently serving requests.
+func (s *Service) Model() *femux.Model {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.model
+}
+
+// Reloads reports how many times the model has been hot-swapped.
+func (s *Service) Reloads() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reloads
+}
+
+// SwapModel atomically replaces the serving model (the paper retrains
+// monthly offline and ships the classifier into the forecasting pods).
+// Each tracked application gets a fresh policy from the new model while
+// keeping its observation history, so forecasting continuity survives the
+// swap. Requests already holding the old policy finish against the old
+// model — nothing in flight is dropped or torn.
+func (s *Service) SwapModel(m *femux.Model) {
+	s.mu.Lock()
+	s.model = m
+	s.reloads++
+	for _, a := range s.apps {
+		a.mu.Lock()
+		a.policy = m.NewAppPolicy(0)
+		a.mu.Unlock()
+	}
+	sm := s.metrics
+	s.mu.Unlock()
+	if sm != nil {
+		sm.Reloads.Inc()
+		sm.setModelInfo(m)
+	}
+}
+
+// ServiceMetrics are the FeMux-semantic metric families exported next to
+// the generic HTTP metrics: per-app observation/decision counters and
+// model metadata.
+type ServiceMetrics struct {
+	Observes  *serving.Counter // femux_observations_total{app}
+	Targets   *serving.Counter // femux_targets_total{app}
+	Forecasts *serving.Counter // femux_forecasts_total{app}
+	Reloads   *serving.Counter // femux_model_reloads_total
+	ModelInfo *serving.Gauge   // femux_model_info{default_forecaster,clusters}
+}
+
+func (sm *ServiceMetrics) setModelInfo(m *femux.Model) {
+	sm.ModelInfo.Reset()
+	sm.ModelInfo.Set(1, m.DefaultForecaster().Name(), strconv.Itoa(m.Diag.Clusters))
+}
+
+// InstrumentWith registers the service's metric families on reg and
+// starts recording. Call once, before serving traffic.
+func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
+	sm := &ServiceMetrics{
+		Observes: reg.NewCounter("femux_observations_total",
+			"Concurrency observations ingested, per application.", "app"),
+		Targets: reg.NewCounter("femux_targets_total",
+			"Scale-target decisions served, per application.", "app"),
+		Forecasts: reg.NewCounter("femux_forecasts_total",
+			"Raw forecasts served, per application.", "app"),
+		Reloads: reg.NewCounter("femux_model_reloads_total",
+			"Model hot-swaps since process start."),
+		ModelInfo: reg.NewGauge("femux_model_info",
+			"Constant 1, labeled with the serving model's metadata.",
+			"default_forecaster", "clusters"),
+	}
+	reg.NewGaugeFunc("femux_apps",
+		"Applications currently tracked by the service.",
+		func() float64 { return float64(s.Apps()) })
+	sm.setModelInfo(s.Model())
+	s.mu.Lock()
+	s.metrics = sm
+	s.mu.Unlock()
+	return sm
 }
 
 // ObserveRequest is the POST body for observations.
@@ -65,6 +153,12 @@ type ForecastResponse struct {
 	App        string    `json:"app"`
 	Forecaster string    `json:"forecaster"`
 	Values     []float64 `json:"values"`
+}
+
+func (s *Service) svcMetrics() *ServiceMetrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.metrics
 }
 
 func (s *Service) app(name string) *svcApp {
@@ -108,8 +202,15 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "observe requires POST", http.StatusMethodNotAllowed)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxObserveBody)
 		var req ObserveRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -127,6 +228,9 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		hist := a.history
 		policy := a.policy
 		a.mu.Unlock()
+		if sm := s.svcMetrics(); sm != nil {
+			sm.Observes.Inc(name)
+		}
 		target := policy.Target(hist, unitC)
 		writeJSON(w, TargetResponse{
 			App: name, Target: target,
@@ -149,6 +253,9 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		hist := a.history
 		policy := a.policy
 		a.mu.Unlock()
+		if sm := s.svcMetrics(); sm != nil {
+			sm.Targets.Inc(name)
+		}
 		target := policy.Target(hist, unitC)
 		writeJSON(w, TargetResponse{
 			App: name, Target: target,
@@ -171,6 +278,9 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		hist := a.history
 		policy := a.policy
 		a.mu.Unlock()
+		if sm := s.svcMetrics(); sm != nil {
+			sm.Forecasts.Inc(name)
+		}
 		writeJSON(w, ForecastResponse{
 			App: name, Forecaster: policy.CurrentForecaster(),
 			Values: policy.Forecast(hist, horizon),

@@ -1,0 +1,229 @@
+package knative
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+)
+
+// newInstrumentedServer stands up the same stack femuxd serves in
+// production: service handler behind instrument + body-limit middleware,
+// with /metrics mounted on the same mux.
+func newInstrumentedServer(t testing.TB) (*Service, *serving.Registry, *httptest.Server) {
+	t.Helper()
+	svc := NewService(trainTinyModel(t))
+	reg := serving.NewRegistry()
+	reg.RegisterGoMetrics()
+	svc.InstrumentWith(reg)
+	hm := serving.NewHTTPMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", svc.Handler())
+	srv := httptest.NewServer(hm.Instrument(mux))
+	t.Cleanup(srv.Close)
+	return svc, reg, srv
+}
+
+func doReq(t *testing.T, method, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, readAll(t, resp)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+func TestE2EHappyPaths(t *testing.T) {
+	svc, _, srv := newInstrumentedServer(t)
+
+	// /healthz
+	resp, body := doReq(t, "GET", srv.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	// observe grows history and returns a decision.
+	var tr TargetResponse
+	for i := 1; i <= 4; i++ {
+		resp, body = doReq(t, "POST", srv.URL+"/v1/apps/web/observe",
+			`{"concurrency": 3, "unitConcurrency": 2}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe %d = %d %q", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal([]byte(body), &tr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.History != i {
+			t.Errorf("observe %d: history = %d", i, tr.History)
+		}
+	}
+	if tr.App != "web" || tr.Forecaster == "" || tr.Target < 0 {
+		t.Errorf("bad target response: %+v", tr)
+	}
+
+	// target is read-only.
+	resp, body = doReq(t, "GET", srv.URL+"/v1/apps/web/target?concurrency=2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("target = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.History != 4 {
+		t.Errorf("target grew history to %d", tr.History)
+	}
+
+	// forecast returns exactly horizon values.
+	resp, body = doReq(t, "GET", srv.URL+"/v1/apps/web/forecast?horizon=7", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast = %d", resp.StatusCode)
+	}
+	var fr ForecastResponse
+	if err := json.Unmarshal([]byte(body), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Values) != 7 || fr.Forecaster == "" {
+		t.Errorf("forecast response: %+v", fr)
+	}
+
+	if svc.Apps() != 1 {
+		t.Errorf("apps tracked = %d", svc.Apps())
+	}
+}
+
+func TestE2EErrorPaths(t *testing.T) {
+	_, _, srv := newInstrumentedServer(t)
+	oversized := `{"concurrency": 1, "pad": "` + strings.Repeat("x", maxObserveBody+1) + `"}`
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"wrong method observe", "GET", "/v1/apps/x/observe", "", http.StatusMethodNotAllowed},
+		{"wrong method target", "POST", "/v1/apps/x/target", "{}", http.StatusMethodNotAllowed},
+		{"wrong method forecast", "DELETE", "/v1/apps/x/forecast", "", http.StatusMethodNotAllowed},
+		{"malformed json", "POST", "/v1/apps/x/observe", "{nope", http.StatusBadRequest},
+		{"wrong body type", "POST", "/v1/apps/x/observe", `{"concurrency": "high"}`, http.StatusBadRequest},
+		{"negative concurrency", "POST", "/v1/apps/x/observe", `{"concurrency": -4}`, http.StatusBadRequest},
+		{"oversized payload", "POST", "/v1/apps/x/observe", oversized, http.StatusRequestEntityTooLarge},
+		{"unknown action", "GET", "/v1/apps/x/selfdestruct", "", http.StatusNotFound},
+		{"empty app name", "GET", "/v1/apps//target", "", http.StatusNotFound},
+		{"missing action", "GET", "/v1/apps/x", "", http.StatusNotFound},
+		{"bare prefix", "GET", "/v1/apps/", "", http.StatusNotFound},
+		{"bad target concurrency", "GET", "/v1/apps/x/target?concurrency=-2", "", http.StatusBadRequest},
+		{"non-numeric concurrency", "GET", "/v1/apps/x/target?concurrency=lots", "", http.StatusBadRequest},
+		{"zero horizon", "GET", "/v1/apps/x/forecast?horizon=0", "", http.StatusBadRequest},
+		{"huge horizon", "GET", "/v1/apps/x/forecast?horizon=99999", "", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := doReq(t, c.method, srv.URL+c.path, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: %s %s = %d, want %d", c.name, c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+}
+
+func TestE2EMetricsMatchTraffic(t *testing.T) {
+	svc, _, srv := newInstrumentedServer(t)
+	const observes, targets, forecasts = 7, 3, 2
+	for i := 0; i < observes; i++ {
+		resp, _ := doReq(t, "POST", srv.URL+"/v1/apps/m/observe", `{"concurrency": 1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe = %d", resp.StatusCode)
+		}
+	}
+	for i := 0; i < targets; i++ {
+		doReq(t, "GET", srv.URL+"/v1/apps/m/target", "")
+	}
+	for i := 0; i < forecasts; i++ {
+		doReq(t, "GET", srv.URL+"/v1/apps/m/forecast", "")
+	}
+	doReq(t, "POST", srv.URL+"/v1/apps/m/observe", "{bad") // 400: counted by HTTP, not by app metrics
+
+	resp, body := doReq(t, "GET", srv.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	wants := []string{
+		fmt.Sprintf(`femux_http_requests_total{endpoint="observe",method="POST",code="200"} %d`, observes),
+		`femux_http_requests_total{endpoint="observe",method="POST",code="400"} 1`,
+		fmt.Sprintf(`femux_http_requests_total{endpoint="target",method="GET",code="200"} %d`, targets),
+		fmt.Sprintf(`femux_http_requests_total{endpoint="forecast",method="GET",code="200"} %d`, forecasts),
+		fmt.Sprintf(`femux_observations_total{app="m"} %d`, observes),
+		fmt.Sprintf(`femux_targets_total{app="m"} %d`, targets),
+		fmt.Sprintf(`femux_forecasts_total{app="m"} %d`, forecasts),
+		`femux_apps 1`,
+		`femux_model_reloads_total 0`,
+		fmt.Sprintf(`femux_model_info{default_forecaster="%s",clusters="%d"} 1`,
+			svc.Model().DefaultForecaster().Name(), svc.Model().Diag.Clusters),
+		fmt.Sprintf(`femux_http_request_duration_seconds_count{endpoint="observe"} %d`, observes+1),
+		"go_goroutines",
+	}
+	for _, w := range wants {
+		if !strings.Contains(body, w) {
+			t.Errorf("metrics missing %q", w)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", body)
+	}
+}
+
+func TestE2EHotReloadKeepsHistory(t *testing.T) {
+	svc, _, srv := newInstrumentedServer(t)
+	for i := 0; i < 5; i++ {
+		doReq(t, "POST", srv.URL+"/v1/apps/keep/observe", `{"concurrency": 2}`)
+	}
+	next := trainTinyModel(t)
+	svc.SwapModel(next)
+	if svc.Model() != next {
+		t.Fatal("model not swapped")
+	}
+	if svc.Reloads() != 1 {
+		t.Errorf("reloads = %d", svc.Reloads())
+	}
+	resp, body := doReq(t, "GET", srv.URL+"/v1/apps/keep/target", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("target after reload = %d", resp.StatusCode)
+	}
+	var tr TargetResponse
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.History != 5 {
+		t.Errorf("history after reload = %d, want 5 (preserved)", tr.History)
+	}
+	_, body = doReq(t, "GET", srv.URL+"/metrics", "")
+	if !strings.Contains(body, "femux_model_reloads_total 1") {
+		t.Errorf("reload counter missing:\n%s", body)
+	}
+	if strings.Count(body, "femux_model_info{") != 1 {
+		t.Errorf("stale model_info child left behind:\n%s", body)
+	}
+}

@@ -1,0 +1,139 @@
+package serving
+
+import (
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// statusWriter captures the response status and byte count for logging and
+// metrics without changing handler behavior.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush lets streaming handlers (pprof, trace) flush through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// EndpointLabel collapses a request path into a bounded-cardinality metric
+// label: app names never leak into the endpoint dimension.
+func EndpointLabel(path string) string {
+	switch {
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	case strings.HasPrefix(path, "/v1/admin/"):
+		return "admin_" + strings.TrimPrefix(path, "/v1/admin/")
+	case strings.HasPrefix(path, "/v1/apps/"):
+		rest := strings.TrimPrefix(path, "/v1/apps/")
+		if i := strings.IndexByte(rest, '/'); i >= 0 && i+1 < len(rest) {
+			switch action := rest[i+1:]; action {
+			case "observe", "target", "forecast":
+				return action
+			}
+		}
+		return "apps_other"
+	default:
+		return "other"
+	}
+}
+
+// HTTPMetrics bundles the per-endpoint serving metrics.
+type HTTPMetrics struct {
+	Requests *Counter   // femux_http_requests_total{endpoint,method,code}
+	Latency  *Histogram // femux_http_request_duration_seconds{endpoint}
+	InFlight *Gauge     // femux_http_in_flight_requests
+}
+
+// NewHTTPMetrics registers the serving metric families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: reg.NewCounter("femux_http_requests_total",
+			"HTTP requests served, by endpoint, method, and status code.",
+			"endpoint", "method", "code"),
+		Latency: reg.NewHistogram("femux_http_request_duration_seconds",
+			"HTTP request latency by endpoint.", DefaultLatencyBuckets, "endpoint"),
+		InFlight: reg.NewGauge("femux_http_in_flight_requests",
+			"Requests currently being served."),
+	}
+}
+
+// Instrument wraps next with request counting and latency histograms.
+func (m *HTTPMetrics) Instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		endpoint := EndpointLabel(r.URL.Path)
+		m.InFlight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start).Seconds()
+		m.InFlight.Add(-1)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.Requests.Inc(endpoint, r.Method, strconv.Itoa(status))
+		m.Latency.Observe(elapsed, endpoint)
+	})
+}
+
+// LogRequests wraps next with one structured key=value log line per
+// request. Health checks and metric scrapes are logged only on failure to
+// keep steady-state logs readable.
+func LogRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if status < http.StatusBadRequest &&
+			(r.URL.Path == "/healthz" || r.URL.Path == "/metrics") {
+			return
+		}
+		logger.Printf("method=%s path=%s status=%d bytes=%d dur_ms=%.3f remote=%s",
+			r.Method, r.URL.Path, status, sw.bytes,
+			float64(time.Since(start).Microseconds())/1000, r.RemoteAddr)
+	})
+}
+
+// LimitBody rejects request bodies larger than n bytes. Handlers see the
+// limit as a decode error; http.MaxBytesReader closes the connection and
+// stamps the 413 status.
+func LimitBody(n int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

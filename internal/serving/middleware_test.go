@@ -1,0 +1,190 @@
+package serving
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEndpointLabel(t *testing.T) {
+	cases := map[string]string{
+		"/healthz":                 "healthz",
+		"/metrics":                 "metrics",
+		"/debug/pprof/profile":     "pprof",
+		"/v1/admin/reload":         "admin_reload",
+		"/v1/apps/foo/observe":     "observe",
+		"/v1/apps/foo/target":      "target",
+		"/v1/apps/a-b.c/forecast":  "forecast",
+		"/v1/apps/foo/whatever":    "apps_other",
+		"/v1/apps/":                "apps_other",
+		"/v1/apps/secret-app-name": "apps_other",
+		"/anything/else":           "other",
+	}
+	for path, want := range cases {
+		if got := EndpointLabel(path); got != want {
+			t.Errorf("EndpointLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestInstrumentCountsAndTimes(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/apps/x/observe" {
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ok")
+			return
+		}
+		http.Error(w, "nope", http.StatusNotFound)
+	})
+	srv := httptest.NewServer(m.Instrument(inner))
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/v1/apps/x/observe", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := m.Requests.Value("observe", "POST", "200"); got != 3 {
+		t.Errorf("observe count = %v, want 3", got)
+	}
+	if got := m.Requests.Value("other", "GET", "404"); got != 1 {
+		t.Errorf("404 count = %v, want 1", got)
+	}
+	if got := m.Latency.Count("observe"); got != 3 {
+		t.Errorf("latency observations = %d, want 3", got)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Errorf("in-flight after drain = %v", got)
+	}
+}
+
+func TestLogRequests(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := LogRequests(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics":
+			w.WriteHeader(http.StatusOK)
+		case "/boom":
+			http.Error(w, "bad", http.StatusBadRequest)
+		default:
+			io.WriteString(w, "hello")
+		}
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, p := range []string{"/healthz", "/metrics", "/v1/apps/a/target", "/boom"} {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	out := buf.String()
+	if strings.Contains(out, "/healthz") || strings.Contains(out, "path=/metrics") {
+		t.Errorf("health/metrics should not be logged on success:\n%s", out)
+	}
+	if !strings.Contains(out, "path=/v1/apps/a/target status=200 bytes=5") {
+		t.Errorf("missing request log line:\n%s", out)
+	}
+	if !strings.Contains(out, "path=/boom status=400") {
+		t.Errorf("missing error log line:\n%s", out)
+	}
+}
+
+func TestLimitBody(t *testing.T) {
+	h := LimitBody(16, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.ReadAll(r.Body); err != nil {
+			http.Error(w, "too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("small body status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL, "text/plain", strings.NewReader(strings.Repeat("x", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestRunGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		io.WriteString(w, "done")
+	})
+	ln := httptest.NewUnstartedServer(nil)
+	addr := ln.Listener.Addr().String()
+	ln.Listener.Close() // free the port for our server
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	stop := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(srv, stop, 5*time.Second, nil) }()
+
+	// Wait for the listener, then park a request in-flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/nope")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- string(b)
+	}()
+	<-started
+	close(stop) // begin shutdown while /slow is in flight
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if body := <-got; body != "done" {
+		t.Errorf("in-flight request dropped during shutdown: %q", body)
+	}
+	if err := <-runErr; err != nil {
+		t.Errorf("Run returned %v", err)
+	}
+}

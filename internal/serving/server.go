@@ -1,0 +1,38 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Run serves srv until stop is closed, then drains in-flight requests via
+// context-aware graceful shutdown bounded by shutdownTimeout. It returns
+// nil on a clean stop; logf (optional) narrates lifecycle transitions.
+func Run(srv *http.Server, stop <-chan struct{}, shutdownTimeout time.Duration, logf func(format string, args ...interface{})) error {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-stop:
+		logf("shutting down, draining in-flight requests (timeout %s)", shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Drain deadline exceeded: force-close lingering connections.
+			srv.Close()
+			return err
+		}
+		<-errc // ListenAndServe has returned ErrServerClosed.
+		logf("shutdown complete")
+		return nil
+	}
+}

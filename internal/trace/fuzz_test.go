@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadDataset shakes CSV parsing with corrupted variants of real
+// tracegen output. ReadDataset must either return an error or a dataset
+// whose invariants hold — never panic, and never accept non-finite or
+// negative times that would poison downstream simulation arithmetic.
+func FuzzReadDataset(f *testing.F) {
+	// Seed corpus: genuine tracegen output plus targeted corruptions.
+	ds := GenerateIBM(IBMGenConfig{Seed: 3, Apps: 2, Days: 0.01})
+	var apps, invs bytes.Buffer
+	if err := WriteApps(&apps, ds); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteInvocations(&invs, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(apps.String(), invs.String())
+	header := "name,kind,pattern,cpu,memory_gb,concurrency,min_scale,cold_start_ms\n"
+	invHeader := "app,arrival_ms,duration_ms\n"
+	f.Add(header, invHeader)
+	f.Add(header+"a,function,steady,1,0.5,10,0,800\n", invHeader+"a,100,50\n")
+	f.Add(header+"a,function,steady,1,0.5,10,0,800\n", invHeader+"a,NaN,50\n")
+	f.Add(header+"a,function,steady,1,0.5,10,0,800\n", invHeader+"a,-5,Inf\n")
+	f.Add(header+"a,function,steady,1,0.5,10,0,800\n", invHeader+"b,1,1\n")
+	f.Add(header+"a,function,steady,NaN,-1,10,0,800\n", invHeader)
+	f.Add(header+"a,batch,x,1,0.5,10,0,800\na,function,y,1,0.5,10,0,800\n", invHeader)
+	f.Add("short,header\n", invHeader)
+	f.Add(header+`"a,function\n`, invHeader+"\"a,1")
+	f.Add(header+"a,alien,steady,1,0.5,10,0,800\n", invHeader)
+
+	f.Fuzz(func(t *testing.T, appsCSV, invCSV string) {
+		d, err := ReadDataset(strings.NewReader(appsCSV), strings.NewReader(invCSV), time.Hour)
+		if err != nil {
+			return
+		}
+		seen := map[string]bool{}
+		for _, a := range d.Apps {
+			if seen[a.Name] {
+				t.Fatalf("duplicate app %q accepted", a.Name)
+			}
+			seen[a.Name] = true
+			if a.Config.CPU < 0 || a.Config.MemoryGB < 0 || a.Config.ColdStart < 0 {
+				t.Fatalf("app %q: negative resources accepted: %+v", a.Name, a.Config)
+			}
+			if a.Config.Concurrency < 0 || a.Config.MinScale < 0 {
+				t.Fatalf("app %q: negative scale config accepted: %+v", a.Name, a.Config)
+			}
+			for i, inv := range a.Invocations {
+				if inv.Arrival < 0 || inv.Duration < 0 {
+					t.Fatalf("app %q inv %d: negative times accepted: %+v", a.Name, i, inv)
+				}
+				if i > 0 && inv.Arrival < a.Invocations[i-1].Arrival {
+					t.Fatalf("app %q: invocations not sorted", a.Name)
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 )
@@ -62,6 +63,29 @@ func WriteInvocations(w io.Writer, d *Dataset) error {
 	return cw.Error()
 }
 
+// parseFiniteNonNeg parses a float that must be finite, non-negative, and
+// small enough to convert to a time.Duration without overflow: Go's
+// float-to-int conversion of an out-of-range value yields target-dependent
+// garbage (e.g. a negative arrival time), which would poison every
+// downstream simulation.
+func parseFiniteNonNeg(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value")
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative value")
+	}
+	const maxMS = float64(math.MaxInt64 / int64(time.Millisecond))
+	if v > maxMS {
+		return 0, fmt.Errorf("value overflows a duration")
+	}
+	return v, nil
+}
+
 // ReadDataset reconstructs a Dataset from the two CSV tables.
 func ReadDataset(apps, invocations io.Reader, horizon time.Duration) (*Dataset, error) {
 	d := &Dataset{Name: "loaded", Horizon: horizon}
@@ -87,6 +111,9 @@ func ReadDataset(apps, invocations io.Reader, horizon time.Duration) (*Dataset, 
 		if err != nil {
 			return nil, err
 		}
+		if byName[app.Name] != nil {
+			return nil, fmt.Errorf("trace: duplicate app %q", app.Name)
+		}
 		byName[app.Name] = app
 		d.Apps = append(d.Apps, app)
 	}
@@ -110,11 +137,11 @@ func ReadDataset(apps, invocations io.Reader, horizon time.Duration) (*Dataset, 
 		if !ok {
 			return nil, fmt.Errorf("trace: invocation references unknown app %q", rec[0])
 		}
-		arrMS, err := strconv.ParseFloat(rec[1], 64)
+		arrMS, err := parseFiniteNonNeg(rec[1])
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad arrival %q: %w", rec[1], err)
 		}
-		durMS, err := strconv.ParseFloat(rec[2], 64)
+		durMS, err := parseFiniteNonNeg(rec[2])
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad duration %q: %w", rec[2], err)
 		}
@@ -144,23 +171,23 @@ func parseAppRecord(rec []string) (*App, error) {
 	default:
 		return nil, fmt.Errorf("trace: unknown kind %q", rec[1])
 	}
-	cpu, err := strconv.ParseFloat(rec[3], 64)
+	cpu, err := parseFiniteNonNeg(rec[3])
 	if err != nil {
 		return nil, fmt.Errorf("trace: bad cpu %q: %w", rec[3], err)
 	}
-	mem, err := strconv.ParseFloat(rec[4], 64)
+	mem, err := parseFiniteNonNeg(rec[4])
 	if err != nil {
 		return nil, fmt.Errorf("trace: bad memory %q: %w", rec[4], err)
 	}
 	conc, err := strconv.Atoi(rec[5])
-	if err != nil {
-		return nil, fmt.Errorf("trace: bad concurrency %q: %w", rec[5], err)
+	if err != nil || conc < 0 {
+		return nil, fmt.Errorf("trace: bad concurrency %q", rec[5])
 	}
 	minScale, err := strconv.Atoi(rec[6])
-	if err != nil {
-		return nil, fmt.Errorf("trace: bad min_scale %q: %w", rec[6], err)
+	if err != nil || minScale < 0 {
+		return nil, fmt.Errorf("trace: bad min_scale %q", rec[6])
 	}
-	csMS, err := strconv.ParseFloat(rec[7], 64)
+	csMS, err := parseFiniteNonNeg(rec[7])
 	if err != nil {
 		return nil, fmt.Errorf("trace: bad cold_start_ms %q: %w", rec[7], err)
 	}
