@@ -1,22 +1,38 @@
 // Command femux-load replays serverless traffic against a running femuxd
-// and reports serving-path latency, closing the loop the paper measures in
-// Fig 13 (7 ms mean / 25 ms p99 forecasting latency). It converts a
-// tracegen CSV pair (or a synthetic fleet) into the per-app per-minute
-// average-concurrency observations the metrics collector would POST, then
-// streams them at a configurable speedup and concurrency.
+// (or a femux-shard router fronting a fleet) and reports serving-path
+// latency, closing the loop the paper measures in Fig 13 (7 ms mean /
+// 25 ms p99 forecasting latency). It converts a tracegen CSV pair (or a
+// synthetic fleet) into the per-app per-minute average-concurrency
+// observations the metrics collector would POST, then streams them at a
+// configurable speedup and concurrency.
 //
 // Usage:
 //
 //	femux-load -url http://localhost:8080 -apps apps.csv -invocations inv.csv -speedup 60
 //	femux-load -url http://localhost:8080 -fleet 8 -minutes 120 -speedup 0 -concurrency 16
+//	femux-load -url http://localhost:8080 -fleet 8 -minutes 120 -batch 64
 //
-// With -speedup 0 the replay runs as fast as the server allows. The exit
-// code is non-zero if any request fails, and -check-metrics additionally
-// scrapes /metrics afterwards and verifies the server-side observe
-// counters match the number of replayed requests exactly.
+// With -batch N each minute's observations are grouped into batches of
+// at most N and POSTed to /v1/observe/batch (one WAL fsync per batch on
+// the server); the exit code is non-zero if any batch item is rejected,
+// not just on whole-request failures. With -start-minute M the replay
+// covers minutes [M, M+minutes) of the same deterministic workload, so a
+// second invocation can resume exactly where an interrupted one stopped
+// (the synthetic fleet draws per-app random streams, making every prefix
+// independent of -minutes).
+//
+// With -speedup 0 the replay runs as fast as the server allows.
+// -check-metrics scrapes /metrics afterwards and verifies the server-side
+// observe counters match the number of replayed observations exactly
+// (direct femuxd only — a router does not expose its shards' counters).
+// -expect-store N with -store-urls u1,u2 sums femux_store_observations
+// across the listed instances and fails unless the durable total equals
+// N; because that gauge is recomputed from the WAL on boot, the check
+// holds across SIGKILL and restart.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,9 +44,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
@@ -39,32 +55,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("femux-load: ")
 	var (
-		url     = flag.String("url", "http://localhost:8080", "femuxd base URL")
+		url     = flag.String("url", "http://localhost:8080", "femuxd or femux-shard base URL")
 		appsCSV = flag.String("apps", "", "apps CSV from tracegen")
 		invCSV  = flag.String("invocations", "", "invocations CSV from tracegen")
 		fleet   = flag.Int("fleet", 8, "synthetic fleet size when no CSV is given")
 		minutes = flag.Int("minutes", 120, "trace minutes to replay (caps CSV traces too)")
+		startMin = flag.Int("start-minute", 0, "first minute to replay (resume an interrupted run)")
 		seed    = flag.Int64("seed", 1, "synthetic workload seed")
 
 		speedup     = flag.Float64("speedup", 0, "replay speedup: 1 = real time, 60 = minute/second, 0 = as fast as possible")
 		concurrency = flag.Int("concurrency", 8, "in-flight request limit")
+		batch       = flag.Int("batch", 0, "observations per POST /v1/observe/batch request (0 = per-app observes)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		checkMetric = flag.Bool("check-metrics", false, "scrape /metrics after the replay and verify observe counters match")
+		storeURLs   = flag.String("store-urls", "", "comma-separated instance URLs for -expect-store")
+		expectStore = flag.Int("expect-store", -1, "expected femux_store_observations sum across -store-urls (-1 = skip)")
 	)
 	flag.Parse()
+	if *startMin < 0 {
+		log.Fatal("-start-minute must be >= 0")
+	}
 
 	var wl workload
 	var err error
 	if *appsCSV != "" && *invCSV != "" {
-		wl, err = csvWorkload(*appsCSV, *invCSV, *minutes)
+		wl, err = csvWorkload(*appsCSV, *invCSV, *startMin, *minutes)
 	} else {
-		wl = syntheticWorkload(*fleet, *minutes, *seed)
+		wl = syntheticWorkload(*fleet, *startMin, *minutes, *seed)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("replaying %d observations (%d apps x %d minutes) against %s",
-		len(wl.events), wl.apps, wl.minutes, *url)
+	mode := "per-app observes"
+	if *batch > 0 {
+		mode = fmt.Sprintf("batches of %d", *batch)
+	}
+	log.Printf("replaying %d observations (%d apps, minutes %d..%d, %s) against %s",
+		len(wl.events), wl.apps, *startMin, *startMin+wl.minutes, mode, *url)
 
 	if err := waitHealthy(*url, 60*time.Second); err != nil {
 		log.Fatal(err)
@@ -73,6 +100,7 @@ func main() {
 		BaseURL:     *url,
 		Speedup:     *speedup,
 		Concurrency: *concurrency,
+		Batch:       *batch,
 		Timeout:     *timeout,
 	})
 	fmt.Print(rep.String())
@@ -82,12 +110,25 @@ func main() {
 		log.Printf("FAIL: %d/%d requests errored", rep.Errors, rep.Requests)
 		exit = 1
 	}
+	if rep.ItemErrors > 0 {
+		log.Printf("FAIL: %d/%d batch observations rejected (first: %s)",
+			rep.ItemErrors, rep.Items, rep.FirstItemError)
+		exit = 1
+	}
 	if *checkMetric {
-		if err := checkMetrics(*url, rep.Requests-rep.Errors); err != nil {
+		if err := checkMetrics(*url, *batch > 0, rep); err != nil {
 			log.Printf("FAIL: %v", err)
 			exit = 1
 		} else {
-			log.Printf("metrics check passed: observe counters match %d replayed requests", rep.Requests-rep.Errors)
+			log.Printf("metrics check passed: observe counters match the replay")
+		}
+	}
+	if *expectStore >= 0 {
+		if err := checkStoreTotal(*storeURLs, *expectStore); err != nil {
+			log.Printf("FAIL: %v", err)
+			exit = 1
+		} else {
+			log.Printf("store check passed: durable observations = %d", *expectStore)
 		}
 	}
 	os.Exit(exit)
@@ -103,12 +144,13 @@ type obsEvent struct {
 type workload struct {
 	events  []obsEvent // sorted by minute
 	apps    int
-	minutes int
+	minutes int // minutes actually replayed (after -start-minute)
 }
 
 // csvWorkload derives per-app per-minute average concurrency from a
-// tracegen CSV pair, exactly as femuxd does for training.
-func csvWorkload(appsPath, invPath string, maxMinutes int) (workload, error) {
+// tracegen CSV pair, exactly as femuxd does for training, keeping only
+// minutes [startMin, startMin+maxMinutes).
+func csvWorkload(appsPath, invPath string, startMin, maxMinutes int) (workload, error) {
 	af, err := os.Open(appsPath)
 	if err != nil {
 		return workload{}, err
@@ -133,18 +175,21 @@ func csvWorkload(appsPath, invPath string, maxMinutes int) (workload, error) {
 		}
 	}
 	minutes := int(maxEnd/time.Minute) + 1
-	if maxMinutes > 0 && minutes > maxMinutes {
-		minutes = maxMinutes
+	if maxMinutes > 0 && minutes > startMin+maxMinutes {
+		minutes = startMin + maxMinutes
 	}
 	var wl workload
-	wl.minutes = minutes
+	wl.minutes = minutes - startMin
+	if wl.minutes < 0 {
+		wl.minutes = 0
+	}
 	for _, a := range ds.Apps {
 		spans := make([]timeseries.Interval, len(a.Invocations))
 		for i, inv := range a.Invocations {
 			spans[i] = timeseries.Interval{Start: inv.Arrival, End: inv.Arrival + inv.Duration}
 		}
 		series := timeseries.AverageConcurrency(spans, time.Minute, minutes)
-		for m := 0; m < minutes; m++ {
+		for m := startMin; m < minutes; m++ {
 			wl.events = append(wl.events, obsEvent{app: a.Name, minute: m, conc: series.Values[m]})
 		}
 		wl.apps++
@@ -155,19 +200,29 @@ func csvWorkload(appsPath, invPath string, maxMinutes int) (workload, error) {
 
 // syntheticWorkload builds a seeded fleet of diurnal-ish apps without
 // needing CSV files: app i oscillates with its own period and amplitude.
-func syntheticWorkload(apps, minutes int, seed int64) workload {
-	rng := rand.New(rand.NewSource(seed))
+// Each app draws from its own random stream, so the trace for minute m
+// does not depend on how many minutes are generated — replaying
+// [0, 120) and then [120, 250) in a second process yields exactly the
+// trace a single [0, 250) replay would have sent. That prefix stability
+// is what lets the crash-recovery smoke kill a replay mid-flight and
+// resume it against a restarted server.
+func syntheticWorkload(apps, startMin, minutes int, seed int64) workload {
 	var wl workload
 	wl.apps, wl.minutes = apps, minutes
+	end := startMin + minutes
 	for a := 0; a < apps; a++ {
+		rng := rand.New(rand.NewSource(seed*1000003 + int64(a)))
 		base := 0.5 + 4*rng.Float64()
 		period := float64(20 + rng.Intn(120))
 		phase := rng.Float64() * 2 * math.Pi
-		for m := 0; m < minutes; m++ {
+		for m := 0; m < end; m++ {
 			c := base * (1 + math.Sin(2*math.Pi*float64(m)/period+phase))
 			c += 0.2 * rng.NormFloat64()
 			if c < 0 {
 				c = 0
+			}
+			if m < startMin {
+				continue // drawn to keep the stream aligned, not replayed
 			}
 			wl.events = append(wl.events, obsEvent{
 				app:    fmt.Sprintf("load-%d", a),
@@ -188,28 +243,34 @@ type replayConfig struct {
 	BaseURL     string
 	Speedup     float64 // 0 = as fast as possible
 	Concurrency int
+	Batch       int // observations per batch request; 0 = per-app observes
 	Timeout     time.Duration
 }
 
 // Report aggregates the replay outcome.
 type Report struct {
-	Requests   int
-	Errors     int
-	Wall       time.Duration
-	Throughput float64 // requests per wall-clock second
-	Mean       time.Duration
-	P50        time.Duration
-	P95        time.Duration
-	P99        time.Duration
-	Max        time.Duration
+	Requests       int // HTTP requests issued
+	Errors         int // whole-request failures (transport error or non-200)
+	Items          int // observations carried by those requests
+	ItemErrors     int // observations rejected (per-item batch errors + items on failed requests)
+	FirstItemError string
+	Wall           time.Duration
+	Throughput     float64 // observations per wall-clock second
+	Mean           time.Duration
+	P50            time.Duration
+	P95            time.Duration
+	P99            time.Duration
+	Max            time.Duration
 }
 
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests:    %d\n", r.Requests)
 	fmt.Fprintf(&b, "errors:      %d (%.2f%%)\n", r.Errors, 100*float64(r.Errors)/math.Max(1, float64(r.Requests)))
+	fmt.Fprintf(&b, "items:       %d\n", r.Items)
+	fmt.Fprintf(&b, "item errors: %d (%.2f%%)\n", r.ItemErrors, 100*float64(r.ItemErrors)/math.Max(1, float64(r.Items)))
 	fmt.Fprintf(&b, "wall time:   %s\n", r.Wall.Round(time.Millisecond))
-	fmt.Fprintf(&b, "throughput:  %.1f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "throughput:  %.1f obs/s\n", r.Throughput)
 	fmt.Fprintf(&b, "latency:     mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
 		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
 		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
@@ -217,9 +278,20 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// workerStats is one worker's private tally, merged after the pool drains.
+type workerStats struct {
+	durs       []time.Duration
+	errors     int
+	items      int
+	itemErrors int
+	firstErr   string
+}
+
 // replay streams the workload minute by minute. Within a minute, events
-// fan out across the worker pool; between minutes the sender sleeps to
-// hold the requested speedup (a real collector posts once per app-minute).
+// fan out across the worker pool — one POST per app-minute, or one
+// batch POST per cfg.Batch observations; between minutes the sender
+// sleeps to hold the requested speedup (a real collector posts once per
+// interval).
 func replay(wl workload, cfg replayConfig) Report {
 	if cfg.Concurrency < 1 {
 		cfg.Concurrency = 1
@@ -232,28 +304,20 @@ func replay(wl workload, cfg replayConfig) Report {
 		},
 	}
 
-	jobs := make(chan obsEvent, cfg.Concurrency)
+	jobs := make(chan []obsEvent, cfg.Concurrency)
 	var wg sync.WaitGroup
-	var errs atomic.Int64
-	durs := make([][]time.Duration, cfg.Concurrency)
+	stats := make([]workerStats, cfg.Concurrency)
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for ev := range jobs {
-				body := fmt.Sprintf(`{"concurrency": %g}`, ev.conc)
-				start := time.Now()
-				resp, err := client.Post(cfg.BaseURL+"/v1/apps/"+ev.app+"/observe",
-					"application/json", strings.NewReader(body))
-				elapsed := time.Since(start)
-				if err != nil || resp.StatusCode != http.StatusOK {
-					errs.Add(1)
+			st := &stats[w]
+			for chunk := range jobs {
+				if cfg.Batch > 0 {
+					postBatch(client, cfg.BaseURL, chunk, st)
+				} else {
+					postSingle(client, cfg.BaseURL, chunk[0], st)
 				}
-				if err == nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-				}
-				durs[w] = append(durs[w], elapsed)
 			}
 		}(w)
 	}
@@ -267,10 +331,24 @@ func replay(wl workload, cfg replayConfig) Report {
 	for i < len(wl.events) {
 		minuteStart := time.Now()
 		m := wl.events[i].minute
-		for i < len(wl.events) && wl.events[i].minute == m {
-			jobs <- wl.events[i]
-			i++
+		j := i
+		for j < len(wl.events) && wl.events[j].minute == m {
+			j++
 		}
+		if cfg.Batch > 0 {
+			for k := i; k < j; k += cfg.Batch {
+				end := k + cfg.Batch
+				if end > j {
+					end = j
+				}
+				jobs <- wl.events[k:end]
+			}
+		} else {
+			for k := i; k < j; k++ {
+				jobs <- wl.events[k : k+1]
+			}
+		}
+		i = j
 		if minuteBudget > 0 {
 			if sleep := minuteBudget - time.Since(minuteStart); sleep > 0 {
 				time.Sleep(sleep)
@@ -282,16 +360,19 @@ func replay(wl workload, cfg replayConfig) Report {
 	wall := time.Since(start)
 
 	var all []time.Duration
-	for _, d := range durs {
-		all = append(all, d...)
+	rep := Report{Wall: wall}
+	for _, st := range stats {
+		all = append(all, st.durs...)
+		rep.Errors += st.errors
+		rep.Items += st.items
+		rep.ItemErrors += st.itemErrors
+		if rep.FirstItemError == "" {
+			rep.FirstItemError = st.firstErr
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	rep := Report{
-		Requests:   len(all),
-		Errors:     int(errs.Load()),
-		Wall:       wall,
-		Throughput: float64(len(all)) / math.Max(wall.Seconds(), 1e-9),
-	}
+	rep.Requests = len(all)
+	rep.Throughput = float64(rep.Items) / math.Max(wall.Seconds(), 1e-9)
 	if len(all) > 0 {
 		var sum time.Duration
 		for _, d := range all {
@@ -304,6 +385,82 @@ func replay(wl workload, cfg replayConfig) Report {
 		rep.Max = all[len(all)-1]
 	}
 	return rep
+}
+
+// postSingle replays one observation through POST /v1/apps/{app}/observe.
+func postSingle(client *http.Client, baseURL string, ev obsEvent, st *workerStats) {
+	body := fmt.Sprintf(`{"concurrency": %g}`, ev.conc)
+	start := time.Now()
+	resp, err := client.Post(baseURL+"/v1/apps/"+ev.app+"/observe",
+		"application/json", strings.NewReader(body))
+	st.durs = append(st.durs, time.Since(start))
+	st.items++
+	if err != nil {
+		st.errors++
+		st.itemErrors++
+		st.noteErr(ev.app + ": " + err.Error())
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.errors++
+		st.itemErrors++
+		st.noteErr(fmt.Sprintf("%s: HTTP %d", ev.app, resp.StatusCode))
+	}
+}
+
+// postBatch replays a chunk of observations through POST
+// /v1/observe/batch and folds the per-item outcomes into st: the server
+// answers 200 even when individual items were rejected, so partial
+// failures only surface here — exactly the case the exit code must not
+// swallow.
+func postBatch(client *http.Client, baseURL string, chunk []obsEvent, st *workerStats) {
+	req := knative.BatchObserveRequest{
+		Observations: make([]knative.BatchObservation, len(chunk)),
+	}
+	for i, ev := range chunk {
+		req.Observations[i] = knative.BatchObservation{App: ev.app, Concurrency: ev.conc}
+	}
+	body, _ := json.Marshal(req)
+	start := time.Now()
+	resp, err := client.Post(baseURL+"/v1/observe/batch", "application/json",
+		strings.NewReader(string(body)))
+	st.durs = append(st.durs, time.Since(start))
+	st.items += len(chunk)
+	if err != nil {
+		st.errors++
+		st.itemErrors += len(chunk)
+		st.noteErr("batch: " + err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		st.errors++
+		st.itemErrors += len(chunk)
+		st.noteErr(fmt.Sprintf("batch: HTTP %d", resp.StatusCode))
+		return
+	}
+	var out knative.BatchObserveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		st.errors++
+		st.itemErrors += len(chunk)
+		st.noteErr("batch: bad response: " + err.Error())
+		return
+	}
+	for _, res := range out.Results {
+		if res.Error != "" {
+			st.itemErrors++
+			st.noteErr(res.App + ": " + res.Error)
+		}
+	}
+}
+
+func (st *workerStats) noteErr(msg string) {
+	if st.firstErr == "" {
+		st.firstErr = msg
+	}
 }
 
 // percentile reads the nearest-rank percentile from a sorted slice.
@@ -342,28 +499,91 @@ func waitHealthy(baseURL string, wait time.Duration) error {
 }
 
 // checkMetrics scrapes /metrics and verifies the server counted exactly
-// the observations this process sent (both the HTTP-layer counter and the
-// per-app FeMux counter). Requires an otherwise idle server.
-func checkMetrics(baseURL string, sent int) error {
+// the observations this process sent (both the HTTP-layer counter and
+// the per-app FeMux counter). Requires an otherwise idle femuxd — a
+// femux-shard router does not re-export its backends' counters.
+func checkMetrics(baseURL string, batchMode bool, rep Report) error {
+	scrape, err := scrapeMetrics(baseURL)
+	if err != nil {
+		return err
+	}
+	endpoint, httpWant := "observe", rep.Requests-rep.Errors
+	if batchMode {
+		endpoint, httpWant = "observe_batch", rep.Requests-rep.Errors
+	}
+	accepted := rep.Items - rep.ItemErrors
+	httpOK := sumMetricFiltered(scrape, "femux_http_requests_total",
+		fmt.Sprintf(`endpoint=%q`, endpoint), `code="200"`)
+	appObserves := sumMetricPrefix(scrape, "femux_observations_total")
+	if int(httpOK) != httpWant {
+		return fmt.Errorf("femux_http_requests_total{endpoint=%s,code=200} = %g, want %d",
+			endpoint, httpOK, httpWant)
+	}
+	if int(appObserves) != accepted {
+		return fmt.Errorf("femux_observations_total sum = %g, want %d", appObserves, accepted)
+	}
+	return nil
+}
+
+// checkStoreTotal sums femux_store_observations across the given
+// instance URLs and fails unless the durable total matches. The gauge is
+// recomputed from snapshot+WAL on boot, so the check is meaningful even
+// after a SIGKILL and restart — nothing survives except what the store
+// made durable.
+func checkStoreTotal(urls string, want int) error {
+	var targets []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, u)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("-expect-store needs -store-urls")
+	}
+	total := 0.0
+	for _, u := range targets {
+		scrape, err := scrapeMetrics(u)
+		if err != nil {
+			return err
+		}
+		total += sumMetricPrefix(scrape, "femux_store_observations")
+	}
+	if int(total) != want {
+		return fmt.Errorf("femux_store_observations sum across %d instances = %g, want %d",
+			len(targets), total, want)
+	}
+	return nil
+}
+
+func scrapeMetrics(baseURL string) (string, error) {
 	resp, err := http.Get(baseURL + "/metrics")
 	if err != nil {
-		return fmt.Errorf("scraping metrics: %w", err)
+		return "", fmt.Errorf("scraping metrics: %w", err)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return "", err
 	}
-	scrape := string(b)
-	httpObserves := sumMetricFiltered(scrape, "femux_http_requests_total", `endpoint="observe"`, `code="200"`)
-	appObserves := sumMetricPrefix(scrape, "femux_observations_total")
-	if int(httpObserves) != sent {
-		return fmt.Errorf("femux_http_requests_total{endpoint=observe,code=200} = %g, want %d", httpObserves, sent)
+	return string(b), nil
+}
+
+// sampleValue extracts the numeric value of one exposition line. Label
+// values may contain spaces, so the value is whatever follows the
+// closing brace (or the whole remainder for label-less samples) — the
+// sample value itself is a bare number and cannot contain '}'.
+func sampleValue(line string) (float64, bool) {
+	val := line
+	if i := strings.LastIndexByte(line, '}'); i >= 0 {
+		val = line[i+1:]
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		val = line[i+1:]
 	}
-	if int(appObserves) != sent {
-		return fmt.Errorf("femux_observations_total sum = %g, want %d", appObserves, sent)
+	var v float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(val), "%g", &v); err != nil {
+		return 0, false
 	}
-	return nil
+	return v, true
 }
 
 // sumMetricPrefix sums every sample line of one metric family.
@@ -377,12 +597,7 @@ func sumMetricPrefix(scrape, name string) float64 {
 		if len(rest) == 0 || (rest[0] != '{' && rest[0] != ' ') {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			continue
-		}
-		var v float64
-		if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+		if v, ok := sampleValue(line); ok {
 			sum += v
 		}
 	}
@@ -402,12 +617,7 @@ outer:
 				continue outer
 			}
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			continue
-		}
-		var v float64
-		if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+		if v, ok := sampleValue(line); ok {
 			sum += v
 		}
 	}

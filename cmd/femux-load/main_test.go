@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -16,11 +19,12 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
 
-func tinyService(t testing.TB) (*knative.Service, *httptest.Server) {
+func tinyTestModel(t testing.TB) *femux.Model {
 	t.Helper()
 	cfg := femux.DefaultConfig(rum.Default())
 	cfg.BlockSize = 30
@@ -45,7 +49,12 @@ func tinyService(t testing.TB) (*knative.Service, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := knative.NewService(m)
+	return m
+}
+
+func tinyService(t testing.TB) (*knative.Service, *httptest.Server) {
+	t.Helper()
+	svc := knative.NewService(tinyTestModel(t))
 	reg := serving.NewRegistry()
 	svc.InstrumentWith(reg)
 	hm := serving.NewHTTPMetrics(reg)
@@ -59,7 +68,7 @@ func tinyService(t testing.TB) (*knative.Service, *httptest.Server) {
 }
 
 func TestSyntheticWorkloadShape(t *testing.T) {
-	wl := syntheticWorkload(3, 50, 7)
+	wl := syntheticWorkload(3, 0, 50, 7)
 	if wl.apps != 3 || wl.minutes != 50 {
 		t.Fatalf("shape = %d apps x %d minutes", wl.apps, wl.minutes)
 	}
@@ -77,7 +86,7 @@ func TestSyntheticWorkloadShape(t *testing.T) {
 		}
 	}
 	// Deterministic for a fixed seed.
-	again := syntheticWorkload(3, 50, 7)
+	again := syntheticWorkload(3, 0, 50, 7)
 	for i := range wl.events {
 		if wl.events[i] != again.events[i] {
 			t.Fatal("synthetic workload not deterministic")
@@ -87,7 +96,7 @@ func TestSyntheticWorkloadShape(t *testing.T) {
 
 func TestReplayAgainstService(t *testing.T) {
 	_, srv := tinyService(t)
-	wl := syntheticWorkload(4, 40, 3) // 160 observations
+	wl := syntheticWorkload(4, 0, 40, 3) // 160 observations
 	rep := replay(wl, replayConfig{
 		BaseURL:     srv.URL,
 		Speedup:     0,
@@ -103,11 +112,14 @@ func TestReplayAgainstService(t *testing.T) {
 	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
 		t.Errorf("percentiles inconsistent: %+v", rep)
 	}
-	if err := checkMetrics(srv.URL, rep.Requests); err != nil {
+	if err := checkMetrics(srv.URL, false, rep); err != nil {
 		t.Errorf("metrics check: %v", err)
 	}
 	// The check must actually bite: a wrong expected count fails.
-	if err := checkMetrics(srv.URL, rep.Requests+1); err == nil {
+	wrong := rep
+	wrong.Requests++
+	wrong.Items++
+	if err := checkMetrics(srv.URL, false, wrong); err == nil {
 		t.Error("checkMetrics accepted a wrong count")
 	}
 	out := rep.String()
@@ -120,7 +132,7 @@ func TestReplayAgainstService(t *testing.T) {
 
 func TestReplaySpeedupPacing(t *testing.T) {
 	_, srv := tinyService(t)
-	wl := syntheticWorkload(2, 5, 1) // 5 minutes of trace
+	wl := syntheticWorkload(2, 0, 5, 1) // 5 minutes of trace
 	start := time.Now()
 	rep := replay(wl, replayConfig{
 		BaseURL:     srv.URL,
@@ -158,7 +170,7 @@ func TestCSVWorkloadRoundTrip(t *testing.T) {
 	if err := os.WriteFile(invPath, invs.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	wl, err := csvWorkload(appsPath, invPath, 30)
+	wl, err := csvWorkload(appsPath, invPath, 0, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,5 +205,219 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := percentile(nil, 0.5); got != 0 {
 		t.Errorf("empty percentile = %d", got)
+	}
+}
+
+// TestSyntheticWorkloadPrefixStable: because every app draws from its
+// own random stream, the trace for a minute range must not depend on
+// where the replay starts or ends — the property the crash-recovery
+// smoke relies on when it resumes an interrupted replay with
+// -start-minute.
+func TestSyntheticWorkloadPrefixStable(t *testing.T) {
+	full := syntheticWorkload(3, 0, 50, 7)
+	head := syntheticWorkload(3, 0, 30, 7)
+	tail := syntheticWorkload(3, 30, 20, 7)
+
+	if len(head.events)+len(tail.events) != len(full.events) {
+		t.Fatalf("split sizes: %d + %d != %d", len(head.events), len(tail.events), len(full.events))
+	}
+	index := func(evs []obsEvent) map[string]float64 {
+		m := make(map[string]float64, len(evs))
+		for _, ev := range evs {
+			m[fmt.Sprintf("%s@%d", ev.app, ev.minute)] = ev.conc
+		}
+		return m
+	}
+	want := index(full.events)
+	for key, conc := range index(head.events) {
+		if want[key] != conc {
+			t.Errorf("head %s: %v != %v", key, conc, want[key])
+		}
+	}
+	for key, conc := range index(tail.events) {
+		if want[key] != conc {
+			t.Errorf("tail %s: %v != %v (resume would diverge)", key, conc, want[key])
+		}
+	}
+	for _, ev := range tail.events {
+		if ev.minute < 30 {
+			t.Fatalf("tail contains minute %d < 30", ev.minute)
+		}
+	}
+}
+
+// TestBatchReplay: batch mode carries the same observations in far
+// fewer requests, and the batch-aware metrics check agrees with the
+// server's counters.
+func TestBatchReplay(t *testing.T) {
+	_, srv := tinyService(t)
+	wl := syntheticWorkload(5, 0, 30, 3) // 150 observations
+	rep := replay(wl, replayConfig{
+		BaseURL:     srv.URL,
+		Concurrency: 4,
+		Batch:       8,
+		Timeout:     10 * time.Second,
+	})
+	if rep.Items != 150 {
+		t.Errorf("items = %d, want 150", rep.Items)
+	}
+	if rep.ItemErrors != 0 || rep.Errors != 0 {
+		t.Errorf("errors = %d, item errors = %d (first: %s)", rep.Errors, rep.ItemErrors, rep.FirstItemError)
+	}
+	// 5 apps per minute in batches of 8 -> one request per minute.
+	if rep.Requests >= rep.Items {
+		t.Errorf("requests = %d, not batched (items %d)", rep.Requests, rep.Items)
+	}
+	if err := checkMetrics(srv.URL, true, rep); err != nil {
+		t.Errorf("batch metrics check: %v", err)
+	}
+	wrong := rep
+	wrong.Items += 3
+	if err := checkMetrics(srv.URL, true, wrong); err == nil {
+		t.Error("batch checkMetrics accepted a wrong count")
+	}
+}
+
+// TestReplayReportsPartialBatchFailure is the regression test for the
+// partial-failure contract: a batch server answers 200 while rejecting
+// individual items, and the replay report must surface those rejections
+// (main exits non-zero on ItemErrors > 0) instead of reading the 200 as
+// success.
+func TestReplayReportsPartialBatchFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/observe/batch" {
+			http.NotFound(w, r)
+			return
+		}
+		var req knative.BatchObserveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := knative.BatchObserveResponse{Results: make([]knative.BatchItemResult, len(req.Observations))}
+		for i, obs := range req.Observations {
+			out.Results[i].App = obs.App
+			if obs.App == "load-1" { // reject exactly one app's items
+				out.Results[i].Error = "synthetic rejection"
+				out.Rejected++
+				continue
+			}
+			out.Results[i].Target = 1
+			out.Accepted++
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	}))
+	defer srv.Close()
+
+	wl := syntheticWorkload(3, 0, 10, 2) // load-0..load-2, 10 minutes
+	rep := replay(wl, replayConfig{
+		BaseURL:     srv.URL,
+		Concurrency: 2,
+		Batch:       3,
+		Timeout:     5 * time.Second,
+	})
+	if rep.Errors != 0 {
+		t.Errorf("whole-request errors = %d, want 0 (server answered 200)", rep.Errors)
+	}
+	if rep.ItemErrors != 10 {
+		t.Errorf("item errors = %d, want 10 (one per minute for load-1)", rep.ItemErrors)
+	}
+	if !strings.Contains(rep.FirstItemError, "synthetic rejection") {
+		t.Errorf("first item error = %q", rep.FirstItemError)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "item errors: 10") {
+		t.Errorf("report does not surface item errors:\n%s", out)
+	}
+}
+
+// TestReplayResumeBitIdentical is the femux-load-level zero-state-loss
+// oracle: replay half a trace into a durable service, tear the whole
+// serving process state down, restore from the same data directory, and
+// resume with -start-minute. Every target and forecast afterwards must
+// be bit-identical to a service that replayed the whole trace without
+// interruption.
+func TestReplayResumeBitIdentical(t *testing.T) {
+	model := tinyTestModel(t)
+	const apps, half, total = 4, 25, 50
+
+	run := func(srvURL string, startMin, minutes int) {
+		wl := syntheticWorkload(apps, startMin, minutes, 11)
+		// Concurrency 1: with parallel workers the per-app append order
+		// varies run to run, so the two replays wouldn't be comparable.
+		rep := replay(wl, replayConfig{BaseURL: srvURL, Concurrency: 1, Batch: 4, Timeout: 10 * time.Second})
+		if rep.Errors != 0 || rep.ItemErrors != 0 {
+			t.Fatalf("replay [%d,%d): errors=%d itemErrors=%d (%s)",
+				startMin, startMin+minutes, rep.Errors, rep.ItemErrors, rep.FirstItemError)
+		}
+	}
+
+	// Control: one uninterrupted in-memory service.
+	ctlSrv := httptest.NewServer(knative.NewService(model).Handler())
+	defer ctlSrv.Close()
+	run(ctlSrv.URL, 0, total)
+
+	// Durable service, destroyed mid-trace and restored.
+	dir := t.TempDir()
+	st1, err := store.Open(dir, store.Options{Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(knative.NewServiceWith(model, knative.ServiceOptions{Store: st1}).Handler())
+	run(srv1.URL, 0, half)
+	srv1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	svc2 := knative.NewServiceWith(model, knative.ServiceOptions{Store: st2})
+	if svc2.Restored() != apps {
+		t.Fatalf("restored %d apps, want %d", svc2.Restored(), apps)
+	}
+	srv2 := httptest.NewServer(svc2.Handler())
+	defer srv2.Close()
+	run(srv2.URL, half, total-half)
+
+	for a := 0; a < apps; a++ {
+		app := fmt.Sprintf("load-%d", a)
+		var want, got knative.TargetResponse
+		getJSON(t, ctlSrv.URL+"/v1/apps/"+app+"/target?concurrency=1", &want)
+		getJSON(t, srv2.URL+"/v1/apps/"+app+"/target?concurrency=1", &got)
+		if want != got {
+			t.Errorf("%s: target %+v (uninterrupted) != %+v (resumed)", app, want, got)
+		}
+		var wantF, gotF knative.ForecastResponse
+		getJSON(t, ctlSrv.URL+"/v1/apps/"+app+"/forecast?horizon=5", &wantF)
+		getJSON(t, srv2.URL+"/v1/apps/"+app+"/forecast?horizon=5", &gotF)
+		if len(wantF.Values) != len(gotF.Values) {
+			t.Fatalf("%s: forecast lengths differ", app)
+		}
+		for i := range wantF.Values {
+			if math.Float64bits(wantF.Values[i]) != math.Float64bits(gotF.Values[i]) {
+				t.Errorf("%s: forecast[%d] %v != %v (not bit-identical)",
+					app, i, wantF.Values[i], gotF.Values[i])
+			}
+		}
+	}
+}
+
+func getJSON(t testing.TB, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,74 @@
+// Command femux-shard routes FeMux API traffic across a sharded femuxd
+// fleet. Each femuxd instance owns an FNV-1a hash partition of the apps
+// (femuxd -shards N -shard-id I); the router forwards per-app requests to
+// the owning instance, splits /v1/observe/batch bodies into per-shard
+// sub-batches posted concurrently, and fans /v1/admin/reload out to every
+// instance so a retrained model in a shared directory goes live
+// fleet-wide.
+//
+// Usage:
+//
+//	femux-shard -addr :8080 \
+//	    -backends http://127.0.0.1:9090,http://127.0.0.1:9091
+//
+// The backend order defines the shard numbering and must match each
+// instance's -shard-id; /healthz reports healthy only when every shard
+// is. /metrics exposes the router's per-shard routing counters.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
+	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("femux-shard: ")
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		backends        = flag.String("backends", "", "comma-separated femuxd base URLs, in shard order")
+		timeout         = flag.Duration("timeout", 10*time.Second, "per-backend request timeout")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "drain deadline on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	rt, err := knative.NewShardRouter(urls, &http.Client{Timeout: *timeout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing %d shards: %s", rt.Shards(), strings.Join(urls, ", "))
+
+	server := &http.Server{
+		Addr:        *addr,
+		Handler:     serving.LogRequests(log.Default(), rt.Handler()),
+		ReadTimeout: 10 * time.Second,
+	}
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %s", sig)
+		close(stop)
+	}()
+
+	log.Printf("serving shard router on %s", *addr)
+	if err := serving.Run(server, stop, *shutdownTimeout, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}

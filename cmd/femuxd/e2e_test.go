@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
+)
+
+// TestFemuxdSigtermRestartBitIdentical is the process-level
+// zero-state-loss test: a real femuxd binary is fed half a replay,
+// SIGTERMed, restarted from the same -data-dir, fed the rest, and every
+// forecast it then serves must be bit-for-bit what an uninterrupted
+// in-process service computes over the same stream. Skipped with -short
+// (it compiles the binary); the nightly full tier runs it.
+func TestFemuxdSigtermRestartBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the femuxd binary; skipped in -short")
+	}
+	bin := buildFemuxd(t)
+
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	dataDir := filepath.Join(dir, "data")
+	model := tinyModel(t)
+	if err := writeModel(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+
+	apps := []string{"pay", "auth", "feed"}
+	feed := func(baseURL string, from, to int) {
+		t.Helper()
+		for m := from; m < to; m++ {
+			obs := make([]knative.BatchObservation, len(apps))
+			for i, app := range apps {
+				obs[i] = knative.BatchObservation{App: app, Concurrency: float64((m*5+i)%7) + 0.5}
+			}
+			body, err := json.Marshal(knative.BatchObserveRequest{Observations: obs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(baseURL+"/v1/observe/batch", "application/json",
+				strings.NewReader(string(body)))
+			if err != nil {
+				t.Fatalf("minute %d: %v", m, err)
+			}
+			var out knative.BatchObserveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || out.Rejected != 0 {
+				t.Fatalf("minute %d: status=%d rejected=%d", m, resp.StatusCode, out.Rejected)
+			}
+		}
+	}
+
+	const half, total = 20, 40
+
+	// Uninterrupted control over the identical model and stream.
+	ctl := httptest.NewServer(knative.NewService(model).Handler())
+	defer ctl.Close()
+	feed(ctl.URL, 0, total)
+
+	// First femuxd process: half the replay, then SIGTERM.
+	addr := freeAddr(t)
+	proc1 := startFemuxd(t, bin, addr, modelPath, dataDir)
+	feed("http://"+addr, 0, half)
+	if err := proc1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc1.Wait(); err != nil {
+		t.Fatalf("femuxd did not exit cleanly on SIGTERM: %v", err)
+	}
+
+	// Second process, same data dir: must restore and resume.
+	proc2 := startFemuxd(t, bin, addr, modelPath, dataDir)
+	defer func() {
+		proc2.Process.Signal(syscall.SIGTERM)
+		proc2.Wait()
+	}()
+	feed("http://"+addr, half, total)
+
+	// The restored instance's durable counter covers the whole stream.
+	scrape := httpGet(t, "http://"+addr+"/metrics")
+	wantObs := fmt.Sprintf("femux_store_observations %d", total*len(apps))
+	if !strings.Contains(scrape, wantObs) {
+		t.Errorf("metrics missing %q after restart", wantObs)
+	}
+
+	for _, app := range apps {
+		var want, got knative.TargetResponse
+		mustGetJSON(t, ctl.URL+"/v1/apps/"+app+"/target?concurrency=1", &want)
+		mustGetJSON(t, "http://"+addr+"/v1/apps/"+app+"/target?concurrency=1", &got)
+		if want != got {
+			t.Errorf("%s: target %+v (uninterrupted) != %+v (restarted binary)", app, want, got)
+		}
+		var wantF, gotF knative.ForecastResponse
+		mustGetJSON(t, ctl.URL+"/v1/apps/"+app+"/forecast?horizon=6", &wantF)
+		mustGetJSON(t, "http://"+addr+"/v1/apps/"+app+"/forecast?horizon=6", &gotF)
+		if len(wantF.Values) != len(gotF.Values) {
+			t.Fatalf("%s: forecast lengths differ", app)
+		}
+		for i := range wantF.Values {
+			if math.Float64bits(wantF.Values[i]) != math.Float64bits(gotF.Values[i]) {
+				t.Errorf("%s: forecast[%d] %v != %v (not bit-identical)",
+					app, i, wantF.Values[i], gotF.Values[i])
+			}
+		}
+	}
+}
+
+func buildFemuxd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "femuxd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building femuxd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func startFemuxd(t *testing.T, bin, addr, modelPath, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-model", modelPath,
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-shutdown-timeout", "10s",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("femuxd never became healthy")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+func mustGetJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}

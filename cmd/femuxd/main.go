@@ -7,12 +7,24 @@
 //
 //	femuxd -addr :8080
 //	femuxd -addr :8080 -apps ibm_apps.csv -invocations ibm_invocations.csv
+//	femuxd -addr :8080 -data-dir /var/lib/femux -fsync always
+//	femuxd -addr :8081 -model shared/model.json -watch-model \
+//	       -data-dir /var/lib/femux-0 -shards 2 -shard-id 0
 //
-// Endpoints: POST /v1/apps/{app}/observe, GET /v1/apps/{app}/target,
-// GET /v1/apps/{app}/forecast, GET /healthz, GET /metrics (Prometheus
-// text), POST /v1/admin/reload (hot-swap a retrained model; SIGHUP does
-// the same), and /debug/pprof. SIGINT/SIGTERM drain in-flight requests
-// before exiting.
+// Endpoints: POST /v1/apps/{app}/observe, POST /v1/observe/batch,
+// GET /v1/apps/{app}/target, GET /v1/apps/{app}/forecast, GET /healthz,
+// GET /metrics (Prometheus text), POST /v1/admin/reload (hot-swap a
+// retrained model; SIGHUP does the same), and /debug/pprof.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// With -data-dir, every acknowledged observation is persisted through a
+// CRC-framed write-ahead log before it is applied, and the per-app
+// sliding windows are restored on boot — a restart or reload-from-disk
+// loses no state. With -shards/-shard-id the instance owns only its
+// FNV-1a hash partition of the apps (see cmd/femux-shard for the
+// router), and -watch-model hot-reloads the -model file whenever it
+// changes, so one retrain in a shared model directory propagates across
+// the fleet.
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
@@ -68,8 +81,25 @@ func main() {
 
 		reqTimeout      = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout on the API path")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "drain deadline on SIGINT/SIGTERM")
+
+		dataDir       = flag.String("data-dir", "", "durable observation store directory (empty = in-memory only)")
+		fsyncPolicy   = flag.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "flush period for -fsync interval")
+		compactEvery  = flag.Int("compact-every", 1<<16, "snapshot-compact the WAL after this many observations (-1 = never)")
+		windowCap     = flag.Int("window-cap", 0, "per-app durable window cap in observations (0 = unlimited)")
+
+		shards     = flag.Int("shards", 1, "total femuxd instances in the fleet (hash-partitioned by app)")
+		shardID    = flag.Int("shard-id", 0, "this instance's shard index in [0, shards)")
+		watchModel = flag.Bool("watch-model", false, "poll the -model file and hot-reload when it changes")
+		watchEvery = flag.Duration("watch-interval", 2*time.Second, "poll period for -watch-model")
 	)
 	flag.Parse()
+	if *shards < 1 || *shardID < 0 || *shardID >= *shards {
+		log.Fatalf("invalid shard config: -shard-id %d must be in [0, %d)", *shardID, *shards)
+	}
+	if *watchModel && *modelPath == "" {
+		log.Fatal("-watch-model requires -model")
+	}
 
 	opts := buildOpts{
 		modelPath: *modelPath, appsCSV: *appsCSV, invCSV: *invCSV,
@@ -89,10 +119,45 @@ func main() {
 		log.Printf("saved model to %s", *savePath)
 	}
 
-	svc := knative.NewService(model)
+	var st *store.Store
+	if *dataDir != "" {
+		pol, err := store.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err = store.Open(*dataDir, store.Options{
+			Sync:         pol,
+			SyncInterval: *fsyncInterval,
+			WindowCap:    *windowCap,
+			CompactEvery: *compactEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := st.Stats()
+		log.Printf("durable store %s: restored %d observations across %d apps (fsync=%s)",
+			*dataDir, stats.Restored, stats.Apps, pol)
+		if stats.TornTail {
+			log.Printf("durable store: truncated a torn WAL tail (crash recovery)")
+		}
+	}
+
+	svc := knative.NewServiceWith(model, knative.ServiceOptions{
+		Store: st, ShardID: *shardID, Shards: *shards,
+	})
 	reg := serving.NewRegistry()
 	reg.RegisterGoMetrics()
 	svc.InstrumentWith(reg)
+	if st != nil {
+		registerStoreMetrics(reg, st)
+	}
+	if *shards > 1 {
+		shardInfo := reg.NewGauge("femux_shard_info",
+			"Constant 1, labeled with this instance's shard assignment.",
+			"shard", "shards")
+		shardInfo.Set(1, fmt.Sprint(*shardID), fmt.Sprint(*shards))
+		log.Printf("serving shard %d of %d (FNV-1a partition by app)", *shardID, *shards)
+	}
 
 	reload := func() (*femux.Model, error) { return buildModel(opts) }
 	handler := newHandler(svc, reg, reload, log.Default(), *reqTimeout)
@@ -126,9 +191,80 @@ func main() {
 		}
 	}()
 
+	if *watchModel {
+		go watchModelFile(*modelPath, *watchEvery, stop, func() {
+			if err := reloadAndSwap(svc, reload); err != nil {
+				log.Printf("model watch: reload failed: %v", err)
+			} else {
+				log.Printf("model watch: %s changed, reloaded (%d total)", *modelPath, svc.Reloads())
+			}
+		})
+	}
+
 	log.Printf("serving FeMux API on %s", *addr)
-	if err := serving.Run(server, stop, *shutdownTimeout, log.Printf); err != nil {
+	err = serving.Run(server, stop, *shutdownTimeout, log.Printf)
+	if st != nil {
+		if cerr := st.Close(); cerr != nil {
+			log.Printf("closing durable store: %v", cerr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// registerStoreMetrics exposes the durable store's state. The counters
+// are derived from on-disk state, so femux_store_observations survives
+// SIGKILL and restart — the CI crash smoke test cross-checks it against
+// the number of replayed observations.
+func registerStoreMetrics(reg *serving.Registry, st *store.Store) {
+	reg.NewGaugeFunc("femux_store_observations",
+		"Lifetime observations in the durable store (restored + appended).",
+		func() float64 { return float64(st.TotalObservations()) })
+	reg.NewGaugeFunc("femux_store_apps",
+		"Applications with durable observation history.",
+		func() float64 { return float64(st.Apps()) })
+	reg.NewGaugeFunc("femux_store_wal_bytes",
+		"Bytes across live WAL segments.",
+		func() float64 { return float64(st.Stats().WALBytes) })
+	reg.NewGaugeFunc("femux_store_wal_segments",
+		"Live WAL segment files.",
+		func() float64 { return float64(st.Stats().Segments) })
+	reg.NewCounterFunc("femux_store_fsyncs_total",
+		"WAL fsyncs since process start.",
+		func() float64 { return float64(st.Stats().Fsyncs) })
+}
+
+// watchModelFile polls path and fires onChange whenever its (mtime, size)
+// pair moves — the shared-model-directory hot-reload path: the offline
+// trainer writes a retrained model into the directory every instance
+// watches, and the whole fleet picks it up without being touched.
+// Polling (rather than inotify) keeps it dependency-free and works on
+// network filesystems; transient stat errors (the trainer's atomic
+// rename window) are skipped.
+func watchModelFile(path string, every time.Duration, stop <-chan struct{}, onChange func()) {
+	var lastMod time.Time
+	var lastSize int64
+	if fi, err := os.Stat(path); err == nil {
+		lastMod, lastSize = fi.ModTime(), fi.Size()
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			fi, err := os.Stat(path)
+			if err != nil {
+				continue
+			}
+			if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+				continue
+			}
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+			onChange()
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines for training and sweeps (0 = one per CPU)")
 		scaleOnly = flag.Bool("scalability-only", false, "skip the prototype replay")
 		svcApps   = flag.String("svc-apps", "10,50,200", "comma-separated app counts for the HTTP scalability study")
+		batchSize = flag.Int("batch", 0, "also run the scalability study through /v1/observe/batch with this batch size")
 	)
 	flag.Parse()
 
@@ -89,5 +90,13 @@ func main() {
 	for _, pt := range experiments.Fig14Scalability(model, counts, 5) {
 		fmt.Printf("  %5d apps: mean %8v  p99 %8v  -> ~%d apps/pod at 1 forecast/app-min (paper: 1200)\n",
 			pt.Apps, pt.MeanLatency.Round(time.Microsecond), pt.P99Latency.Round(time.Microsecond), pt.AppsPerPod)
+	}
+	if *batchSize > 0 {
+		fmt.Printf("\n== Batched observes (/v1/observe/batch, batch=%d) ==\n", *batchSize)
+		for _, pt := range experiments.Fig14ScalabilityBatch(model, counts, 5, *batchSize) {
+			fmt.Printf("  %5d apps: batch mean %8v  p99 %8v  per-obs %8v  -> ~%d apps/pod\n",
+				pt.Apps, pt.MeanLatency.Round(time.Microsecond), pt.P99Latency.Round(time.Microsecond),
+				pt.PerObs.Round(time.Microsecond), pt.AppsPerPod)
+		}
 	}
 }

@@ -166,6 +166,80 @@ type ScalabilityPoint struct {
 	AppsPerPod int
 }
 
+// BatchScalabilityPoint is one load level of the batched-observe study:
+// the same fleet as Fig14Scalability, but each round posts the whole
+// fleet's observations as /v1/observe/batch requests of BatchSize items.
+type BatchScalabilityPoint struct {
+	Apps        int
+	BatchSize   int
+	MeanLatency time.Duration // per batch request
+	P99Latency  time.Duration // per batch request
+	PerObs      time.Duration // mean amortized per observation
+	// AppsPerPod extrapolates capacity at one observation per app-minute
+	// from the amortized per-observation cost.
+	AppsPerPod int
+}
+
+// Fig14ScalabilityBatch measures the batched observe path over real HTTP
+// at increasing app counts. Comparing PerObs here against MeanLatency in
+// Fig14Scalability quantifies what group commit buys: one round trip and
+// (with durability on) one fsync per BatchSize observations instead of
+// per observation.
+func Fig14ScalabilityBatch(model *femux.Model, appCounts []int, perApp, batchSize int) []BatchScalabilityPoint {
+	if batchSize < 1 {
+		batchSize = 64
+	}
+	var out []BatchScalabilityPoint
+	for _, n := range appCounts {
+		svc := knative.NewService(model)
+		srv := httptest.NewServer(svc.Handler())
+		provider := &knative.HTTPProvider{BaseURL: srv.URL}
+
+		var lats []float64
+		var obsTotal int
+		for round := 0; round < perApp; round++ {
+			for a := 0; a < n; a += batchSize {
+				end := a + batchSize
+				if end > n {
+					end = n
+				}
+				items := make([]knative.BatchObservation, 0, end-a)
+				for k := a; k < end; k++ {
+					items = append(items, knative.BatchObservation{
+						App:         fmt.Sprintf("app-%d", k),
+						Concurrency: float64((k + round) % 5),
+					})
+				}
+				start := time.Now()
+				resp, err := provider.ObserveBatch(items)
+				if err != nil || resp.Rejected > 0 {
+					continue
+				}
+				lats = append(lats, float64(time.Since(start)))
+				obsTotal += len(items)
+			}
+		}
+		srv.Close()
+		if len(lats) == 0 {
+			continue
+		}
+		mean := stats.Mean(lats)
+		perObs := mean * float64(len(lats)) / float64(obsTotal)
+		pt := BatchScalabilityPoint{
+			Apps:        n,
+			BatchSize:   batchSize,
+			MeanLatency: time.Duration(mean),
+			P99Latency:  time.Duration(stats.Percentile(lats, 99)),
+			PerObs:      time.Duration(perObs),
+		}
+		if perObs > 0 {
+			pt.AppsPerPod = int(float64(time.Minute) / perObs)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
 // Fig14Scalability measures real HTTP round-trip latency of the FeMux
 // forecasting service at increasing app counts (Fig 14-Right). Each app
 // first receives warmup observations so forecasts run on real histories.

@@ -1,0 +1,185 @@
+package knative
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
+)
+
+// The batched observe path: the metrics collector completes a whole
+// interval for many apps at once, so POSTing them one by one pays one
+// HTTP round trip and (with durability on) one fsync per app. The batch
+// endpoint takes N observations in a single body and group-commits them
+// under a single fsync, which is what keeps the observe path cheap while
+// it becomes durable.
+
+// maxBatchBody bounds the batch POST body; maxBatchItems bounds the
+// per-request observation count so a single request cannot monopolize
+// the WAL lock.
+const (
+	maxBatchBody  = 8 << 20
+	maxBatchItems = 10000
+)
+
+// BatchObservation is one app-interval sample inside a batch.
+type BatchObservation struct {
+	App         string  `json:"app"`
+	Concurrency float64 `json:"concurrency"`
+	// UnitConcurrency is the app's container concurrency limit (default 1).
+	UnitConcurrency int `json:"unitConcurrency,omitempty"`
+}
+
+// BatchObserveRequest is the POST /v1/observe/batch body.
+type BatchObserveRequest struct {
+	Observations []BatchObservation `json:"observations"`
+}
+
+// BatchItemResult reports one observation's outcome, in input order.
+// Error is set (and the decision fields zero) for items that were
+// rejected — invalid values or apps owned by another shard; the rest of
+// the batch still lands.
+type BatchItemResult struct {
+	App        string `json:"app"`
+	Target     int    `json:"target"`
+	Forecaster string `json:"forecaster,omitempty"`
+	History    int    `json:"historyLen,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// BatchObserveResponse is the batch reply. The request succeeds as a
+// whole (HTTP 200) even when individual items were rejected; clients
+// must check Rejected / per-item Error — femux-load exits non-zero on
+// any partial failure.
+type BatchObserveResponse struct {
+	Results  []BatchItemResult `json:"results"`
+	Accepted int               `json:"accepted"`
+	Rejected int               `json:"rejected"`
+}
+
+// batchHandler implements POST /v1/observe/batch. Item validation happens
+// first; all valid observations are group-committed to the durable store
+// with one fsync, then applied in memory and answered with per-item scale
+// targets. A malformed body changes no counters and no state.
+func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "batch observe requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req BatchObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Observations) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Observations) > maxBatchItems {
+		http.Error(w, fmt.Sprintf("batch exceeds %d observations", maxBatchItems),
+			http.StatusBadRequest)
+		return
+	}
+
+	resp := BatchObserveResponse{Results: make([]BatchItemResult, len(req.Observations))}
+	valid := make([]int, 0, len(req.Observations))
+	durable := make([]store.Observation, 0, len(req.Observations))
+	for i, obs := range req.Observations {
+		res := &resp.Results[i]
+		res.App = obs.App
+		switch {
+		case obs.App == "":
+			res.Error = "missing app"
+		case obs.Concurrency < 0:
+			res.Error = "concurrency must be non-negative"
+		case s.shards > 1 && store.ShardOf(obs.App, s.shards) != s.shardID:
+			res.Error = fmt.Sprintf("app belongs to shard %d, this instance is shard %d of %d",
+				store.ShardOf(obs.App, s.shards), s.shardID, s.shards)
+			if sm := s.svcMetrics(); sm != nil {
+				sm.Misrouted.Inc()
+			}
+		default:
+			valid = append(valid, i)
+			durable = append(durable, store.Observation{App: obs.App, Concurrency: obs.Concurrency})
+			continue
+		}
+		resp.Rejected++
+	}
+
+	// Group commit: the whole batch becomes durable under one fsync
+	// before any of it is applied or acknowledged.
+	if s.st != nil && len(durable) > 0 {
+		if err := s.st.AppendBatch(durable); err != nil {
+			if sm := s.svcMetrics(); sm != nil {
+				sm.StoreErrors.Add(float64(len(durable)))
+			}
+			http.Error(w, "durable store append failed: "+err.Error(),
+				http.StatusInternalServerError)
+			return
+		}
+	}
+
+	sm := s.svcMetrics()
+	for _, i := range valid {
+		obs := req.Observations[i]
+		unitC := obs.UnitConcurrency
+		if unitC < 1 {
+			unitC = 1
+		}
+		a := s.app(obs.App)
+		a.mu.Lock()
+		a.history = append(a.history, obs.Concurrency)
+		hist := a.history
+		policy := a.policy
+		a.mu.Unlock()
+		if sm != nil {
+			sm.Observes.Inc(obs.App)
+		}
+		res := &resp.Results[i]
+		res.Target = policy.Target(hist, unitC)
+		res.Forecaster = policy.CurrentForecaster()
+		res.History = len(hist)
+		resp.Accepted++
+	}
+	if sm != nil {
+		sm.BatchReqs.Inc()
+	}
+	writeJSON(w, resp)
+}
+
+// ObserveBatch posts a batch of observations through the real REST path
+// (used by knative-emu's scalability study and tests).
+func (p *HTTPProvider) ObserveBatch(items []BatchObservation) (*BatchObserveResponse, error) {
+	body, err := json.Marshal(BatchObserveRequest{Observations: items})
+	if err != nil {
+		return nil, err
+	}
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(p.BaseURL+"/v1/observe/batch", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("batch observe: HTTP %d", resp.StatusCode)
+	}
+	var out BatchObserveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,282 @@
+package knative
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
+)
+
+// ShardRouter fans FeMux API traffic out to a fleet of femuxd instances
+// that each own a hash partition of the apps (store.ShardOf — the same
+// function the instances use to enforce ownership, so router and fleet
+// can never disagree). Per-app requests are proxied to the owning shard;
+// batch observes are split into per-shard sub-batches, forwarded
+// concurrently, and merged back into input order; admin reloads fan out
+// to every instance so one retrain propagates fleet-wide.
+type ShardRouter struct {
+	backends []string
+	client   *http.Client
+
+	reg    *serving.Registry
+	routed *serving.Counter // femux_route_requests_total{shard}
+	errs   *serving.Counter // femux_route_errors_total{shard}
+}
+
+// NewShardRouter returns a router over the given backend base URLs, one
+// per shard, in shard order. client may be nil for http.DefaultClient
+// semantics with a 10 s timeout.
+func NewShardRouter(backends []string, client *http.Client) (*ShardRouter, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("knative: router needs at least one backend")
+	}
+	for i, b := range backends {
+		backends[i] = strings.TrimRight(b, "/")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	rt := &ShardRouter{backends: backends, client: client, reg: serving.NewRegistry()}
+	rt.reg.RegisterGoMetrics()
+	rt.routed = rt.reg.NewCounter("femux_route_requests_total",
+		"Requests routed, per owning shard.", "shard")
+	rt.errs = rt.reg.NewCounter("femux_route_errors_total",
+		"Requests that failed at the backend, per shard.", "shard")
+	rt.reg.NewGaugeFunc("femux_route_shards",
+		"Number of backend shards behind this router.",
+		func() float64 { return float64(len(rt.backends)) })
+	return rt, nil
+}
+
+// Shards reports the fleet size.
+func (rt *ShardRouter) Shards() int { return len(rt.backends) }
+
+// Handler returns the router's HTTP handler.
+func (rt *ShardRouter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", rt.healthz)
+	mux.HandleFunc("/v1/apps/", rt.proxyApp)
+	mux.HandleFunc("/v1/observe/batch", rt.splitBatch)
+	mux.HandleFunc("/v1/admin/reload", rt.fanoutReload)
+	mux.Handle("/metrics", rt.reg.Handler())
+	return mux
+}
+
+// healthz reports healthy only when every shard is.
+func (rt *ShardRouter) healthz(w http.ResponseWriter, _ *http.Request) {
+	var bad []string
+	for i, b := range rt.backends {
+		resp, err := rt.client.Get(b + "/healthz")
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("shard %d: %v", i, err))
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			bad = append(bad, fmt.Sprintf("shard %d: HTTP %d", i, resp.StatusCode))
+		}
+	}
+	if len(bad) > 0 {
+		http.Error(w, strings.Join(bad, "\n"), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// proxyApp forwards a per-app request to the shard owning the app.
+func (rt *ShardRouter) proxyApp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/apps/")
+	app, _, _ := strings.Cut(rest, "/")
+	if app == "" {
+		http.Error(w, "expected /v1/apps/{app}/...", http.StatusNotFound)
+		return
+	}
+	shard := store.ShardOf(app, len(rt.backends))
+	label := strconv.Itoa(shard)
+	rt.routed.Inc(label)
+
+	target := rt.backends[shard] + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.errs.Inc(label)
+		http.Error(w, fmt.Sprintf("shard %d unavailable: %v", shard, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// splitBatch partitions a batch body by owning shard, posts the
+// sub-batches concurrently, and stitches the per-item results back into
+// the caller's input order. A whole-shard failure surfaces as per-item
+// errors for that shard's slice of the batch (the rest of the fleet
+// still commits), so partial outages degrade instead of failing the
+// collector's entire interval.
+func (rt *ShardRouter) splitBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "batch observe requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req BatchObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Observations) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+
+	n := len(rt.backends)
+	subIdx := make([][]int, n)              // original index of each sub-batch item
+	subObs := make([][]BatchObservation, n) // per-shard sub-batches
+	for i, obs := range req.Observations {
+		s := store.ShardOf(obs.App, n)
+		subIdx[s] = append(subIdx[s], i)
+		subObs[s] = append(subObs[s], obs)
+	}
+
+	out := BatchObserveResponse{Results: make([]BatchItemResult, len(req.Observations))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		if len(subObs[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			label := strconv.Itoa(s)
+			rt.routed.Inc(label)
+			sub, err := rt.postBatch(s, subObs[s])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rt.errs.Inc(label)
+				for _, orig := range subIdx[s] {
+					out.Results[orig] = BatchItemResult{
+						App:   req.Observations[orig].App,
+						Error: fmt.Sprintf("shard %d: %v", s, err),
+					}
+				}
+				out.Rejected += len(subIdx[s])
+				return
+			}
+			for j, orig := range subIdx[s] {
+				out.Results[orig] = sub.Results[j]
+			}
+			out.Accepted += sub.Accepted
+			out.Rejected += sub.Rejected
+		}(s)
+	}
+	wg.Wait()
+	writeJSON(w, out)
+}
+
+// postBatch forwards one sub-batch to a shard and decodes the reply.
+func (rt *ShardRouter) postBatch(shard int, obs []BatchObservation) (*BatchObserveResponse, error) {
+	body, err := json.Marshal(BatchObserveRequest{Observations: obs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Post(rt.backends[shard]+"/v1/observe/batch",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	var out BatchObserveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(obs) {
+		return nil, fmt.Errorf("shard returned %d results for %d observations", len(out.Results), len(obs))
+	}
+	return &out, nil
+}
+
+// fanoutReload POSTs /v1/admin/reload to every shard, so one retrained
+// model in the shared store directory goes live fleet-wide.
+func (rt *ShardRouter) fanoutReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "reload requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	type shardReload struct {
+		Shard  int    `json:"shard"`
+		Status int    `json:"status"`
+		Error  string `json:"error,omitempty"`
+	}
+	results := make([]shardReload, len(rt.backends))
+	var wg sync.WaitGroup
+	failed := false
+	var mu sync.Mutex
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			resp, err := rt.client.Post(b+"/v1/admin/reload", "", nil)
+			res := shardReload{Shard: i}
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				res.Status = resp.StatusCode
+				if resp.StatusCode != http.StatusOK {
+					res.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
+				}
+			}
+			mu.Lock()
+			results[i] = res
+			if res.Error != "" {
+				failed = true
+			}
+			mu.Unlock()
+		}(i, b)
+	}
+	wg.Wait()
+	if failed {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		json.NewEncoder(w).Encode(results)
+		return
+	}
+	writeJSON(w, results)
+}

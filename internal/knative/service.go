@@ -11,6 +11,7 @@ import (
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
 )
 
 // Service is the FeMux forecasting microservice (Fig 13): a REST API that
@@ -36,7 +37,27 @@ type Service struct {
 	apps    map[string]*svcApp
 	reloads int
 
+	// st, when set, persists every acknowledged observation through the
+	// WAL-backed store before it is applied in memory, and seeds per-app
+	// history on construction (zero-state-loss restart).
+	st *store.Store
+	// shardID/shards make this instance own only its hash partition of
+	// apps; requests for foreign apps are rejected with 421 so a
+	// misconfigured client cannot split one app's history across
+	// instances.
+	shardID, shards int
+	restored        int
+
 	metrics *ServiceMetrics // nil when metrics are not wired
+}
+
+// ServiceOptions configure the durable, shard-aware deployment mode.
+type ServiceOptions struct {
+	// Store persists observations and restores per-app windows on boot.
+	Store *store.Store
+	// ShardID/Shards enable hash-partition ownership (Shards <= 1 means
+	// unsharded). The partition function is store.ShardOf.
+	ShardID, Shards int
 }
 
 type svcApp struct {
@@ -51,7 +72,32 @@ const maxObserveBody = 1 << 20
 
 // NewService returns a Service backed by a trained model.
 func NewService(model *femux.Model) *Service {
-	return &Service{model: model, apps: map[string]*svcApp{}}
+	return NewServiceWith(model, ServiceOptions{})
+}
+
+// NewServiceWith returns a Service with durability and sharding wired
+// in. When opts.Store holds restored state, every app's sliding window
+// is rebuilt immediately, so the first request after a restart forecasts
+// from the same history an uninterrupted process would hold.
+func NewServiceWith(model *femux.Model, opts ServiceOptions) *Service {
+	s := &Service{
+		model: model, apps: map[string]*svcApp{},
+		st: opts.Store, shardID: opts.ShardID, shards: opts.Shards,
+	}
+	if s.st != nil {
+		for app, win := range s.st.Windows() {
+			s.apps[app] = &svcApp{policy: model.NewAppPolicy(0), history: win}
+		}
+		s.restored = len(s.apps)
+	}
+	return s
+}
+
+// Restored reports how many apps were seeded from the durable store.
+func (s *Service) Restored() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.restored
 }
 
 // Model returns the model currently serving requests.
@@ -95,11 +141,14 @@ func (s *Service) SwapModel(m *femux.Model) {
 // the generic HTTP metrics: per-app observation/decision counters and
 // model metadata.
 type ServiceMetrics struct {
-	Observes  *serving.Counter // femux_observations_total{app}
-	Targets   *serving.Counter // femux_targets_total{app}
-	Forecasts *serving.Counter // femux_forecasts_total{app}
-	Reloads   *serving.Counter // femux_model_reloads_total
-	ModelInfo *serving.Gauge   // femux_model_info{default_forecaster,clusters}
+	Observes    *serving.Counter // femux_observations_total{app}
+	Targets     *serving.Counter // femux_targets_total{app}
+	Forecasts   *serving.Counter // femux_forecasts_total{app}
+	Reloads     *serving.Counter // femux_model_reloads_total
+	ModelInfo   *serving.Gauge   // femux_model_info{default_forecaster,clusters}
+	BatchReqs   *serving.Counter // femux_batch_requests_total
+	Misrouted   *serving.Counter // femux_shard_misrouted_total
+	StoreErrors *serving.Counter // femux_store_errors_total
 }
 
 func (sm *ServiceMetrics) setModelInfo(m *femux.Model) {
@@ -122,6 +171,12 @@ func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
 		ModelInfo: reg.NewGauge("femux_model_info",
 			"Constant 1, labeled with the serving model's metadata.",
 			"default_forecaster", "clusters"),
+		BatchReqs: reg.NewCounter("femux_batch_requests_total",
+			"Batched observe requests accepted (each covers many observations)."),
+		Misrouted: reg.NewCounter("femux_shard_misrouted_total",
+			"Requests rejected because the app belongs to another shard."),
+		StoreErrors: reg.NewCounter("femux_store_errors_total",
+			"Observations rejected because the durable store failed to append."),
 	}
 	reg.NewGaugeFunc("femux_apps",
 		"Applications currently tracked by the service.",
@@ -177,6 +232,26 @@ func (s *Service) app(name string) *svcApp {
 	return a
 }
 
+// misrouted enforces shard ownership: when sharding is on and the app
+// hashes to a different instance, the request is answered with 421
+// (Misdirected Request) so clients and routers learn the correct owner
+// instead of silently splitting one app's history across the fleet.
+func (s *Service) misrouted(w http.ResponseWriter, name string) bool {
+	if s.shards <= 1 {
+		return false
+	}
+	owner := store.ShardOf(name, s.shards)
+	if owner == s.shardID {
+		return false
+	}
+	if sm := s.svcMetrics(); sm != nil {
+		sm.Misrouted.Inc()
+	}
+	http.Error(w, fmt.Sprintf("app %q belongs to shard %d, this instance is shard %d of %d",
+		name, owner, s.shardID, s.shards), http.StatusMisdirectedRequest)
+	return true
+}
+
 // Handler returns the service's HTTP handler.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -185,6 +260,7 @@ func (s *Service) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/v1/apps/", s.appsHandler)
+	mux.HandleFunc("/v1/observe/batch", s.batchHandler)
 	return mux
 }
 
@@ -196,6 +272,9 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name, action := parts[0], parts[1]
+	if s.misrouted(w, name) {
+		return
+	}
 	switch action {
 	case "observe":
 		if r.Method != http.MethodPost {
@@ -224,6 +303,21 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		a := s.app(name)
 		a.mu.Lock()
+		// Write-ahead: the observation is durable before it is applied in
+		// memory or acknowledged, so an ACKed observation survives
+		// SIGKILL. The app lock is held across both steps to keep WAL
+		// order and in-memory order identical per app.
+		if s.st != nil {
+			if err := s.st.Append(name, req.Concurrency); err != nil {
+				a.mu.Unlock()
+				if sm := s.svcMetrics(); sm != nil {
+					sm.StoreErrors.Inc()
+				}
+				http.Error(w, "durable store append failed: "+err.Error(),
+					http.StatusInternalServerError)
+				return
+			}
+		}
 		a.history = append(a.history, req.Concurrency)
 		hist := a.history
 		policy := a.policy

@@ -49,6 +49,8 @@ func EndpointLabel(path string) string {
 		return "metrics"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "pprof"
+	case path == "/v1/observe/batch":
+		return "observe_batch"
 	case strings.HasPrefix(path, "/v1/admin/"):
 		return "admin_" + strings.TrimPrefix(path, "/v1/admin/")
 	case strings.HasPrefix(path, "/v1/apps/"):

@@ -18,6 +18,7 @@ func TestEndpointLabel(t *testing.T) {
 		"/debug/pprof/profile":     "pprof",
 		"/v1/admin/reload":         "admin_reload",
 		"/v1/apps/foo/observe":     "observe",
+		"/v1/observe/batch":        "observe_batch",
 		"/v1/apps/foo/target":      "target",
 		"/v1/apps/a-b.c/forecast":  "forecast",
 		"/v1/apps/foo/whatever":    "apps_other",

@@ -1,0 +1,22 @@
+package store
+
+// ShardOf deterministically assigns an application to one of `shards`
+// femuxd instances using 32-bit FNV-1a over the app ID. Every component
+// of the fleet — femuxd's ownership gate, the femux-shard router, and
+// load generators — must call this same function so they agree on which
+// instance owns which app. shards <= 1 means a single unsharded instance.
+func ShardOf(app string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(app); i++ {
+		h ^= uint32(app[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}

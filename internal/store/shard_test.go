@@ -1,0 +1,98 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestShardOfProperties is the shard-routing property test: for random
+// fleets of app IDs and every shard count 1..8, each app maps to exactly
+// one in-range shard, the mapping is deterministic, and the union of the
+// per-shard partitions is exactly the fleet.
+func TestShardOfProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		fleet := make([]string, 1+rng.Intn(200))
+		for i := range fleet {
+			// Mix realistic and adversarial IDs: empty-ish, unicode,
+			// long, numeric.
+			switch rng.Intn(4) {
+			case 0:
+				fleet[i] = fmt.Sprintf("app-%d", rng.Intn(1e6))
+			case 1:
+				fleet[i] = fmt.Sprintf("svc/%d/fn-%d", trial, i)
+			case 2:
+				fleet[i] = fmt.Sprintf("ünïcode-%d", i)
+			default:
+				fleet[i] = fmt.Sprintf("%d", rng.Int63())
+			}
+		}
+		for shards := 1; shards <= 8; shards++ {
+			partitions := make([]map[string]bool, shards)
+			for s := range partitions {
+				partitions[s] = map[string]bool{}
+			}
+			for _, app := range fleet {
+				s := ShardOf(app, shards)
+				if s < 0 || s >= shards {
+					t.Fatalf("ShardOf(%q, %d) = %d out of range", app, shards, s)
+				}
+				if again := ShardOf(app, shards); again != s {
+					t.Fatalf("ShardOf(%q, %d) not deterministic: %d then %d", app, shards, s, again)
+				}
+				partitions[s][app] = true
+			}
+			// Exactly-one-shard + union-is-the-fleet: each app appears in
+			// precisely one partition.
+			total := 0
+			for s, part := range partitions {
+				total += len(part)
+				for app := range part {
+					if ShardOf(app, shards) != s {
+						t.Fatalf("app %q in partition %d but owned by %d", app, s, ShardOf(app, shards))
+					}
+				}
+			}
+			uniq := map[string]bool{}
+			for _, app := range fleet {
+				uniq[app] = true
+			}
+			if total != len(uniq) {
+				t.Fatalf("shards=%d: partitions hold %d apps, fleet has %d", shards, total, len(uniq))
+			}
+		}
+	}
+}
+
+// TestShardOfSpread sanity-checks that FNV-1a actually spreads a
+// realistic fleet: with 512 apps over 8 shards no shard may be empty or
+// hold more than half the fleet (deterministic fleet, so this cannot
+// flake).
+func TestShardOfSpread(t *testing.T) {
+	const apps, shards = 512, 8
+	counts := make([]int, shards)
+	for i := 0; i < apps; i++ {
+		counts[ShardOf(fmt.Sprintf("fn-%d", i), shards)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d empty: %v", s, counts)
+		}
+		if c > apps/2 {
+			t.Fatalf("shard %d holds %d of %d apps: %v", s, c, apps, counts)
+		}
+	}
+}
+
+// TestShardOfKnownVector pins the FNV-1a implementation: clients bake in
+// the same function, so the mapping must never silently change.
+func TestShardOfKnownVector(t *testing.T) {
+	// FNV-1a 32-bit of "a" is 0xe40c292c.
+	if got := ShardOf("a", 1<<16); got != 0xe40c292c%(1<<16) {
+		t.Fatalf("FNV-1a mapping changed: ShardOf(\"a\") = %#x", got)
+	}
+	if got := ShardOf("anything", 1); got != 0 {
+		t.Fatalf("single shard must own everything, got %d", got)
+	}
+}

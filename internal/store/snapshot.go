@@ -1,0 +1,137 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Snapshots compact the WAL: snap-<seq>.snap holds every app's window
+// (and lifetime observation count) as of the moment segments <= seq were
+// sealed. The file reuses the WAL's CRC-framed record format:
+//
+//	record 0   magic "femux-snap-v1"
+//	record i   uvarint len(app) | app | uvarint total | uvarint n | n × float64 bits
+//
+// A snapshot is written to a temp file, fsynced, and renamed into place,
+// so a crash mid-compaction leaves either the old or the new snapshot —
+// never a half-written one (a snapshot that fails its CRC or magic check
+// is skipped and the previous one is used instead).
+const snapMagic = "femux-snap-v1"
+
+// appState is one application's durable state: the sliding observation
+// window plus the lifetime count (windows may be capped; total is not).
+type appState struct {
+	window []float64
+	total  int64
+}
+
+// encodeSnapshotApp frames one app's state into a snapshot record payload.
+func encodeSnapshotApp(buf []byte, app string, st *appState) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(app)))
+	buf = append(buf, app...)
+	buf = binary.AppendUvarint(buf, uint64(st.total))
+	buf = binary.AppendUvarint(buf, uint64(len(st.window)))
+	for _, v := range st.window {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeSnapshotApp parses a snapshot record payload. Every read is
+// bounds-checked: a corrupt record errors out instead of over-reading.
+func decodeSnapshotApp(p []byte) (app string, st appState, err error) {
+	nameLen, n := binary.Uvarint(p)
+	if n <= 0 || nameLen > uint64(len(p)-n) {
+		return "", st, fmt.Errorf("store: snapshot record: bad app length")
+	}
+	p = p[n:]
+	app = string(p[:nameLen])
+	p = p[nameLen:]
+	total, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", st, fmt.Errorf("store: snapshot record: bad total")
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", st, fmt.Errorf("store: snapshot record: bad window length")
+	}
+	p = p[n:]
+	if count*8 != uint64(len(p)) {
+		return "", st, fmt.Errorf("store: snapshot record: window %d values, %d bytes", count, len(p))
+	}
+	st.total = int64(total)
+	st.window = make([]float64, count)
+	for i := range st.window {
+		st.window[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	return app, st, nil
+}
+
+// writeSnapshot persists apps atomically as snap-<seq>.snap.
+func writeSnapshot(dir string, seq uint64, apps map[string]*appState) error {
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var buf []byte
+	buf = appendRecord(buf, []byte(snapMagic))
+	for app, st := range apps {
+		buf = appendRecord(buf, encodeSnapshotApp(nil, app, st))
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapName(seq))); err != nil {
+		return err
+	}
+	fsyncDir(dir)
+	return nil
+}
+
+// loadSnapshot reads snap-<seq>.snap. Any framing, CRC, magic, or decode
+// failure returns an error; callers fall back to an older snapshot.
+func loadSnapshot(dir string, seq uint64) (map[string]*appState, error) {
+	f, err := os.Open(filepath.Join(dir, snapName(seq)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	apps := map[string]*appState{}
+	first := true
+	n, err := readRecords(f, func(payload []byte) error {
+		if first {
+			first = false
+			if string(payload) != snapMagic {
+				return fmt.Errorf("store: snapshot %d: bad magic", seq)
+			}
+			return nil
+		}
+		app, st, err := decodeSnapshotApp(payload)
+		if err != nil {
+			return err
+		}
+		apps[app] = &appState{window: st.window, total: st.total}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("store: snapshot %d: empty file", seq)
+	}
+	return apps, nil
+}

@@ -1,0 +1,437 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Append/AppendBatch returns: an
+	// acknowledged observation survives SIGKILL and power loss. Batches
+	// still cost one fsync total (group commit).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background ticker every
+	// Options.SyncInterval: bounded loss window, much cheaper appends.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the femuxd -fsync flag values onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Options tune durability and compaction. The zero value is the safest
+// configuration: fsync on every append, 4 MiB segments, unlimited
+// windows, compaction every 64k records.
+type Options struct {
+	Sync         SyncPolicy
+	SyncInterval time.Duration // SyncInterval policy only; default 100ms
+	SegmentBytes int64         // WAL segment rotation threshold; default 4 MiB
+	// WindowCap bounds each app's restored window (0 = unlimited). A cap
+	// trades disk and replay time for history depth; forecasts after a
+	// restart are bit-identical to an uninterrupted process only while
+	// per-app history fits the cap.
+	WindowCap int
+	// CompactEvery compacts the WAL into a snapshot after this many
+	// appended records (0 = default 65536, negative = never).
+	CompactEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 1 << 16
+	}
+	return o
+}
+
+// Observation is one app-interval average-concurrency sample.
+type Observation struct {
+	App         string
+	Concurrency float64
+}
+
+// Stats is a point-in-time snapshot of the store's durability state.
+type Stats struct {
+	Apps         int
+	Observations int64 // lifetime records (restored + appended)
+	Segments     int   // live WAL segment files
+	Snapshots    int
+	WALBytes     int64 // bytes across live segments
+	Fsyncs       int64
+	TornTail     bool // a torn/corrupt WAL tail was truncated on open
+	Restored     int64 // records recovered from disk on open
+}
+
+// Store is a durable per-app observation store: an in-memory map of
+// sliding windows backed by the segmented WAL and periodic snapshots.
+// All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	opt      Options
+	w        *wal
+	apps     map[string]*appState
+	total    int64
+	restored int64
+	torn     bool
+	appended int // records since the last compaction
+
+	closeOnce sync.Once
+	stopSync  chan struct{}
+	syncDone  chan struct{}
+	closeErr  error
+}
+
+// Open recovers the store from dir (created if missing): the newest
+// loadable snapshot is applied, younger WAL segments are replayed on top,
+// and a torn tail — the signature of a crash mid-write — is truncated to
+// the longest valid record prefix. Appends then go to a fresh segment.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opt: opt, apps: map[string]*appState{}}
+
+	snapSeqs, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	// Load the newest snapshot that passes its CRC and magic checks.
+	var snapSeq uint64
+	haveSnap := false
+	for i := len(snapSeqs) - 1; i >= 0; i-- {
+		apps, err := loadSnapshot(dir, snapSeqs[i])
+		if err != nil {
+			continue // half-written or corrupt snapshot: fall back
+		}
+		s.apps = apps
+		snapSeq, haveSnap = snapSeqs[i], true
+		break
+	}
+	for _, st := range s.apps {
+		s.total += st.total
+	}
+	s.restored = s.total
+
+	segSeqs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	var replay []uint64
+	maxSeq := snapSeq
+	for _, seq := range segSeqs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if !haveSnap || seq > snapSeq {
+			replay = append(replay, seq)
+		}
+	}
+	n, torn, err := replaySegments(dir, replay, func(payload []byte) error {
+		obs, err := decodeObservation(payload)
+		if err != nil {
+			// A frame whose checksum holds but whose payload is not an
+			// observation is corruption all the same: keep the valid
+			// prefix instead of refusing to open.
+			return fmt.Errorf("%v: %w", err, errTorn)
+		}
+		s.apply(obs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.torn = torn
+	s.restored += int64(n)
+	s.total = 0
+	for _, st := range s.apps {
+		s.total += st.total
+	}
+
+	w, err := openWAL(dir, maxSeq+1, opt.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	fsyncDir(dir)
+
+	if opt.Sync == SyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			s.w.sync()
+			s.mu.Unlock()
+		case <-s.stopSync:
+			return
+		}
+	}
+}
+
+// Observation WAL record payload:
+//
+//	uvarint len(app) | app | float64 bits (little-endian)
+func encodeObservation(buf []byte, obs Observation) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(obs.App)))
+	buf = append(buf, obs.App...)
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(obs.Concurrency))
+}
+
+func decodeObservation(p []byte) (Observation, error) {
+	nameLen, n := binary.Uvarint(p)
+	if n <= 0 || nameLen > uint64(len(p)-n) {
+		return Observation{}, fmt.Errorf("store: observation record: bad app length")
+	}
+	p = p[n:]
+	if uint64(len(p)) != nameLen+8 {
+		return Observation{}, fmt.Errorf("store: observation record: %d trailing bytes", len(p)-int(nameLen))
+	}
+	return Observation{
+		App:         string(p[:nameLen]),
+		Concurrency: math.Float64frombits(binary.LittleEndian.Uint64(p[nameLen:])),
+	}, nil
+}
+
+// apply folds one observation into the in-memory state.
+func (s *Store) apply(obs Observation) {
+	st := s.apps[obs.App]
+	if st == nil {
+		st = &appState{}
+		s.apps[obs.App] = st
+	}
+	st.window = append(st.window, obs.Concurrency)
+	if cap := s.opt.WindowCap; cap > 0 && len(st.window) > cap {
+		// Copy down instead of re-slicing so the backing array does not
+		// pin the evicted prefix forever.
+		keep := copy(st.window, st.window[len(st.window)-cap:])
+		st.window = st.window[:keep]
+	}
+	st.total++
+	s.total++
+}
+
+// Append durably records one observation, then applies it in memory.
+func (s *Store) Append(app string, concurrency float64) error {
+	return s.AppendBatch([]Observation{{App: app, Concurrency: concurrency}})
+}
+
+// AppendBatch group-commits observations: every record is framed into one
+// buffer, written with one syscall, and (under SyncAlways) made durable
+// with a single fsync before any of them is applied in memory or
+// acknowledged. An error means none of the batch was applied in memory;
+// a crash immediately after a failed batch write may still replay a
+// prefix of it, which restore treats like any other observation.
+func (s *Store) AppendBatch(obs []Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(obs))
+	for i, o := range obs {
+		payloads[i] = encodeObservation(nil, o)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if err := s.w.appendBatch(payloads, s.opt.Sync == SyncAlways); err != nil {
+		return err
+	}
+	for _, o := range obs {
+		s.apply(o)
+	}
+	s.appended += len(obs)
+	if s.opt.CompactEvery > 0 && s.appended >= s.opt.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			// Compaction failure must not fail the (already durable)
+			// append; the next append retries it.
+			return nil
+		}
+	}
+	return nil
+}
+
+// Window returns a copy of one app's restored-plus-live sliding window.
+func (s *Store) Window(app string) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.apps[app]
+	if st == nil {
+		return nil
+	}
+	return append([]float64(nil), st.window...)
+}
+
+// Windows returns a copy of every app's sliding window, for restoring a
+// serving process's per-app history on boot.
+func (s *Store) Windows() map[string][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]float64, len(s.apps))
+	for app, st := range s.apps {
+		out[app] = append([]float64(nil), st.window...)
+	}
+	return out
+}
+
+// TotalObservations reports lifetime observations (restored + appended).
+// Because it is derived from durable state, the value survives SIGKILL
+// and restart — the property the CI crash smoke test cross-checks.
+func (s *Store) TotalObservations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Apps reports how many applications have durable state.
+func (s *Store) Apps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.apps)
+}
+
+// Compact snapshots the in-memory state and deletes the WAL segments and
+// snapshots it supersedes.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("store: closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	// Seal the current segment first: the snapshot then covers every
+	// segment below the new head, and post-snapshot appends land in a
+	// segment the snapshot does not claim.
+	if err := s.w.rotate(); err != nil {
+		return err
+	}
+	snapSeq := s.w.seq - 1
+	if err := writeSnapshot(s.dir, snapSeq, s.apps); err != nil {
+		return err
+	}
+	s.appended = 0
+	// Deletion is cleanup, not correctness: leftovers are re-deleted on
+	// the next compaction, and restore ignores segments <= snapshot seq.
+	if segs, err := listSeqs(s.dir, segPrefix, segSuffix); err == nil {
+		for _, seq := range segs {
+			if seq <= snapSeq {
+				os.Remove(filepath.Join(s.dir, segName(seq)))
+			}
+		}
+	}
+	if snaps, err := listSeqs(s.dir, snapPrefix, snapSuffix); err == nil {
+		for _, seq := range snaps {
+			if seq < snapSeq {
+				os.Remove(filepath.Join(s.dir, snapName(seq)))
+			}
+		}
+	}
+	fsyncDir(s.dir)
+	return nil
+}
+
+// Sync forces an fsync of the current segment (used by tests and the
+// interval policy's shutdown path).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	return s.w.sync()
+}
+
+// Stats reports the store's durability counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Apps:         len(s.apps),
+		Observations: s.total,
+		TornTail:     s.torn,
+		Restored:     s.restored,
+	}
+	if s.w != nil {
+		st.Fsyncs = s.w.fsyncs.Load()
+	}
+	if segs, err := listSeqs(s.dir, segPrefix, segSuffix); err == nil {
+		st.Segments = len(segs)
+		for _, seq := range segs {
+			if fi, err := os.Stat(filepath.Join(s.dir, segName(seq))); err == nil {
+				st.WALBytes += fi.Size()
+			}
+		}
+	}
+	if snaps, err := listSeqs(s.dir, snapPrefix, snapSuffix); err == nil {
+		st.Snapshots = len(snaps)
+	}
+	return st
+}
+
+// Close flushes and closes the WAL. The store rejects appends afterwards.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		if s.stopSync != nil {
+			close(s.stopSync)
+			<-s.syncDone
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.w != nil {
+			s.closeErr = s.w.close()
+			s.w = nil
+		}
+	})
+	return s.closeErr
+}

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mirror tracks the expected in-memory history alongside the store.
+type mirror struct {
+	cap  int
+	wins map[string][]float64
+}
+
+func (m *mirror) add(app string, v float64) {
+	w := append(m.wins[app], v)
+	if m.cap > 0 && len(w) > m.cap {
+		w = append([]float64(nil), w[len(w)-m.cap:]...)
+	}
+	m.wins[app] = w
+}
+
+func assertWindowsEqual(t *testing.T, st *Store, m *mirror) {
+	t.Helper()
+	got := st.Windows()
+	if len(got) != len(m.wins) {
+		t.Fatalf("store tracks %d apps, want %d", len(got), len(m.wins))
+	}
+	for app, want := range m.wins {
+		g := got[app]
+		if len(g) != len(want) {
+			t.Fatalf("app %s: window %d, want %d", app, len(g), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(g[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("app %s: value %d = %x, want %x (not bit-identical)",
+					app, i, math.Float64bits(g[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestSnapshotReplayEquivalence is the snapshot+WAL-replay equivalence
+// oracle: a store that lived through random appends, batches, and
+// compactions must restore windows bit-identical to the in-memory
+// history, for unlimited and capped windows alike.
+func TestSnapshotReplayEquivalence(t *testing.T) {
+	for _, cap := range []int{0, 37} {
+		t.Run(fmt.Sprintf("cap=%d", cap), func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(dir, Options{WindowCap: cap, CompactEvery: -1, SegmentBytes: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := &mirror{cap: cap, wins: map[string][]float64{}}
+			rng := rand.New(rand.NewSource(42))
+			for step := 0; step < 400; step++ {
+				switch rng.Intn(10) {
+				case 0: // compact mid-stream
+					if err := st.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				case 1, 2: // batch append
+					n := 1 + rng.Intn(8)
+					batch := make([]Observation, n)
+					for i := range batch {
+						app := fmt.Sprintf("app-%d", rng.Intn(6))
+						v := rng.NormFloat64() * 10
+						batch[i] = Observation{App: app, Concurrency: v}
+					}
+					if err := st.AppendBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					for _, o := range batch {
+						m.add(o.App, o.Concurrency)
+					}
+				default: // single append
+					app := fmt.Sprintf("app-%d", rng.Intn(6))
+					v := rng.NormFloat64() * 10
+					if err := st.Append(app, v); err != nil {
+						t.Fatal(err)
+					}
+					m.add(app, v)
+				}
+			}
+			assertWindowsEqual(t, st, m)
+			total := st.TotalObservations()
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := Open(dir, Options{WindowCap: cap, CompactEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertWindowsEqual(t, re, m)
+			if re.TotalObservations() != total {
+				t.Fatalf("restored total %d, want %d", re.TotalObservations(), total)
+			}
+
+			// Reopen once more *without* Close (SIGKILL shape): under
+			// SyncAlways everything acknowledged is already on disk.
+			if err := re.Append("late", 1.25); err != nil {
+				t.Fatal(err)
+			}
+			m.add("late", 1.25)
+			re2, err := Open(dir, Options{WindowCap: cap, CompactEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertWindowsEqual(t, re2, m)
+			re2.Close()
+		})
+	}
+}
+
+func TestWindowCapEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{WindowCap: 5, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 12; i++ {
+		if err := st.Append("w", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := st.Window("w")
+	if len(w) != 5 {
+		t.Fatalf("window %d, want 5", len(w))
+	}
+	for i, v := range w {
+		if v != float64(7+i) {
+			t.Fatalf("window[%d] = %g, want %g", i, v, float64(7+i))
+		}
+	}
+	if st.TotalObservations() != 12 {
+		t.Fatalf("total = %d, want 12 (cap must not shrink lifetime count)", st.TotalObservations())
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{CompactEvery: 10, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 35; i++ {
+		if err := st.Append("auto", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Snapshots != 1 {
+		t.Fatalf("snapshots = %d, want exactly 1 live snapshot", stats.Snapshots)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if w := re.Window("auto"); len(w) != 35 {
+		t.Fatalf("restored %d values, want 35", len(w))
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		st.Append("s", float64(i))
+	}
+	if err := st.Compact(); err != nil { // snapshot 1 (valid)
+		t.Fatal(err)
+	}
+	for i := 8; i < 12; i++ {
+		st.Append("s", float64(i))
+	}
+	if err := st.Compact(); err != nil { // snapshot 2 (will be corrupted)
+		t.Fatal(err)
+	}
+	st.Close()
+	snaps, _ := listSeqs(dir, snapPrefix, snapSuffix)
+	if len(snaps) != 1 {
+		t.Fatalf("live snapshots = %d, want 1", len(snaps))
+	}
+	// Corrupt the newest snapshot. Recovery must fall back rather than
+	// fail or panic — here to an empty state, because the superseded WAL
+	// segments were already compacted away. What must NOT happen is an
+	// Open error or garbage windows.
+	corruptSnapshot(t, dir, snaps[0])
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after snapshot corruption: %v", err)
+	}
+	defer re.Close()
+	if re.Apps() != 0 {
+		t.Fatalf("corrupt snapshot yielded %d apps", re.Apps())
+	}
+}
+
+// corruptSnapshot flips a byte in the middle of snap-<seq>.snap.
+func corruptSnapshot(t *testing.T, dir string, seq uint64) {
+	t.Helper()
+	path := filepath.Join(dir, snapName(seq))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseRejectsAppends(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("x", 1); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package store persists per-application observation history across
+// femuxd restarts, turning a reload-from-disk into a genuine
+// zero-state-loss upgrade. "Serverless in the Wild" (Shahrad et al.)
+// shows that the cold-start cost of losing history falls hardest on the
+// infrequently-invoked majority of apps — exactly the apps whose sliding
+// windows take longest to rebuild — so the serving path writes every
+// observation through an append-only segmented WAL (length-prefixed,
+// CRC32C-framed records with a configurable fsync policy) and compacts it
+// periodically into snapshots. Batch ingestion group-commits N
+// observations under a single fsync, keeping the observe path cheap
+// ("The High Cost of Keeping Warm") while staying durable.
+//
+// The package also exports ShardOf, the FNV-1a partition function that a
+// multi-instance femuxd fleet and its clients share to agree on which
+// instance owns which application.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// WAL record framing, little-endian:
+//
+//	uint32  payload length (1 .. maxRecordLen)
+//	uint32  CRC32C (Castagnoli) of the payload
+//	bytes   payload
+//
+// A record is valid only if the full frame is present and the checksum
+// matches. Replay accepts the longest valid prefix of each segment; the
+// first torn or corrupt frame ends the segment (a crash mid-write leaves
+// exactly such a tail). Zero-length records are never written and are
+// rejected on read, so a run of zero bytes cannot masquerade as data.
+const (
+	recordHeaderLen = 8
+	// maxRecordLen bounds a single record so that a corrupted length
+	// field cannot make replay allocate or read unbounded memory.
+	maxRecordLen = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks a truncated or corrupt WAL tail. Replay treats it as the
+// end of the valid prefix rather than a fatal error.
+var errTorn = errors.New("store: torn or corrupt WAL tail")
+
+// IsTorn reports whether err marks a torn/corrupt tail detected during
+// replay (as opposed to an I/O failure).
+func IsTorn(err error) bool { return errors.Is(err, errTorn) }
+
+// appendRecord frames payload into buf and returns the extended buffer.
+func appendRecord(buf, payload []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readRecords streams every valid record from r into fn, stopping at the
+// first invalid frame. It returns the number of valid records and nil on
+// a clean EOF, or an error wrapping errTorn when the segment ends in a
+// truncated or corrupt frame. fn errors abort the scan unchanged.
+func readRecords(r io.Reader, fn func(payload []byte) error) (int, error) {
+	br := newByteReader(r)
+	n := 0
+	for {
+		var hdr [recordHeaderLen]byte
+		if err := br.readFull(hdr[:]); err != nil {
+			if err == io.EOF {
+				return n, nil // clean end of segment
+			}
+			if err == io.ErrUnexpectedEOF {
+				return n, fmt.Errorf("truncated record header: %w", errTorn)
+			}
+			return n, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordLen {
+			return n, fmt.Errorf("record length %d out of range: %w", length, errTorn)
+		}
+		payload := make([]byte, length)
+		if err := br.readFull(payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return n, fmt.Errorf("truncated record payload: %w", errTorn)
+			}
+			return n, err
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return n, fmt.Errorf("record checksum %08x != %08x: %w", got, want, errTorn)
+		}
+		if err := fn(payload); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// byteReader is a minimal buffered reader: bufio would be fine, but this
+// keeps readFull's EOF/ErrUnexpectedEOF distinction explicit.
+type byteReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	end int
+	err error
+}
+
+func newByteReader(r io.Reader) *byteReader {
+	return &byteReader{r: r, buf: make([]byte, 64<<10)}
+}
+
+// readFull fills p entirely. io.EOF means not a single byte was read;
+// io.ErrUnexpectedEOF means a partial frame.
+func (b *byteReader) readFull(p []byte) error {
+	copied := 0
+	for copied < len(p) {
+		if b.pos == b.end {
+			if b.err != nil {
+				if copied == 0 && b.err == io.EOF {
+					return io.EOF
+				}
+				if b.err == io.EOF {
+					return io.ErrUnexpectedEOF
+				}
+				return b.err
+			}
+			n, err := b.r.Read(b.buf)
+			b.pos, b.end = 0, n
+			if err != nil {
+				b.err = err
+			}
+			continue
+		}
+		n := copy(p[copied:], b.buf[b.pos:b.end])
+		copied += n
+		b.pos += n
+	}
+	return nil
+}
+
+// Segment and snapshot file naming: wal-<seq>.log holds records appended
+// while seq was current; snap-<seq>.snap covers every segment with
+// sequence number <= seq. On open, the highest loadable snapshot is
+// applied and only younger segments are replayed.
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segName(seq uint64) string  { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+func snapName(seq uint64) string { return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix) }
+
+// parseSeq extracts the sequence number from a segment or snapshot name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	var seq uint64
+	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil || mid == "" {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSeqs returns the sorted sequence numbers of all files in dir with
+// the given prefix/suffix.
+func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeq(e.Name(), prefix, suffix); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// wal is the open write head of the log: the current segment file plus
+// rotation and fsync bookkeeping. All methods are called with the owning
+// Store's mutex held.
+type wal struct {
+	dir      string
+	seq      uint64 // sequence of the open segment
+	f        *os.File
+	size     int64
+	segBytes int64
+	fsyncs   atomic.Int64
+	dirty    bool // bytes written since the last fsync
+	buf      []byte
+}
+
+// openWAL starts a fresh segment with the given sequence number. A new
+// segment per process lifetime means appends never touch a file that may
+// end in a torn tail from a previous crash.
+func openWAL(dir string, seq uint64, segBytes int64) (*wal, error) {
+	w := &wal{dir: dir, seq: seq, segBytes: segBytes}
+	if err := w.openSegment(seq); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *wal) openSegment(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment: %w", err)
+	}
+	w.f, w.seq, w.size = f, seq, 0
+	return nil
+}
+
+// appendBatch frames every payload into one buffer and writes it with a
+// single write syscall — the group-commit that makes a batched observe
+// POST cost one fsync regardless of batch size.
+func (w *wal) appendBatch(payloads [][]byte, syncNow bool) error {
+	w.buf = w.buf[:0]
+	for _, p := range payloads {
+		w.buf = appendRecord(w.buf, p)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	w.size += int64(len(w.buf))
+	w.dirty = true
+	if syncNow {
+		if err := w.sync(); err != nil {
+			return err
+		}
+	}
+	if w.size >= w.segBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// sync flushes the current segment to stable storage.
+func (w *wal) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: WAL fsync: %w", err)
+	}
+	w.fsyncs.Add(1)
+	w.dirty = false
+	return nil
+}
+
+// rotate seals the current segment and opens the next one.
+func (w *wal) rotate() error {
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: closing segment: %w", err)
+	}
+	return w.openSegment(w.seq + 1)
+}
+
+func (w *wal) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replaySegments feeds every valid record of each listed segment (in
+// order) to fn, keeping the longest valid record prefix of each segment
+// and never panicking on arbitrary bytes. A torn tail is the expected
+// shape of a crash mid-write; because every process appends only to a
+// segment it created itself, records in later segments are always newer
+// than a torn point in an earlier one, so replay repairs the damaged
+// segment (truncating it to its valid prefix) and continues. fn errors
+// other than errTorn abort the scan.
+func replaySegments(dir string, seqs []uint64, fn func(payload []byte) error) (records int, torn bool, err error) {
+	for _, seq := range seqs {
+		path := filepath.Join(dir, segName(seq))
+		f, err := os.Open(path)
+		if err != nil {
+			return records, torn, err
+		}
+		validBytes := int64(0)
+		n, rerr := readRecords(f, func(payload []byte) error {
+			if err := fn(payload); err != nil {
+				return err
+			}
+			validBytes += int64(recordHeaderLen + len(payload))
+			return nil
+		})
+		f.Close()
+		records += n
+		if rerr != nil {
+			if !IsTorn(rerr) {
+				return records, torn, rerr
+			}
+			torn = true
+			// Repair: drop the torn tail so future opens see a clean
+			// segment. Failure is tolerable — the same truncation will
+			// simply be re-derived on the next open.
+			os.Truncate(path, validBytes)
+		}
+	}
+	return records, torn, nil
+}
+
+// fsyncDir flushes directory metadata so renames and segment creation
+// survive power loss. Best-effort: some filesystems reject dir fsync.
+func fsyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
