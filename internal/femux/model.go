@@ -381,12 +381,20 @@ type windowedPolicy struct {
 func (p windowedPolicy) Name() string { return p.fc.Name() }
 
 func (p windowedPolicy) Target(history []float64, unitC int) int {
+	return p.TargetWS(history, unitC, nil)
+}
+
+// TargetWS implements sim.WorkspaceTargeter: the training sweeps run one
+// full-series simulation per (app, forecaster) pair, so routing the
+// per-interval forecasts through the simulator's workspace removes the
+// dominant allocation source of Train.
+func (p windowedPolicy) TargetWS(history []float64, unitC int, ws *forecast.Workspace) int {
 	w := p.window
 	if w > len(history) {
 		w = len(history)
 	}
 	window := history[len(history)-w:]
-	pred := p.fc.Forecast(window, p.horizon)
+	pred := forecast.Into(p.fc, window, p.horizon, ws.Out(p.horizon), ws)
 	peak := 0.0
 	for _, v := range pred {
 		if v > peak {

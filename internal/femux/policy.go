@@ -42,6 +42,14 @@ func (p *AppPolicy) Name() string { return "femux-" + p.model.cfg.Metric.Name() 
 // Target implements sim.Policy: it re-classifies when a new block has
 // completed, then forecasts the next horizon with the assigned forecaster.
 func (p *AppPolicy) Target(history []float64, unitConcurrency int) int {
+	return p.TargetWS(history, unitConcurrency, nil)
+}
+
+// TargetWS implements sim.WorkspaceTargeter. The workspace (not the policy)
+// carries all forecast scratch state, so concurrent TargetWS calls remain
+// safe as long as each caller supplies its own workspace — femuxd keeps one
+// per served app under the app lock.
+func (p *AppPolicy) TargetWS(history []float64, unitConcurrency int, ws *forecast.Workspace) int {
 	p.mu.Lock()
 	bs := p.model.cfg.BlockSize
 	completed := len(history) / bs
@@ -65,12 +73,18 @@ func (p *AppPolicy) Target(history []float64, unitConcurrency int) int {
 	p.mu.Unlock()
 
 	return windowedPolicy{fc: fc, window: p.model.cfg.Window, horizon: p.model.cfg.Horizon}.
-		Target(history, unitConcurrency)
+		TargetWS(history, unitConcurrency, ws)
 }
 
 // Forecast predicts the next horizon intervals with the currently assigned
 // forecaster (used by the Knative integration's REST path).
 func (p *AppPolicy) Forecast(history []float64, horizon int) []float64 {
+	return p.ForecastWS(history, horizon, nil, nil)
+}
+
+// ForecastWS is Forecast with caller-owned destination and workspace, the
+// allocation-free form used by the serving path. dst and ws may be nil.
+func (p *AppPolicy) ForecastWS(history []float64, horizon int, dst []float64, ws *forecast.Workspace) []float64 {
 	p.mu.Lock()
 	fc := p.current
 	w := p.model.cfg.Window
@@ -78,7 +92,7 @@ func (p *AppPolicy) Forecast(history []float64, horizon int) []float64 {
 	if w > len(history) {
 		w = len(history)
 	}
-	return fc.Forecast(history[len(history)-w:], horizon)
+	return forecast.Into(fc, history[len(history)-w:], horizon, dst, ws)
 }
 
 // CurrentForecaster returns the name of the forecaster in use.
@@ -163,12 +177,13 @@ func OneStepMAE(series []float64, fc forecast.Forecaster, window, warmup int) fl
 	}
 	var sum float64
 	var n int
+	ws := forecast.NewWorkspace()
 	for t := warmup; t < len(series); t++ {
 		lo := t - window
 		if lo < 0 {
 			lo = 0
 		}
-		pred := fc.Forecast(series[lo:t], 1)[0]
+		pred := forecast.Into(fc, series[lo:t], 1, ws.Out(1), ws)[0]
 		d := pred - series[t]
 		if d < 0 {
 			d = -d

@@ -1,0 +1,82 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// allocHistory builds a noisy but non-degenerate window of the given
+// length so every kernel takes its full code path (thresholds exist,
+// fits succeed, the FFT runs).
+func allocHistory(n int) []float64 {
+	rng := rand.New(rand.NewSource(int64(n)))
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = math.Max(0, 4+3*math.Sin(2*math.Pi*float64(i)/12)+rng.NormFloat64())
+	}
+	return h
+}
+
+// TestForecastIntoZeroAlloc asserts the satellite guarantee: after a
+// warm-up call has grown the workspace (and cached the FFT plan for the
+// window length), every ForecastInto implementation performs zero heap
+// allocations. Window 600 is not a power of two, so the FFT forecaster's
+// Bluestein path is covered too.
+func TestForecastIntoZeroAlloc(t *testing.T) {
+	set := append(DefaultSet(), NewMovingAverage(60), Naive{}, Zero{})
+	for _, window := range []int{10, 64, 600} {
+		hist := allocHistory(window)
+		for _, fc := range set {
+			into, ok := fc.(IntoForecaster)
+			if !ok {
+				t.Fatalf("%s does not implement IntoForecaster", fc.Name())
+			}
+			t.Run(fmt.Sprintf("%s/window=%d", fc.Name(), window), func(t *testing.T) {
+				const horizon = 5
+				ws := NewWorkspace()
+				dst := make([]float64, horizon)
+				// Warm up: grow buffers, build FFT plans.
+				into.ForecastInto(hist, horizon, dst, ws)
+				into.ForecastInto(hist, horizon, dst, ws)
+				allocs := testing.AllocsPerRun(20, func() {
+					into.ForecastInto(hist, horizon, dst, ws)
+				})
+				if allocs != 0 {
+					t.Fatalf("%s window=%d: %v allocs/op at steady state, want 0",
+						fc.Name(), window, allocs)
+				}
+			})
+		}
+	}
+}
+
+// TestForecastIntoZeroAllocDegenerate covers the fallback paths (short
+// history, constant history) — they must be allocation-free too, since
+// real fleets are full of idle apps that hit exactly these branches.
+func TestForecastIntoZeroAllocDegenerate(t *testing.T) {
+	short := []float64{1, 2}
+	constant := make([]float64, 60)
+	for i := range constant {
+		constant[i] = 3
+	}
+	for _, fc := range DefaultSet() {
+		into := fc.(IntoForecaster)
+		for name, hist := range map[string][]float64{"short": short, "constant": constant} {
+			t.Run(fc.Name()+"/"+name, func(t *testing.T) {
+				const horizon = 3
+				ws := NewWorkspace()
+				dst := make([]float64, horizon)
+				into.ForecastInto(hist, horizon, dst, ws)
+				into.ForecastInto(hist, horizon, dst, ws)
+				allocs := testing.AllocsPerRun(20, func() {
+					into.ForecastInto(hist, horizon, dst, ws)
+				})
+				if allocs != 0 {
+					t.Fatalf("%s/%s: %v allocs/op at steady state, want 0", fc.Name(), name, allocs)
+				}
+			})
+		}
+	}
+}

@@ -29,50 +29,122 @@ func (a *AR) Name() string { return fmt.Sprintf("ar%d", a.lags) }
 
 // Forecast implements Forecaster.
 func (a *AR) Forecast(history []float64, horizon int) []float64 {
+	return a.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster.
+func (a *AR) ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
+	return arForecastInto(history, horizon, a.lags, dst, ws)
+}
+
+// arForecastInto is the AR fast path, shared with SETAR's fallback.
+func arForecastInto(history []float64, horizon, lags int, dst []float64, ws *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
-	coef, ok := fitAR(history, a.lags)
-	if !ok {
-		return constant(mean(history), horizon)
+	if ws == nil {
+		ws = NewWorkspace()
 	}
-	return clampNonNegative(predictAR(history, coef, a.lags, horizon))
+	dst = ensureDst(dst, horizon)
+	coef, ok := fitARWS(history, lags, ws)
+	if !ok {
+		constantInto(dst, mean(history))
+		return dst
+	}
+	predictARInto(history, coef, lags, dst, ws)
+	return dst
 }
 
-// fitAR fits intercept + lag coefficients by least squares. It returns
-// ok=false when the history is too short or the fit fails, in which case
-// callers fall back to a mean forecast.
-func fitAR(history []float64, lags int) ([]float64, bool) {
+// arDesignRow materializes training row r of the AR design matrix into
+// dst: an intercept column followed by the lagged values, exactly the row
+// layout fitAR uses (dst[0] = 1, dst[l] = history[r+lags-l]).
+func arDesignRow(history []float64, r, lags int, dst []float64) {
+	dst[0] = 1
+	for l := 1; l <= lags; l++ {
+		dst[l] = history[r+lags-l]
+	}
+}
+
+// accumulateARRow adds one design row's contribution to the normal
+// equations, visiting terms in mathx.LeastSquares' order — i ascending
+// with its vi == 0 skip, then the j >= i upper triangle ascending — so
+// the accumulated sums are bit-identical to the reference.
+func accumulateARRow(xtx, xty, row []float64, y float64, cols int) {
+	row = row[:cols]
+	for i, vi := range row {
+		if vi == 0 {
+			continue
+		}
+		// Equal-length views of the remaining row and the matching xtx
+		// stretch eliminate the inner-loop bounds checks; the memory
+		// cells and accumulation order are unchanged.
+		rr := row[i:]
+		rowI := xtx[i*cols+i:]
+		rowI = rowI[:len(rr)]
+		for j, rv := range rr {
+			rowI[j] += vi * rv
+		}
+		xty[i] += vi * y
+	}
+}
+
+// fitARWS fits intercept + lag coefficients like fitAR, but accumulates
+// the normal equations directly into workspace buffers — one materialized
+// design row at a time instead of a full rows×cols matrix — and solves
+// them in place. The accumulation visits the same terms in the same order
+// as mathx.LeastSquares over fitAR's rows, so the coefficients are
+// bit-identical. The returned slice is workspace scratch, invalidated by
+// the next fit.
+func fitARWS(history []float64, lags int, ws *Workspace) ([]float64, bool) {
 	n := len(history)
 	rows := n - lags
 	// Require a modest margin of observations over parameters.
 	if rows < lags+2 {
 		return nil, false
 	}
-	x := make([][]float64, rows)
-	y := make([]float64, rows)
+	cols := lags + 1
+	xtx := growZeroF(ws.xtx, cols*cols)
+	ws.xtx = xtx
+	xty := growZeroF(ws.xty, cols)
+	ws.xty = xty
+	row := growF(ws.drow, cols)
+	ws.drow = row
 	for r := 0; r < rows; r++ {
-		row := make([]float64, lags+1)
-		row[0] = 1
-		for l := 1; l <= lags; l++ {
-			row[l] = history[r+lags-l]
-		}
-		x[r] = row
-		y[r] = history[r+lags]
+		arDesignRow(history, r, lags, row)
+		accumulateARRow(xtx, xty, row, history[r+lags], cols)
 	}
-	coef, err := mathx.LeastSquares(x, y)
-	if err != nil {
-		return nil, false
-	}
-	return coef, true
+	return solveNormalEquations(xtx, xty, cols, ws)
 }
 
-// predictAR rolls the fitted model forward, feeding predictions back in as
-// lagged inputs.
-func predictAR(history, coef []float64, lags, horizon int) []float64 {
-	buf := append([]float64(nil), history...)
-	out := make([]float64, horizon)
-	for t := 0; t < horizon; t++ {
+// solveNormalEquations applies the ridge + mirror step of
+// mathx.LeastSquares to the accumulated upper triangle and solves the
+// system in place in workspace scratch.
+func solveNormalEquations(xtx, xty []float64, cols int, ws *Workspace) ([]float64, bool) {
+	// Mirror the upper triangle and add ridge.
+	const ridge = 1e-9
+	for i := 0; i < cols; i++ {
+		xtx[i*cols+i] += ridge
+		for j := i + 1; j < cols; j++ {
+			xtx[j*cols+i] = xtx[i*cols+j]
+		}
+	}
+	m := growF(ws.xm, cols*cols)
+	ws.xm = m
+	copy(m, xtx)
+	sol := growF(ws.sol, cols)
+	ws.sol = sol
+	copy(sol, xty)
+	if err := mathx.SolveLinearFlat(m, sol, cols); err != nil {
+		return nil, false
+	}
+	return sol, true
+}
+
+// predictARInto rolls the fitted model forward, feeding predictions back
+// in as lagged inputs, using the workspace rolling buffer.
+func predictARInto(history, coef []float64, lags int, dst []float64, ws *Workspace) {
+	buf := growBuf(ws.buf, history, len(dst))
+	for t := range dst {
 		v := coef[0]
 		for l := 1; l <= lags; l++ {
 			idx := len(buf) - l
@@ -83,8 +155,8 @@ func predictAR(history, coef []float64, lags, horizon int) []float64 {
 		if v < 0 || v != v {
 			v = 0
 		}
-		out[t] = v
+		dst[t] = v
 		buf = append(buf, v)
 	}
-	return out
+	ws.buf = buf[:0]
 }

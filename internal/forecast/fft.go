@@ -29,17 +29,31 @@ func (f *FFT) Name() string { return fmt.Sprintf("fft%d", f.harmonics) }
 
 // Forecast implements Forecaster.
 func (f *FFT) Forecast(history []float64, horizon int) []float64 {
+	return f.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster. The workspace caches the FFT
+// plan (twiddle and Bluestein chirp tables) per window length, so
+// repeated forecasts over the same window size skip all plan setup and
+// allocate nothing.
+func (f *FFT) ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	dst = ensureDst(dst, horizon)
 	n := len(history)
 	if n < 4 {
-		return constant(mean(history), horizon)
+		constantInto(dst, mean(history))
+		return dst
 	}
 	m := mean(history)
-	hs := mathx.TopHarmonics(history, f.harmonics)
+	hs := ws.fft.TopHarmonics(history, f.harmonics)
 	// Extrapolate the harmonic model past the end of the window: sample
-	// offsets n..n+horizon-1 of the length-n periodic reconstruction.
-	out := mathx.SynthesizeHarmonics(m, hs, n, n, horizon)
-	return clampNonNegative(out)
+	// offsets n..n+horizon-1 of the length-n periodic reconstruction,
+	// with the non-negativity clamp folded into the write loop.
+	mathx.SynthesizeHarmonicsInto(m, hs, n, n, horizon, dst, true)
+	return dst
 }

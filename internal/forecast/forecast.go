@@ -26,29 +26,6 @@ type Forecaster interface {
 	Forecast(history []float64, horizon int) []float64
 }
 
-// clampNonNegative zeroes negative predictions in place and returns the
-// slice for chaining.
-func clampNonNegative(xs []float64) []float64 {
-	for i, v := range xs {
-		if v < 0 || v != v { // also clear NaNs defensively
-			xs[i] = 0
-		}
-	}
-	return xs
-}
-
-// constant returns a horizon-length forecast of v (clamped at 0).
-func constant(v float64, horizon int) []float64 {
-	if v < 0 || v != v {
-		v = 0
-	}
-	out := make([]float64, horizon)
-	for i := range out {
-		out[i] = v
-	}
-	return out
-}
-
 // mean returns the arithmetic mean of xs, or 0 for empty input.
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -1,0 +1,32 @@
+package forecast
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkForecastKernels measures the ForecastInto fast path for every
+// forecaster in the default set at three window lengths (10/60/600 — the
+// floor-window, paper block-window, and long-history regimes; 600 also
+// forces the FFT Bluestein path). CI's bench-smoke step runs this at
+// -benchtime=1x; the EXPERIMENTS.md delta table compares it against
+// BenchmarkForecasters (the allocating wrapper) on the reference box.
+func BenchmarkForecastKernels(b *testing.B) {
+	for _, window := range []int{10, 60, 600} {
+		hist := allocHistory(window)
+		for _, fc := range DefaultSet() {
+			into := fc.(IntoForecaster)
+			b.Run(fmt.Sprintf("%s/window=%d", fc.Name(), window), func(b *testing.B) {
+				const horizon = 1
+				ws := NewWorkspace()
+				dst := make([]float64, horizon)
+				into.ForecastInto(hist, horizon, dst, ws)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					into.ForecastInto(hist, horizon, dst, ws)
+				}
+			})
+		}
+	}
+}

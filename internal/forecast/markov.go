@@ -28,45 +28,59 @@ func (m *MarkovChain) Name() string { return fmt.Sprintf("markov%d", m.states) }
 
 // Forecast implements Forecaster.
 func (m *MarkovChain) Forecast(history []float64, horizon int) []float64 {
+	return m.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster. The transition matrix is a flat
+// row-major workspace buffer and the state distributions live in reused
+// slices; the non-negativity clamp is folded into the expected-value
+// write.
+func (m *MarkovChain) ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
-	if len(history) < m.states*2 {
-		return constant(mean(history), horizon)
+	if ws == nil {
+		ws = NewWorkspace()
 	}
-	bounds, centroids := discretize(history, m.states)
+	dst = ensureDst(dst, horizon)
+	if len(history) < m.states*2 {
+		constantInto(dst, mean(history))
+		return dst
+	}
+	bounds, centroids := discretizeWS(history, m.states, ws)
 	if bounds == nil {
-		return constant(history[len(history)-1], horizon)
+		constantInto(dst, history[len(history)-1])
+		return dst
 	}
 	k := len(centroids)
 	// Transition counts with add-one smoothing to keep the chain ergodic.
-	trans := make([][]float64, k)
+	trans := growF(ws.trans, k*k)
+	ws.trans = trans
 	for i := range trans {
-		trans[i] = make([]float64, k)
-		for j := range trans[i] {
-			trans[i][j] = 0.1
-		}
+		trans[i] = 0.1
 	}
 	prev := stateOf(history[0], bounds)
 	for i := 1; i < len(history); i++ {
 		cur := stateOf(history[i], bounds)
-		trans[prev][cur]++
+		trans[prev*k+cur]++
 		prev = cur
 	}
-	for i := range trans {
+	for i := 0; i < k; i++ {
+		tRow := trans[i*k : i*k+k]
 		var row float64
-		for _, v := range trans[i] {
+		for _, v := range tRow {
 			row += v
 		}
-		for j := range trans[i] {
-			trans[i][j] /= row
+		for j := range tRow {
+			tRow[j] /= row
 		}
 	}
 	// Roll the state distribution forward from the last observation.
-	dist := make([]float64, k)
+	dist := growZeroF(ws.dist, k)
+	ws.dist = dist
 	dist[stateOf(history[len(history)-1], bounds)] = 1
-	out := make([]float64, horizon)
-	next := make([]float64, k)
+	next := growF(ws.next, k)
+	ws.next = next
 	for t := 0; t < horizon; t++ {
 		for j := range next {
 			next[j] = 0
@@ -75,8 +89,9 @@ func (m *MarkovChain) Forecast(history []float64, horizon int) []float64 {
 			if dist[i] == 0 {
 				continue
 			}
+			tRow := trans[i*k : i*k+k]
 			for j := range next {
-				next[j] += dist[i] * trans[i][j]
+				next[j] += dist[i] * tRow[j]
 			}
 		}
 		copy(dist, next)
@@ -84,21 +99,29 @@ func (m *MarkovChain) Forecast(history []float64, horizon int) []float64 {
 		for j := range dist {
 			ev += dist[j] * centroids[j]
 		}
-		out[t] = ev
+		if ev < 0 || ev != ev {
+			ev = 0
+		}
+		dst[t] = ev
 	}
-	return clampNonNegative(out)
+	return dst
 }
 
-// discretize splits the value range into up to k quantile states and returns
-// the state upper bounds (len k-1) and per-state centroids. It returns nil
-// bounds for a constant series.
-func discretize(history []float64, k int) (bounds, centroids []float64) {
-	sorted := append([]float64(nil), history...)
+// discretizeWS splits the value range into up to k quantile states like
+// the reference discretize, using the workspace quantile and moment
+// buffers. It returns nil bounds for a constant series.
+func discretizeWS(history []float64, k int, ws *Workspace) (bounds, centroids []float64) {
+	sorted := growF(ws.sorted, len(history))
+	ws.sorted = sorted
+	copy(sorted, history)
 	sort.Float64s(sorted)
 	if sorted[0] == sorted[len(sorted)-1] {
 		return nil, nil
 	}
-	bounds = make([]float64, 0, k-1)
+	if ws.bounds == nil || cap(ws.bounds) < k-1 {
+		ws.bounds = make([]float64, 0, k)
+	}
+	bounds = ws.bounds[:0]
 	for i := 1; i < k; i++ {
 		q := float64(i) / float64(k)
 		v := sorted[int(q*float64(len(sorted)-1))]
@@ -106,18 +129,24 @@ func discretize(history []float64, k int) (bounds, centroids []float64) {
 			bounds = append(bounds, v)
 		}
 	}
+	ws.bounds = bounds
 	n := len(bounds) + 1
-	sums := make([]float64, n)
-	counts := make([]float64, n)
+	sums := growZeroF(ws.sums, n)
+	ws.sums = sums
+	counts := growZeroF(ws.counts, n)
+	ws.counts = counts
 	for _, v := range history {
 		s := stateOf(v, bounds)
 		sums[s] += v
 		counts[s]++
 	}
-	centroids = make([]float64, n)
+	centroids = growF(ws.centroids, n)
+	ws.centroids = centroids
 	for i := range centroids {
 		if counts[i] > 0 {
 			centroids[i] = sums[i] / counts[i]
+		} else {
+			centroids[i] = 0
 		}
 	}
 	return bounds, centroids

@@ -3,8 +3,6 @@ package forecast
 import (
 	"fmt"
 	"sort"
-
-	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
 )
 
 // SETAR is a Self-Excitation Threshold AutoRegressive forecaster: the series
@@ -35,52 +33,81 @@ func (s *SETAR) Name() string { return fmt.Sprintf("setar%d-%d", s.lags, s.thres
 
 // Forecast implements Forecaster.
 func (s *SETAR) Forecast(history []float64, horizon int) []float64 {
+	return s.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster.
+func (s *SETAR) ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
-	thr := regimeThresholds(history, s.thresholds)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	thr := regimeThresholdsWS(history, s.thresholds, ws)
 	if len(thr) == 0 {
 		// Degenerate (constant or tiny) history: plain AR fallback.
-		return NewAR(s.lags).Forecast(history, horizon)
+		return arForecastInto(history, horizon, s.lags, dst, ws)
 	}
-	// Fit one AR per regime over the observations whose delay-1 value
-	// falls in that regime.
-	type regimeFit struct {
-		coef []float64
-		ok   bool
-	}
-	nRegimes := len(thr) + 1
-	fits := make([]regimeFit, nRegimes)
 	// Partition training rows by regime of y_{t-1}.
+	nRegimes := len(thr) + 1
 	rows := len(history) - s.lags
 	if rows < s.lags+2 {
-		return NewAR(s.lags).Forecast(history, horizon)
+		return arForecastInto(history, horizon, s.lags, dst, ws)
 	}
-	regimeRows := make([][]int, nRegimes)
-	for r := 0; r < rows; r++ {
-		reg := regimeOf(history[r+s.lags-1], thr)
-		regimeRows[reg] = append(regimeRows[reg], r)
-	}
+	dst = ensureDst(dst, horizon)
+	// Bucket row indices by regime, preserving increasing-row order within
+	// each regime: one pass per regime into a shared index buffer, with
+	// rowOff marking each regime's span.
+	rowIdx := growI(ws.rowIdx, rows)
+	ws.rowIdx = rowIdx
+	rowOff := growI(ws.rowOff, nRegimes+1)
+	ws.rowOff = rowOff
+	pos := 0
 	for reg := 0; reg < nRegimes; reg++ {
-		coef, ok := fitARRows(history, regimeRows[reg], s.lags)
-		fits[reg] = regimeFit{coef: coef, ok: ok}
+		rowOff[reg] = pos
+		for r := 0; r < rows; r++ {
+			if regimeOf(history[r+s.lags-1], thr) == reg {
+				rowIdx[pos] = r
+				pos++
+			}
+		}
 	}
-	// Global fallback coefficients.
-	globalCoef, globalOK := fitAR(history, s.lags)
+	rowOff[nRegimes] = pos
+	// Fit one AR per regime plus the global fallback; each fit's
+	// coefficients are copied out of the shared solver scratch into the
+	// workspace coefficient store before the next fit reuses it.
+	cols := s.lags + 1
+	coefStore := growF(ws.coef, (nRegimes+1)*cols)
+	ws.coef = coefStore
+	fitOK := growBool(ws.fitOK, nRegimes+1)
+	ws.fitOK = fitOK
+	for reg := 0; reg < nRegimes; reg++ {
+		coef, ok := fitARRowsWS(history, rowIdx[rowOff[reg]:rowOff[reg+1]], s.lags, ws)
+		fitOK[reg] = ok
+		if ok {
+			copy(coefStore[reg*cols:(reg+1)*cols], coef)
+		}
+	}
+	globalCoef, globalOK := fitARWS(history, s.lags, ws)
+	fitOK[nRegimes] = globalOK
+	if globalOK {
+		copy(coefStore[nRegimes*cols:], globalCoef)
+	}
+	histMean := mean(history)
 
-	buf := append([]float64(nil), history...)
-	out := make([]float64, horizon)
+	buf := growBuf(ws.buf, history, horizon)
 	for t := 0; t < horizon; t++ {
 		reg := regimeOf(buf[len(buf)-1], thr)
 		var coef []float64
 		switch {
-		case fits[reg].ok:
-			coef = fits[reg].coef
+		case fitOK[reg]:
+			coef = coefStore[reg*cols : (reg+1)*cols]
 		case globalOK:
-			coef = globalCoef
+			coef = coefStore[nRegimes*cols:]
 		default:
-			out[t] = mean(history)
-			buf = append(buf, out[t])
+			dst[t] = histMean
+			buf = append(buf, dst[t])
 			continue
 		}
 		v := coef[0]
@@ -93,49 +120,55 @@ func (s *SETAR) Forecast(history []float64, horizon int) []float64 {
 		if v < 0 || v != v {
 			v = 0
 		}
-		out[t] = v
+		dst[t] = v
 		buf = append(buf, v)
 	}
-	return out
+	ws.buf = buf[:0]
+	return dst
 }
 
-// fitARRows fits an AR(lags) model using only the given training rows
-// (row r predicts history[r+lags] from the preceding lags values).
-func fitARRows(history []float64, rowIdx []int, lags int) ([]float64, bool) {
+// fitARRowsWS fits an AR(lags) model using only the given training rows
+// (row r predicts history[r+lags] from the preceding lags values),
+// accumulating the normal equations directly into workspace buffers in
+// the same term order as mathx.LeastSquares over the materialized rows.
+// The returned slice is solver scratch, invalidated by the next fit.
+func fitARRowsWS(history []float64, rowIdx []int, lags int, ws *Workspace) ([]float64, bool) {
 	if len(rowIdx) < lags+2 {
 		return nil, false
 	}
-	x := make([][]float64, len(rowIdx))
-	y := make([]float64, len(rowIdx))
-	for i, r := range rowIdx {
-		row := make([]float64, lags+1)
-		row[0] = 1
-		for l := 1; l <= lags; l++ {
-			row[l] = history[r+lags-l]
-		}
-		x[i] = row
-		y[i] = history[r+lags]
+	cols := lags + 1
+	xtx := growZeroF(ws.xtx, cols*cols)
+	ws.xtx = xtx
+	xty := growZeroF(ws.xty, cols)
+	ws.xty = xty
+	row := growF(ws.drow, cols)
+	ws.drow = row
+	for _, r := range rowIdx {
+		arDesignRow(history, r, lags, row)
+		accumulateARRow(xtx, xty, row, history[r+lags], cols)
 	}
-	coef, err := mathx.LeastSquares(x, y)
-	if err != nil {
-		return nil, false
-	}
-	return coef, true
+	return solveNormalEquations(xtx, xty, cols, ws)
 }
 
-// regimeThresholds picks up to k thresholds at evenly spaced quantiles of
-// the history. It returns nil when the history has no spread (all regimes
-// would coincide).
-func regimeThresholds(history []float64, k int) []float64 {
+// regimeThresholdsWS picks up to k thresholds at evenly spaced quantiles
+// of the history, like the reference regimeThresholds, but sorts into the
+// workspace quantile buffer. It returns an empty slice when the history
+// has no spread (all regimes would coincide).
+func regimeThresholdsWS(history []float64, k int, ws *Workspace) []float64 {
 	if len(history) < 4 {
 		return nil
 	}
-	sorted := append([]float64(nil), history...)
+	sorted := growF(ws.sorted, len(history))
+	ws.sorted = sorted
+	copy(sorted, history)
 	sort.Float64s(sorted)
 	if sorted[0] == sorted[len(sorted)-1] {
 		return nil
 	}
-	out := make([]float64, 0, k)
+	if cap(ws.thr) < k {
+		ws.thr = make([]float64, 0, k)
+	}
+	out := ws.thr[:0]
 	for i := 1; i <= k; i++ {
 		q := float64(i) / float64(k+1)
 		v := sorted[int(q*float64(len(sorted)-1))]
@@ -143,6 +176,7 @@ func regimeThresholds(history []float64, k int) []float64 {
 			out = append(out, v)
 		}
 	}
+	ws.thr = out
 	return out
 }
 

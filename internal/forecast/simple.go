@@ -27,17 +27,25 @@ func (m *MovingAverage) Name() string { return fmt.Sprintf("ma%d", m.window) }
 
 // Forecast implements Forecaster.
 func (m *MovingAverage) Forecast(history []float64, horizon int) []float64 {
+	return m.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster.
+func (m *MovingAverage) ForecastInto(history []float64, horizon int, dst []float64, _ *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
+	dst = ensureDst(dst, horizon)
 	w := m.window
 	if w > len(history) {
 		w = len(history)
 	}
 	if w == 0 {
-		return make([]float64, horizon)
+		zeroInto(dst)
+		return dst
 	}
-	return constant(mean(history[len(history)-w:]), horizon)
+	constantInto(dst, mean(history[len(history)-w:]))
+	return dst
 }
 
 // RecentPeak forecasts the maximum over the trailing window — the
@@ -62,9 +70,15 @@ func (r *RecentPeak) Name() string { return fmt.Sprintf("peak%d", r.window) }
 
 // Forecast implements Forecaster.
 func (r *RecentPeak) Forecast(history []float64, horizon int) []float64 {
+	return r.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster.
+func (r *RecentPeak) ForecastInto(history []float64, horizon int, dst []float64, _ *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
+	dst = ensureDst(dst, horizon)
 	w := r.window
 	if w > len(history) {
 		w = len(history)
@@ -75,7 +89,8 @@ func (r *RecentPeak) Forecast(history []float64, horizon int) []float64 {
 			peak = v
 		}
 	}
-	return constant(peak, horizon)
+	constantInto(dst, peak)
+	return dst
 }
 
 // CeilPeak forecasts the ceiling of the trailing-window peak: whenever the
@@ -106,9 +121,15 @@ func (c *CeilPeak) Name() string { return fmt.Sprintf("warm%d", c.window) }
 
 // Forecast implements Forecaster.
 func (c *CeilPeak) Forecast(history []float64, horizon int) []float64 {
+	return c.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster.
+func (c *CeilPeak) ForecastInto(history []float64, horizon int, dst []float64, _ *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
+	dst = ensureDst(dst, horizon)
 	w := c.window
 	if w > len(history) {
 		w = len(history)
@@ -122,7 +143,8 @@ func (c *CeilPeak) Forecast(history []float64, horizon int) []float64 {
 	if peak > 0 {
 		peak = math.Ceil(peak)
 	}
-	return constant(peak, horizon)
+	constantInto(dst, peak)
+	return dst
 }
 
 // Naive forecasts the most recent observation for every future interval.
@@ -133,13 +155,21 @@ func (Naive) Name() string { return "naive" }
 
 // Forecast implements Forecaster.
 func (Naive) Forecast(history []float64, horizon int) []float64 {
+	return Naive{}.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster.
+func (Naive) ForecastInto(history []float64, horizon int, dst []float64, _ *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
+	dst = ensureDst(dst, horizon)
 	if len(history) == 0 {
-		return make([]float64, horizon)
+		zeroInto(dst)
+		return dst
 	}
-	return constant(history[len(history)-1], horizon)
+	constantInto(dst, history[len(history)-1])
+	return dst
 }
 
 // Zero always forecasts zero — the scale-to-zero extreme, useful as a floor
@@ -151,9 +181,16 @@ type Zero struct{}
 func (Zero) Name() string { return "zero" }
 
 // Forecast implements Forecaster.
-func (Zero) Forecast(_ []float64, horizon int) []float64 {
+func (Zero) Forecast(history []float64, horizon int) []float64 {
+	return Zero{}.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster.
+func (Zero) ForecastInto(_ []float64, horizon int, dst []float64, _ *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
-	return make([]float64, horizon)
+	dst = ensureDst(dst, horizon)
+	zeroInto(dst)
+	return dst
 }

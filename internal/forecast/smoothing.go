@@ -29,29 +29,60 @@ func (e *ExpSmoothing) Name() string { return "expsmooth" }
 
 // Forecast implements Forecaster.
 func (e *ExpSmoothing) Forecast(history []float64, horizon int) []float64 {
+	return e.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster. The grid search runs all alpha
+// chains interleaved — history outer, grid inner, one level/SSE slot per
+// alpha — so one pass over the history updates every candidate. Each
+// chain performs its reference operations in its reference order, so the
+// selected level is bit-identical to the chain-at-a-time search.
+func (e *ExpSmoothing) ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
-	if len(history) == 0 {
-		return make([]float64, horizon)
+	if ws == nil {
+		ws = NewWorkspace()
 	}
+	dst = ensureDst(dst, horizon)
+	if len(history) == 0 {
+		zeroInto(dst)
+		return dst
+	}
+	g := e.grid
+	levels := growF(ws.levels, len(g))
+	ws.levels = levels
+	sses := growF(ws.sses, len(g))
+	ws.sses = sses
+	// Re-slicing to len(g) is a no-op at runtime (growF sized them) but
+	// lets the compiler drop the bounds checks in the hot interleave.
+	levels = levels[:len(g)]
+	sses = sses[:len(g)]
+	for a := range g {
+		levels[a] = history[0]
+		sses[a] = 0
+	}
+	for i := 1; i < len(history); i++ {
+		hv := history[i]
+		for a, alpha := range g {
+			err := hv - levels[a]
+			sses[a] += err * err
+			levels[a] += alpha * err
+		}
+	}
+	// Select in grid order with strict <, matching the reference
+	// tie-breaking.
 	bestLevel := history[len(history)-1]
 	bestSSE := math.Inf(1)
-	for _, alpha := range e.grid {
-		level := history[0]
-		var sse float64
-		for i := 1; i < len(history); i++ {
-			err := history[i] - level
-			sse += err * err
-			level += alpha * err
-		}
-		if sse < bestSSE {
-			bestSSE = sse
-			bestLevel = level
+	for a := range g {
+		if sses[a] < bestSSE {
+			bestSSE = sses[a]
+			bestLevel = levels[a]
 		}
 	}
 	// ES forecasts a flat continuation of the smoothed level.
-	return constant(bestLevel, horizon)
+	constantInto(dst, bestLevel)
+	return dst
 }
 
 // Holt is double exponential smoothing: a smoothed level plus a smoothed
@@ -76,40 +107,88 @@ func (h *Holt) Name() string { return "holt" }
 
 // Forecast implements Forecaster.
 func (h *Holt) Forecast(history []float64, horizon int) []float64 {
+	return h.ForecastInto(history, horizon, nil, nil)
+}
+
+// ForecastInto implements IntoForecaster. Like ExpSmoothing, all
+// (alpha, beta) chains run interleaved over a single history pass, one
+// level/trend/SSE slot per combination in (alpha outer, beta inner)
+// order. alpha*beta is precomputed per combination — the reference
+// evaluates alpha*beta*err left-to-right, so the product is the same —
+// and each chain's recurrence is order-identical, so the selected
+// (level, trend) is bit-identical to the reference search.
+func (h *Holt) ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
 	if horizon <= 0 {
 		return nil
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	dst = ensureDst(dst, horizon)
 	if len(history) < 2 {
 		v := 0.0
 		if len(history) == 1 {
 			v = history[0]
 		}
-		return constant(v, horizon)
+		constantInto(dst, v)
+		return dst
+	}
+	combos := len(h.alphas) * len(h.betas)
+	levels := growF(ws.levels, combos)
+	ws.levels = levels
+	trends := growF(ws.trends, combos)
+	ws.trends = trends
+	sses := growF(ws.sses, combos)
+	ws.sses = sses
+	ga := growF(ws.ga, combos)
+	ws.ga = ga
+	gab := growF(ws.gab, combos)
+	ws.gab = gab
+	c := 0
+	for _, alpha := range h.alphas {
+		for _, beta := range h.betas {
+			ga[c] = alpha
+			gab[c] = alpha * beta
+			c++
+		}
+	}
+	trend0 := history[1] - history[0]
+	for c := 0; c < combos; c++ {
+		levels[c] = history[0]
+		trends[c] = trend0
+		sses[c] = 0
+	}
+	// No-op re-slices that let the compiler drop bounds checks in the
+	// interleaved recurrence.
+	levels = levels[:combos]
+	trends = trends[:combos]
+	sses = sses[:combos]
+	ga = ga[:combos]
+	gab = gab[:combos]
+	for i := 1; i < len(history); i++ {
+		hv := history[i]
+		for c := range levels {
+			pred := levels[c] + trends[c]
+			err := hv - pred
+			sses[c] += err * err
+			levels[c] = pred + ga[c]*err
+			trends[c] += gab[c] * err
+		}
 	}
 	bestSSE := math.Inf(1)
 	var bestLevel, bestTrend float64
-	for _, alpha := range h.alphas {
-		for _, beta := range h.betas {
-			level := history[0]
-			trend := history[1] - history[0]
-			var sse float64
-			for i := 1; i < len(history); i++ {
-				pred := level + trend
-				err := history[i] - pred
-				sse += err * err
-				newLevel := pred + alpha*err
-				trend += alpha * beta * err
-				level = newLevel
-			}
-			if sse < bestSSE {
-				bestSSE = sse
-				bestLevel, bestTrend = level, trend
-			}
+	for c := 0; c < combos; c++ {
+		if sses[c] < bestSSE {
+			bestSSE = sses[c]
+			bestLevel, bestTrend = levels[c], trends[c]
 		}
 	}
-	out := make([]float64, horizon)
-	for t := 0; t < horizon; t++ {
-		out[t] = bestLevel + float64(t+1)*bestTrend
+	for t := range dst {
+		v := bestLevel + float64(t+1)*bestTrend
+		if v < 0 || v != v {
+			v = 0
+		}
+		dst[t] = v
 	}
-	return clampNonNegative(out)
+	return dst
 }

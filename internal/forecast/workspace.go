@@ -1,0 +1,167 @@
+package forecast
+
+import "github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+
+// Workspace holds every scratch buffer the ForecastInto kernels need:
+// cached FFT plans keyed by window length, pooled least-squares matrices
+// for AR/SETAR, the smoothing grid-search state, and the Markov chain
+// buffers. One workspace serves every forecaster; buffers are grown
+// lazily and reused across calls, so a warmed workspace makes every
+// forecast allocation-free (alloc_test.go asserts this).
+//
+// A Workspace is NOT safe for concurrent use. Callers that forecast from
+// multiple goroutines must use one workspace per goroutine — the
+// simulators create one per simulation, and femuxd keeps one per served
+// app under the app lock. The zero value is ready to use.
+type Workspace struct {
+	fft mathx.FFTScratch
+
+	// Rolling prediction-feedback buffer (AR/SETAR roll forecasts back in
+	// as lagged inputs).
+	buf []float64
+
+	// Least-squares state: normal equations, solver working copy,
+	// right-hand side, the materialized design row being accumulated, and
+	// the per-regime coefficient store for SETAR.
+	xtx, xm, xty, sol []float64
+	drow              []float64
+	coef              []float64
+	fitOK             []bool
+
+	// Quantile state shared by SETAR thresholds and Markov discretization.
+	sorted []float64
+	thr    []float64
+	rowIdx []int
+	rowOff []int
+
+	// Markov chain state.
+	trans, dist, next       []float64
+	sums, counts, centroids []float64
+	bounds                  []float64
+
+	// Smoothing grid-search chains (one entry per grid point, so the
+	// per-alpha recurrences run interleaved with unchanged per-chain
+	// arithmetic).
+	levels, trends, sses []float64
+	ga, gab              []float64
+
+	// Caller-facing destination buffer, handed out by Out.
+	out []float64
+}
+
+// NewWorkspace returns an empty workspace; buffers are grown on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Out returns a length-n destination slice backed by the workspace, for
+// callers that would otherwise allocate a fresh forecast slice per call.
+// The returned slice is overwritten by the next Out call; copy it if it
+// must outlive the next forecast. A nil receiver allocates.
+func (ws *Workspace) Out(n int) []float64 {
+	if ws == nil {
+		return make([]float64, n)
+	}
+	if cap(ws.out) < n {
+		ws.out = make([]float64, n)
+	}
+	ws.out = ws.out[:n]
+	return ws.out
+}
+
+// IntoForecaster is the zero-allocation fast path implemented by every
+// built-in forecaster: forecast into dst (reused when cap(dst) >= horizon)
+// using ws for all intermediate state. dst and ws may be nil, in which
+// case the call allocates like plain Forecast. The returned slice holds
+// the forecast and aliases dst when it had capacity.
+//
+// ForecastInto is bit-identical to Forecast for the same inputs
+// (ref_equiv_test.go asserts Float64bits equality), so cached results and
+// trained models are unaffected by which path produced a forecast.
+type IntoForecaster interface {
+	Forecaster
+	ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64
+}
+
+// Into invokes fc's workspace fast path when it has one, falling back to
+// the allocating Forecast otherwise. It is the single call site helper
+// used by the simulators and the serving path.
+func Into(fc Forecaster, history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
+	if f, ok := fc.(IntoForecaster); ok {
+		return f.ForecastInto(history, horizon, dst, ws)
+	}
+	return fc.Forecast(history, horizon)
+}
+
+// ensureDst returns dst resized to n, reusing its backing array when it
+// has capacity. Kernels overwrite every element, so stale content is fine.
+func ensureDst(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// growF resizes a float scratch slice without zeroing (callers overwrite).
+func growF(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// growZeroF resizes a float scratch slice and zeroes it.
+func growZeroF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growI resizes an int scratch slice without zeroing.
+func growI(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// growBool resizes a bool scratch slice without zeroing.
+func growBool(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+// growBuf returns a rolling buffer primed with history and capacity for
+// extra appended predictions, reusing the workspace backing array.
+func growBuf(buf, history []float64, extra int) []float64 {
+	need := len(history) + extra
+	if cap(buf) < need {
+		buf = make([]float64, 0, need)
+	}
+	buf = buf[:len(history)]
+	copy(buf, history)
+	return buf
+}
+
+// constantInto fills dst with v clamped at 0, the in-place form of the
+// old constant helper (the clamp is folded into the single write pass).
+func constantInto(dst []float64, v float64) {
+	if v < 0 || v != v {
+		v = 0
+	}
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// zeroInto fills dst with zeros.
+func zeroInto(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}

@@ -139,16 +139,14 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 		a := s.app(obs.App)
 		a.mu.Lock()
 		a.history = append(a.history, obs.Concurrency)
-		hist := a.history
-		policy := a.policy
+		res := &resp.Results[i]
+		res.Target = a.policy.TargetWS(a.history, unitC, a.ws)
+		res.Forecaster = a.policy.CurrentForecaster()
+		res.History = len(a.history)
 		a.mu.Unlock()
 		if sm != nil {
 			sm.Observes.Inc(obs.App)
 		}
-		res := &resp.Results[i]
-		res.Target = policy.Target(hist, unitC)
-		res.Forecaster = policy.CurrentForecaster()
-		res.History = len(hist)
 		resp.Accepted++
 	}
 	if sm != nil {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
 )
 
 // ScaleProvider is the hook through which FeMux overrides the default
@@ -25,8 +26,10 @@ type DirectProvider struct {
 }
 
 type directApp struct {
+	mu      sync.Mutex
 	policy  *femux.AppPolicy
 	history []float64
+	ws      *forecast.Workspace
 }
 
 // NewDirectProvider returns a provider backed by a trained model.
@@ -34,20 +37,23 @@ func NewDirectProvider(model *femux.Model) *DirectProvider {
 	return &DirectProvider{model: model, apps: map[string]*directApp{}}
 }
 
-// Target implements ScaleProvider.
+// Target implements ScaleProvider. Per-app state (history append and the
+// workspace-backed forecast) is guarded by the app's own lock, so apps
+// proceed concurrently while each app's decisions stay serialized.
 func (p *DirectProvider) Target(app string, minuteAvg float64, unitConcurrency int) (int, bool) {
 	p.mu.Lock()
 	st, ok := p.apps[app]
 	if !ok {
-		st = &directApp{policy: p.model.NewAppPolicy(0)}
+		st = &directApp{policy: p.model.NewAppPolicy(0), ws: forecast.NewWorkspace()}
 		p.apps[app] = st
 	}
-	st.history = append(st.history, minuteAvg)
-	hist := st.history
-	policy := st.policy
 	p.mu.Unlock()
 
-	return policy.Target(hist, unitConcurrency), true
+	st.mu.Lock()
+	st.history = append(st.history, minuteAvg)
+	target := st.policy.TargetWS(st.history, unitConcurrency, st.ws)
+	st.mu.Unlock()
+	return target, true
 }
 
 // ForecastersUsed reports the distinct forecaster count per app, for

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
 	"github.com/ubc-cirrus-lab/femux-go/internal/store"
 )
@@ -64,6 +65,11 @@ type svcApp struct {
 	mu      sync.Mutex
 	policy  *femux.AppPolicy
 	history []float64
+	// ws holds the app's forecast scratch state; targets and forecasts are
+	// computed under mu so the workspace is never used concurrently. After
+	// the first request warms it, the observe->target computation performs
+	// zero heap allocations (see zeroalloc_test.go).
+	ws *forecast.Workspace
 }
 
 // maxObserveBody bounds the observe POST body; real observations are a
@@ -86,7 +92,7 @@ func NewServiceWith(model *femux.Model, opts ServiceOptions) *Service {
 	}
 	if s.st != nil {
 		for app, win := range s.st.Windows() {
-			s.apps[app] = &svcApp{policy: model.NewAppPolicy(0), history: win}
+			s.apps[app] = &svcApp{policy: model.NewAppPolicy(0), history: win, ws: forecast.NewWorkspace()}
 		}
 		s.restored = len(s.apps)
 	}
@@ -226,7 +232,7 @@ func (s *Service) app(name string) *svcApp {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if a = s.apps[name]; a == nil {
-		a = &svcApp{policy: s.model.NewAppPolicy(0)}
+		a = &svcApp{policy: s.model.NewAppPolicy(0), ws: forecast.NewWorkspace()}
 		s.apps[name] = a
 	}
 	return a
@@ -319,16 +325,19 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		a.history = append(a.history, req.Concurrency)
-		hist := a.history
-		policy := a.policy
+		// The scale decision happens under the app lock: the per-app
+		// workspace is single-threaded by construction, and concurrent
+		// observes for one app serialize exactly as the WAL order does.
+		target := a.policy.TargetWS(a.history, unitC, a.ws)
+		fcName := a.policy.CurrentForecaster()
+		histLen := len(a.history)
 		a.mu.Unlock()
 		if sm := s.svcMetrics(); sm != nil {
 			sm.Observes.Inc(name)
 		}
-		target := policy.Target(hist, unitC)
 		writeJSON(w, TargetResponse{
 			App: name, Target: target,
-			Forecaster: policy.CurrentForecaster(), History: len(hist),
+			Forecaster: fcName, History: histLen,
 		})
 	case "target":
 		if r.Method != http.MethodGet {
@@ -344,16 +353,16 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		a := s.app(name)
 		a.mu.Lock()
-		hist := a.history
-		policy := a.policy
+		target := a.policy.TargetWS(a.history, unitC, a.ws)
+		fcName := a.policy.CurrentForecaster()
+		histLen := len(a.history)
 		a.mu.Unlock()
 		if sm := s.svcMetrics(); sm != nil {
 			sm.Targets.Inc(name)
 		}
-		target := policy.Target(hist, unitC)
 		writeJSON(w, TargetResponse{
 			App: name, Target: target,
-			Forecaster: policy.CurrentForecaster(), History: len(hist),
+			Forecaster: fcName, History: histLen,
 		})
 	case "forecast":
 		if r.Method != http.MethodGet {
@@ -369,15 +378,17 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		a := s.app(name)
 		a.mu.Lock()
-		hist := a.history
-		policy := a.policy
+		// dst is nil: the response slice escapes into the JSON encoder
+		// after the lock is released, so it must not alias the workspace.
+		values := a.policy.ForecastWS(a.history, horizon, nil, a.ws)
+		fcName := a.policy.CurrentForecaster()
 		a.mu.Unlock()
 		if sm := s.svcMetrics(); sm != nil {
 			sm.Forecasts.Inc(name)
 		}
 		writeJSON(w, ForecastResponse{
-			App: name, Forecaster: policy.CurrentForecaster(),
-			Values: policy.Forecast(hist, horizon),
+			App: name, Forecaster: fcName,
+			Values: values,
 		})
 	default:
 		http.Error(w, "unknown action "+action, http.StatusNotFound)

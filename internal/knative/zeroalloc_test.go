@@ -1,0 +1,59 @@
+package knative
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestServiceTargetZeroAlloc asserts the serving-path satellite guarantee:
+// once an app's workspace is warm and its block classification has
+// happened, the observe->target computation — the work femuxd does once
+// per app-minute — performs zero heap allocations. Only the computation is
+// measured; HTTP decode/encode and the history append are outside the
+// kernel contract.
+func TestServiceTargetZeroAlloc(t *testing.T) {
+	s := NewService(trainTinyModel(t))
+	rng := rand.New(rand.NewSource(4))
+
+	a := s.app("alloc-probe")
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// 45 observations: one completed block (size 30), mid-block afterwards,
+	// so the measured calls never cross a block boundary and re-classify.
+	for i := 0; i < 45; i++ {
+		a.history = append(a.history, 2+rng.Float64())
+	}
+	a.policy.TargetWS(a.history, 1, a.ws)
+	a.policy.TargetWS(a.history, 1, a.ws)
+	allocs := testing.AllocsPerRun(50, func() {
+		a.policy.TargetWS(a.history, 1, a.ws)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state target computation: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDirectProviderMatchesPlainTarget pins the refactor's invariant: the
+// workspace-backed serving path returns exactly the targets the allocating
+// Target path returns, observation for observation.
+func TestDirectProviderMatchesPlainTarget(t *testing.T) {
+	m := trainTinyModel(t)
+	p := NewDirectProvider(m)
+	ref := m.NewAppPolicy(0)
+	var hist []float64
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 70; i++ {
+		v := 0.0
+		if i%10 < 2 {
+			v = 2 + rng.Float64()
+		}
+		hist = append(hist, v)
+		got, ok := p.Target("equiv-app", v, 1)
+		if !ok {
+			t.Fatal("provider refused target")
+		}
+		if want := ref.Target(hist, 1); got != want {
+			t.Fatalf("obs %d: provider target %d, plain Target %d", i, got, want)
+		}
+	}
+}

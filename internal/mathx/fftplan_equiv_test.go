@@ -1,0 +1,147 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The scratch-backed transforms must be bit-for-bit identical to the
+// allocating reference path in fft.go — the forecast kernels rely on this
+// so that workspace reuse never changes a forecast, a cache key, or a
+// trained model.
+
+func sameBits(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: got %v (%#x) want %v (%#x)", name,
+			got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func fftTestLengths() []int {
+	ls := []int{1, 2, 3, 4, 5, 7, 8, 10, 15, 16, 31, 32, 60, 64, 120, 128, 504, 600}
+	return ls
+}
+
+func TestFFTScratchRealMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var ws FFTScratch
+	// Interleave lengths (including repeats) so stale scratch state from a
+	// longer transform would corrupt a shorter one if anything leaked.
+	lens := append(fftTestLengths(), 600, 10, 504, 64, 10)
+	for _, n := range lens {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		want := FFTReal(x)
+		got := ws.FFTReal(x)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: len %d want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			sameBits(t, "real", real(got[i]), real(want[i]))
+			sameBits(t, "imag", imag(got[i]), imag(want[i]))
+		}
+	}
+}
+
+func TestFFTScratchTopHarmonicsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ws FFTScratch
+	for _, n := range fftTestLengths() {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 5 + 3*math.Sin(2*math.Pi*float64(i)/12) + rng.NormFloat64()
+		}
+		for _, k := range []int{1, 3, 10, n} {
+			want := TopHarmonics(x, k)
+			got := ws.TopHarmonics(x, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Index != want[i].Index {
+					t.Fatalf("n=%d k=%d harmonic %d: index %d want %d", n, k, i, got[i].Index, want[i].Index)
+				}
+				sameBits(t, "amplitude", got[i].Amplitude, want[i].Amplitude)
+				sameBits(t, "phase", got[i].Phase, want[i].Phase)
+			}
+		}
+	}
+}
+
+func TestSynthesizeHarmonicsIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = rng.Float64() * 4
+	}
+	hs := TopHarmonics(x, 10)
+	for _, horizon := range []int{1, 5, 30} {
+		want := SynthesizeHarmonics(-1.5, hs, 60, 60, horizon) // negative mean forces clamping
+		dst := make([]float64, horizon)
+		SynthesizeHarmonicsInto(-1.5, hs, 60, 60, horizon, dst, false)
+		for i := range want {
+			sameBits(t, "synth", dst[i], want[i])
+		}
+		SynthesizeHarmonicsInto(-1.5, hs, 60, 60, horizon, dst, true)
+		clamped := 0
+		for i := range want {
+			w := want[i]
+			if w < 0 || w != w {
+				w = 0
+				clamped++
+			}
+			sameBits(t, "synth-clamped", dst[i], w)
+		}
+		if horizon == 30 && clamped == 0 {
+			t.Fatal("clamp path not exercised; adjust the test inputs")
+		}
+	}
+}
+
+func TestSolveLinearFlatMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		a := make([][]float64, n)
+		flat := make([]float64, n*n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				v := rng.NormFloat64()
+				if rng.Intn(5) == 0 {
+					v = 0 // exercise the f == 0 elimination skip
+				}
+				a[i][j] = v
+				flat[i*n+j] = v
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, wantErr := SolveLinear(a, b)
+		bf := append([]float64(nil), b...)
+		gotErr := SolveLinearFlat(flat, bf, n)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: err %v want %v", trial, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		for i := range want {
+			sameBits(t, "solution", bf[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearFlatSingular(t *testing.T) {
+	flat := []float64{1, 2, 2, 4}
+	b := []float64{1, 2}
+	if err := SolveLinearFlat(flat, b, 2); err != ErrSingular {
+		t.Fatalf("got %v want ErrSingular", err)
+	}
+}

@@ -105,6 +105,60 @@ func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
 	return SolveLinear(xtx, xty)
 }
 
+// SolveLinearFlat solves A x = b like SolveLinear, but A is a row-major
+// flat n×n matrix and both A and b are destroyed in place: the solution is
+// left in b. The pivoting and elimination perform the same floating-point
+// operations in the same order as SolveLinear (rows are swapped by element
+// instead of by pointer, which moves the same values), so the result is
+// bit-identical. This is the zero-allocation path used by the forecast
+// workspace kernels.
+func SolveLinearFlat(m []float64, b []float64, n int) error {
+	if n == 0 || len(m) != n*n || len(b) != n {
+		return errors.New("mathx: dimension mismatch")
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		maxAbs := math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return ErrSingular
+		}
+		if pivot != col {
+			rc, rp := m[col*n:col*n+n], m[pivot*n:pivot*n+n]
+			for c := range rc {
+				rc[c], rp[c] = rp[c], rc[c]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / m[col*n+col]
+		base := m[col*n : col*n+n]
+		for r := col + 1; r < n; r++ {
+			row := m[r*n : r*n+n]
+			f := row[col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				row[c] -= f * base[c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := b[col]
+		row := m[col*n : col*n+n]
+		for c := col + 1; c < n; c++ {
+			s -= row[c] * b[c]
+		}
+		b[col] = s / row[col]
+	}
+	return nil
+}
+
 // Dot returns the inner product of two equal-length vectors.
 func Dot(a, b []float64) float64 {
 	var s float64

@@ -2,29 +2,73 @@
 // time, the substrate for the Aquatope baseline (§5.1.1): Aquatope trains a
 // per-application LSTM over 48-minute input windows to forecast invocations.
 // The implementation is stdlib-only and deterministic for a given seed.
+//
+// The forward and backward passes run fused over a single contiguous
+// gate-major weight matrix with preallocated sequence caches, replacing the
+// per-step slice allocations of the original implementation. The original
+// is retained verbatim in lstm_ref_test.go (the bds_ref_test.go pattern)
+// and every pass is bit-identical to it: the four gate dot products
+// accumulate in the same element order, the BPTT recursion performs the
+// same operations per step, and initialization consumes the seeded RNG in
+// the same sequence.
 package nn
 
 import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
+)
+
+// Gate block indices into the fused weight and bias layout, in the
+// reference's wf/wi/wo/wc order.
+const (
+	gateF = iota
+	gateI
+	gateO
+	gateC
+	numGates
 )
 
 // LSTM is a single-layer LSTM followed by a scalar dense head. It predicts
 // one value from an input sequence (sequence-to-one regression).
+//
+// An LSTM carries internal scratch state; Predict and Fit serialize on an
+// internal mutex, so a model is safe for concurrent use but calls do not
+// run in parallel. Use one model per goroutine for parallel inference (the
+// Aquatope sweep trains per-app models, which already has this shape).
 type LSTM struct {
 	inputDim int
 	hidden   int
 
-	// Gate weights, laid out [hidden][inputDim+hidden], plus biases.
-	wf, wi, wo, wc [][]float64
-	bf, bi, bo, bc []float64
+	// Gate weights fused into one contiguous gate-major matrix: four
+	// blocks [forget | input | output | cell], each hidden rows of
+	// inputDim+hidden columns, row-major. Biases share the gate-major
+	// order. Row r of gate G is w[(G*hidden+r)*D : ...+D], D = inputDim+hidden.
+	w []float64
+	b []float64
 	// Output head.
 	wy []float64
 	by float64
+
+	mu  sync.Mutex
+	scr scratch
+	g   *grads
 }
 
-// NewLSTM constructs an LSTM with Xavier-style initialization.
+// wIdx returns the flat index of gate weight [gate][row][col] in the
+// reference layout.
+func (n *LSTM) wIdx(gate, row, col int) int {
+	return (gate*n.hidden+row)*(n.inputDim+n.hidden) + col
+}
+
+// bIdx returns the flat index of gate bias [gate][row].
+func (n *LSTM) bIdx(gate, row int) int { return gate*n.hidden + row }
+
+// NewLSTM constructs an LSTM with Xavier-style initialization. The seeded
+// RNG is consumed in the reference order — wf, wi, wo, wc rows, then the
+// output head — so weights are bit-identical to the reference for the
+// same seed.
 func NewLSTM(inputDim, hidden int, seed int64) *LSTM {
 	if inputDim < 1 {
 		inputDim = 1
@@ -34,29 +78,18 @@ func NewLSTM(inputDim, hidden int, seed int64) *LSTM {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	scale := 1 / math.Sqrt(float64(inputDim+hidden))
-	mk := func() [][]float64 {
-		w := make([][]float64, hidden)
-		for i := range w {
-			w[i] = make([]float64, inputDim+hidden)
-			for j := range w[i] {
-				w[i][j] = rng.NormFloat64() * scale
-			}
-		}
-		return w
-	}
-	vec := func(fill float64) []float64 {
-		v := make([]float64, hidden)
-		for i := range v {
-			v[i] = fill
-		}
-		return v
-	}
+	d := inputDim + hidden
 	n := &LSTM{
 		inputDim: inputDim, hidden: hidden,
-		wf: mk(), wi: mk(), wo: mk(), wc: mk(),
-		bf: vec(1), // forget-gate bias 1: standard trick for gradient flow
-		bi: vec(0), bo: vec(0), bc: vec(0),
+		w:  make([]float64, numGates*hidden*d),
+		b:  make([]float64, numGates*hidden),
 		wy: make([]float64, hidden),
+	}
+	for i := range n.w {
+		n.w[i] = rng.NormFloat64() * scale
+	}
+	for j := 0; j < hidden; j++ {
+		n.b[n.bIdx(gateF, j)] = 1 // forget-gate bias 1: standard trick for gradient flow
 	}
 	for i := range n.wy {
 		n.wy[i] = rng.NormFloat64() * scale
@@ -66,47 +99,89 @@ func NewLSTM(inputDim, hidden int, seed int64) *LSTM {
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
-// step state captured for BPTT.
-type stepCache struct {
-	x          []float64 // concatenated [input, prevHidden]
-	f, i, o, g []float64
-	c, h       []float64
-	cPrev      []float64
+// scratch holds the preallocated forward/backward state: the concatenated
+// inputs, gate activations, and cell/hidden trajectories for a whole
+// sequence, plus the BPTT deltas. Buffers grow to the longest sequence
+// seen and are reused across calls.
+type scratch struct {
+	xs    []float64 // T×D concatenated [input, prevHidden]
+	gates []float64 // T×4H activations per step: [f | i | o | g]
+	cs    []float64 // T×H cell states
+	hs    []float64 // T×H hidden states
+	h, c  []float64 // current hidden/cell, length H
+
+	dh, dc, dhn, dcn []float64 // BPTT deltas, length H
+	zero             []float64 // all-zero H slice: cPrev at t=0
 }
 
-// forward runs the sequence and returns the prediction plus per-step caches.
-func (n *LSTM) forward(seq [][]float64) (float64, []stepCache) {
-	h := make([]float64, n.hidden)
-	c := make([]float64, n.hidden)
-	caches := make([]stepCache, len(seq))
+func growSlice(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growZeroSlice(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// forward runs the fused forward pass, recording the per-step state needed
+// by BPTT into the scratch caches. Each gate's dot product accumulates
+// x[k] terms in ascending k, the reference order, so all activations are
+// bit-identical; fusing only interleaves the four independent sums.
+func (n *LSTM) forward(seq [][]float64) float64 {
+	d := n.inputDim + n.hidden
+	hh := n.hidden
+	s := &n.scr
+	s.xs = growSlice(s.xs, len(seq)*d)
+	s.gates = growSlice(s.gates, len(seq)*numGates*hh)
+	s.cs = growSlice(s.cs, len(seq)*hh)
+	s.hs = growSlice(s.hs, len(seq)*hh)
+	s.h = growZeroSlice(s.h, hh)
+	s.c = growZeroSlice(s.c, hh)
+	h, c := s.h, s.c
 	for t, in := range seq {
-		x := make([]float64, n.inputDim+n.hidden)
+		x := s.xs[t*d : (t+1)*d]
 		copy(x, in)
 		copy(x[n.inputDim:], h)
-		sc := stepCache{
-			x: x,
-			f: make([]float64, n.hidden), i: make([]float64, n.hidden),
-			o: make([]float64, n.hidden), g: make([]float64, n.hidden),
-			c: make([]float64, n.hidden), h: make([]float64, n.hidden),
-			cPrev: append([]float64(nil), c...),
+		gr := s.gates[t*numGates*hh : (t+1)*numGates*hh]
+		f, iv, o, gg := gr[:hh], gr[hh:2*hh], gr[2*hh:3*hh], gr[3*hh:4*hh]
+		ct := s.cs[t*hh : (t+1)*hh]
+		ht := s.hs[t*hh : (t+1)*hh]
+		for j := 0; j < hh; j++ {
+			wf := n.w[(gateF*hh+j)*d : (gateF*hh+j)*d+d]
+			wi := n.w[(gateI*hh+j)*d : (gateI*hh+j)*d+d]
+			wo := n.w[(gateO*hh+j)*d : (gateO*hh+j)*d+d]
+			wc := n.w[(gateC*hh+j)*d : (gateC*hh+j)*d+d]
+			var sf, si, so, sg float64
+			for k, xk := range x {
+				sf += wf[k] * xk
+				si += wi[k] * xk
+				so += wo[k] * xk
+				sg += wc[k] * xk
+			}
+			f[j] = sigmoid(sf + n.b[gateF*hh+j])
+			iv[j] = sigmoid(si + n.b[gateI*hh+j])
+			o[j] = sigmoid(so + n.b[gateO*hh+j])
+			gg[j] = math.Tanh(sg + n.b[gateC*hh+j])
+			ct[j] = f[j]*c[j] + iv[j]*gg[j]
+			ht[j] = o[j] * math.Tanh(ct[j])
 		}
-		for j := 0; j < n.hidden; j++ {
-			sc.f[j] = sigmoid(dot(n.wf[j], x) + n.bf[j])
-			sc.i[j] = sigmoid(dot(n.wi[j], x) + n.bi[j])
-			sc.o[j] = sigmoid(dot(n.wo[j], x) + n.bo[j])
-			sc.g[j] = math.Tanh(dot(n.wc[j], x) + n.bc[j])
-			sc.c[j] = sc.f[j]*c[j] + sc.i[j]*sc.g[j]
-			sc.h[j] = sc.o[j] * math.Tanh(sc.c[j])
-		}
-		copy(c, sc.c)
-		copy(h, sc.h)
-		caches[t] = sc
+		copy(c, ct)
+		copy(h, ht)
 	}
 	pred := n.by
-	for j := 0; j < n.hidden; j++ {
+	for j := 0; j < hh; j++ {
 		pred += n.wy[j] * h[j]
 	}
-	return pred, caches
+	return pred
 }
 
 // Predict returns the model output for one input sequence. Each element of
@@ -115,89 +190,174 @@ func (n *LSTM) Predict(seq [][]float64) float64 {
 	if len(seq) == 0 {
 		return n.by
 	}
-	pred, _ := n.forward(seq)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.predictLocked(seq)
+}
+
+// predictLocked is the inference-only forward pass: same fused arithmetic
+// as forward, but only the running hidden/cell vectors are kept — no
+// per-step caches, so inference touches a fixed small footprint regardless
+// of sequence length.
+func (n *LSTM) predictLocked(seq [][]float64) float64 {
+	d := n.inputDim + n.hidden
+	hh := n.hidden
+	s := &n.scr
+	s.xs = growSlice(s.xs, d)
+	s.cs = growSlice(s.cs, hh)
+	s.hs = growSlice(s.hs, hh)
+	s.h = growZeroSlice(s.h, hh)
+	s.c = growZeroSlice(s.c, hh)
+	x := s.xs[:d]
+	ct := s.cs[:hh]
+	ht := s.hs[:hh]
+	h, c := s.h, s.c
+	for _, in := range seq {
+		copy(x, in)
+		copy(x[n.inputDim:], h)
+		for j := 0; j < hh; j++ {
+			wf := n.w[(gateF*hh+j)*d : (gateF*hh+j)*d+d]
+			wi := n.w[(gateI*hh+j)*d : (gateI*hh+j)*d+d]
+			wo := n.w[(gateO*hh+j)*d : (gateO*hh+j)*d+d]
+			wc := n.w[(gateC*hh+j)*d : (gateC*hh+j)*d+d]
+			var sf, si, so, sg float64
+			for k, xk := range x {
+				sf += wf[k] * xk
+				si += wi[k] * xk
+				so += wo[k] * xk
+				sg += wc[k] * xk
+			}
+			fj := sigmoid(sf + n.b[gateF*hh+j])
+			ij := sigmoid(si + n.b[gateI*hh+j])
+			oj := sigmoid(so + n.b[gateO*hh+j])
+			gj := math.Tanh(sg + n.b[gateC*hh+j])
+			ct[j] = fj*c[j] + ij*gj
+			ht[j] = oj * math.Tanh(ct[j])
+		}
+		copy(c, ct)
+		copy(h, ht)
+	}
+	pred := n.by
+	for j := 0; j < hh; j++ {
+		pred += n.wy[j] * h[j]
+	}
 	return pred
 }
 
-// grads accumulates parameter gradients.
+// grads accumulates parameter gradients in the same fused layout as the
+// model, so norm/scale/apply iterate in the reference wf,wi,wo,wc order.
 type grads struct {
-	wf, wi, wo, wc [][]float64
-	bf, bi, bo, bc []float64
-	wy             []float64
-	by             float64
+	w, b []float64
+	wy   []float64
+	by   float64
 }
 
 func newGrads(n *LSTM) *grads {
-	mk := func() [][]float64 {
-		w := make([][]float64, n.hidden)
-		for i := range w {
-			w[i] = make([]float64, n.inputDim+n.hidden)
-		}
-		return w
-	}
+	d := n.inputDim + n.hidden
 	return &grads{
-		wf: mk(), wi: mk(), wo: mk(), wc: mk(),
-		bf: make([]float64, n.hidden), bi: make([]float64, n.hidden),
-		bo: make([]float64, n.hidden), bc: make([]float64, n.hidden),
+		w:  make([]float64, numGates*n.hidden*d),
+		b:  make([]float64, numGates*n.hidden),
 		wy: make([]float64, n.hidden),
 	}
 }
 
+// reset zeroes the accumulator for the next mini-batch.
+func (g *grads) reset() {
+	for i := range g.w {
+		g.w[i] = 0
+	}
+	for i := range g.b {
+		g.b[i] = 0
+	}
+	for i := range g.wy {
+		g.wy[i] = 0
+	}
+	g.by = 0
+}
+
 // backward accumulates gradients for one (sequence, target) example and
-// returns the squared error.
+// returns the squared error. The per-step recursion is the reference BPTT
+// with the four per-gate weight rows walked in one fused k loop; every
+// accumulation (including the four-term dhNext sum) keeps its reference
+// evaluation order.
 func (n *LSTM) backward(seq [][]float64, target float64, g *grads) float64 {
-	pred, caches := n.forward(seq)
+	pred := n.forward(seq)
 	diff := pred - target
 	loss := diff * diff
 
+	d := n.inputDim + n.hidden
+	hh := n.hidden
+	s := &n.scr
+	s.dh = growSlice(s.dh, hh)
+	s.dc = growZeroSlice(s.dc, hh)
+	s.dhn = growSlice(s.dhn, hh)
+	s.dcn = growSlice(s.dcn, hh)
+	s.zero = growZeroSlice(s.zero, hh)
+	dh, dc, dhn, dcn := s.dh, s.dc, s.dhn, s.dcn
+
 	// Output head gradients.
-	last := caches[len(caches)-1]
-	dh := make([]float64, n.hidden)
-	for j := 0; j < n.hidden; j++ {
-		g.wy[j] += 2 * diff * last.h[j]
+	lastH := s.hs[(len(seq)-1)*hh : len(seq)*hh]
+	for j := 0; j < hh; j++ {
+		g.wy[j] += 2 * diff * lastH[j]
 		dh[j] = 2 * diff * n.wy[j]
 	}
 	g.by += 2 * diff
 
-	dc := make([]float64, n.hidden)
-	for t := len(caches) - 1; t >= 0; t-- {
-		sc := caches[t]
-		dhNext := make([]float64, n.hidden)
-		dcNext := make([]float64, n.hidden)
-		for j := 0; j < n.hidden; j++ {
-			tanhC := math.Tanh(sc.c[j])
+	for t := len(seq) - 1; t >= 0; t-- {
+		x := s.xs[t*d : (t+1)*d]
+		gr := s.gates[t*numGates*hh : (t+1)*numGates*hh]
+		f, iv, o, gg := gr[:hh], gr[hh:2*hh], gr[2*hh:3*hh], gr[3*hh:4*hh]
+		ct := s.cs[t*hh : (t+1)*hh]
+		cPrev := s.zero
+		if t > 0 {
+			cPrev = s.cs[(t-1)*hh : t*hh]
+		}
+		for j := 0; j < hh; j++ {
+			dhn[j] = 0
+		}
+		for j := 0; j < hh; j++ {
+			tanhC := math.Tanh(ct[j])
 			do := dh[j] * tanhC
-			dcj := dc[j] + dh[j]*sc.o[j]*(1-tanhC*tanhC)
-			df := dcj * sc.cPrev[j]
-			di := dcj * sc.g[j]
-			dg := dcj * sc.i[j]
-			dcNext[j] = dcj * sc.f[j]
+			dcj := dc[j] + dh[j]*o[j]*(1-tanhC*tanhC)
+			df := dcj * cPrev[j]
+			di := dcj * gg[j]
+			dg := dcj * iv[j]
+			dcn[j] = dcj * f[j]
 
 			// Pre-activation gradients.
-			dfPre := df * sc.f[j] * (1 - sc.f[j])
-			diPre := di * sc.i[j] * (1 - sc.i[j])
-			doPre := do * sc.o[j] * (1 - sc.o[j])
-			dgPre := dg * (1 - sc.g[j]*sc.g[j])
+			dfPre := df * f[j] * (1 - f[j])
+			diPre := di * iv[j] * (1 - iv[j])
+			doPre := do * o[j] * (1 - o[j])
+			dgPre := dg * (1 - gg[j]*gg[j])
 
-			g.bf[j] += dfPre
-			g.bi[j] += diPre
-			g.bo[j] += doPre
-			g.bc[j] += dgPre
-			for k, xv := range sc.x {
-				g.wf[j][k] += dfPre * xv
-				g.wi[j][k] += diPre * xv
-				g.wo[j][k] += doPre * xv
-				g.wc[j][k] += dgPre * xv
+			g.b[gateF*hh+j] += dfPre
+			g.b[gateI*hh+j] += diPre
+			g.b[gateO*hh+j] += doPre
+			g.b[gateC*hh+j] += dgPre
+			gwf := g.w[(gateF*hh+j)*d : (gateF*hh+j)*d+d]
+			gwi := g.w[(gateI*hh+j)*d : (gateI*hh+j)*d+d]
+			gwo := g.w[(gateO*hh+j)*d : (gateO*hh+j)*d+d]
+			gwc := g.w[(gateC*hh+j)*d : (gateC*hh+j)*d+d]
+			wf := n.w[(gateF*hh+j)*d : (gateF*hh+j)*d+d]
+			wi := n.w[(gateI*hh+j)*d : (gateI*hh+j)*d+d]
+			wo := n.w[(gateO*hh+j)*d : (gateO*hh+j)*d+d]
+			wc := n.w[(gateC*hh+j)*d : (gateC*hh+j)*d+d]
+			for k, xv := range x {
+				gwf[k] += dfPre * xv
+				gwi[k] += diPre * xv
+				gwo[k] += doPre * xv
+				gwc[k] += dgPre * xv
 				if k >= n.inputDim {
 					hIdx := k - n.inputDim
-					dhNext[hIdx] += dfPre*n.wf[j][k] + diPre*n.wi[j][k] +
-						doPre*n.wo[j][k] + dgPre*n.wc[j][k]
+					dhn[hIdx] += dfPre*wf[k] + diPre*wi[k] +
+						doPre*wo[k] + dgPre*wc[k]
 				}
 			}
 		}
-		dh = dhNext
-		dc = dcNext
+		dh, dhn = dhn, dh
+		dc, dcn = dcn, dc
 	}
+	s.dh, s.dc, s.dhn, s.dcn = dh, dc, dhn, dcn
 	return loss
 }
 
@@ -216,7 +376,8 @@ func DefaultTrainConfig() TrainConfig {
 }
 
 // Fit trains the network on (sequence, target) pairs with mini-batch SGD
-// and returns the mean squared error of the final epoch.
+// and returns the mean squared error of the final epoch. The gradient
+// accumulator is allocated once and zeroed per batch.
 func (n *LSTM) Fit(seqs [][][]float64, targets []float64, cfg TrainConfig) (float64, error) {
 	if len(seqs) == 0 || len(seqs) != len(targets) {
 		return 0, errors.New("nn: bad training data")
@@ -230,6 +391,11 @@ func (n *LSTM) Fit(seqs [][][]float64, targets []float64, cfg TrainConfig) (floa
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 16
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.g == nil {
+		n.g = newGrads(n)
+	}
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var epochLoss float64
@@ -238,11 +404,11 @@ func (n *LSTM) Fit(seqs [][][]float64, targets []float64, cfg TrainConfig) (floa
 			if end > len(seqs) {
 				end = len(seqs)
 			}
-			g := newGrads(n)
+			n.g.reset()
 			for i := start; i < end; i++ {
-				epochLoss += n.backward(seqs[i], targets[i], g)
+				epochLoss += n.backward(seqs[i], targets[i], n.g)
 			}
-			n.apply(g, cfg.LearnRate/float64(end-start), cfg.ClipNorm)
+			n.apply(n.g, cfg.LearnRate/float64(end-start), cfg.ClipNorm)
 		}
 		lastLoss = epochLoss / float64(len(seqs))
 	}
@@ -258,86 +424,44 @@ func (n *LSTM) apply(g *grads, lr, clip float64) {
 			g.scale(scale)
 		}
 	}
-	upd := func(w, gw [][]float64) {
-		for i := range w {
-			for j := range w[i] {
-				w[i][j] -= lr * gw[i][j]
-			}
-		}
+	for i := range n.w {
+		n.w[i] -= lr * g.w[i]
 	}
-	updv := func(v, gv []float64) {
-		for i := range v {
-			v[i] -= lr * gv[i]
-		}
+	for i := range n.b {
+		n.b[i] -= lr * g.b[i]
 	}
-	upd(n.wf, g.wf)
-	upd(n.wi, g.wi)
-	upd(n.wo, g.wo)
-	upd(n.wc, g.wc)
-	updv(n.bf, g.bf)
-	updv(n.bi, g.bi)
-	updv(n.bo, g.bo)
-	updv(n.bc, g.bc)
-	updv(n.wy, g.wy)
+	for i := range n.wy {
+		n.wy[i] -= lr * g.wy[i]
+	}
 	n.by -= lr * g.by
 }
 
+// norm accumulates over w (gate-major: the reference wf,wi,wo,wc order),
+// then b (bf,bi,bo,bc), then the head — the reference summation order.
 func (g *grads) norm() float64 {
 	var s float64
-	add := func(w [][]float64) {
-		for i := range w {
-			for _, v := range w[i] {
-				s += v * v
-			}
-		}
+	for _, v := range g.w {
+		s += v * v
 	}
-	addv := func(v []float64) {
-		for _, x := range v {
-			s += x * x
-		}
+	for _, v := range g.b {
+		s += v * v
 	}
-	add(g.wf)
-	add(g.wi)
-	add(g.wo)
-	add(g.wc)
-	addv(g.bf)
-	addv(g.bi)
-	addv(g.bo)
-	addv(g.bc)
-	addv(g.wy)
+	for _, v := range g.wy {
+		s += v * v
+	}
 	s += g.by * g.by
 	return math.Sqrt(s)
 }
 
 func (g *grads) scale(f float64) {
-	sc := func(w [][]float64) {
-		for i := range w {
-			for j := range w[i] {
-				w[i][j] *= f
-			}
-		}
+	for i := range g.w {
+		g.w[i] *= f
 	}
-	scv := func(v []float64) {
-		for i := range v {
-			v[i] *= f
-		}
+	for i := range g.b {
+		g.b[i] *= f
 	}
-	sc(g.wf)
-	sc(g.wi)
-	sc(g.wo)
-	sc(g.wc)
-	scv(g.bf)
-	scv(g.bi)
-	scv(g.bo)
-	scv(g.bc)
-	scv(g.wy)
+	for i := range g.wy {
+		g.wy[i] *= f
+	}
 	g.by *= f
-}
-
-func dot(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
 }

@@ -1,0 +1,484 @@
+package nn
+
+// The pre-fusion LSTM implementation, retained verbatim (ref-prefixed) as
+// the correctness oracle and benchmark baseline for the fused rewrite in
+// lstm.go — the same pattern as bds_ref_test.go. The equivalence tests
+// assert Float64bits-identical weights after initialization, predictions,
+// and full training runs.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type refLSTM struct {
+	inputDim int
+	hidden   int
+
+	wf, wi, wo, wc [][]float64
+	bf, bi, bo, bc []float64
+	wy             []float64
+	by             float64
+}
+
+func refNewLSTM(inputDim, hidden int, seed int64) *refLSTM {
+	if inputDim < 1 {
+		inputDim = 1
+	}
+	if hidden < 1 {
+		hidden = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := 1 / math.Sqrt(float64(inputDim+hidden))
+	mk := func() [][]float64 {
+		w := make([][]float64, hidden)
+		for i := range w {
+			w[i] = make([]float64, inputDim+hidden)
+			for j := range w[i] {
+				w[i][j] = rng.NormFloat64() * scale
+			}
+		}
+		return w
+	}
+	vec := func(fill float64) []float64 {
+		v := make([]float64, hidden)
+		for i := range v {
+			v[i] = fill
+		}
+		return v
+	}
+	n := &refLSTM{
+		inputDim: inputDim, hidden: hidden,
+		wf: mk(), wi: mk(), wo: mk(), wc: mk(),
+		bf: vec(1),
+		bi: vec(0), bo: vec(0), bc: vec(0),
+		wy: make([]float64, hidden),
+	}
+	for i := range n.wy {
+		n.wy[i] = rng.NormFloat64() * scale
+	}
+	return n
+}
+
+type refStepCache struct {
+	x          []float64
+	f, i, o, g []float64
+	c, h       []float64
+	cPrev      []float64
+}
+
+func (n *refLSTM) forward(seq [][]float64) (float64, []refStepCache) {
+	h := make([]float64, n.hidden)
+	c := make([]float64, n.hidden)
+	caches := make([]refStepCache, len(seq))
+	for t, in := range seq {
+		x := make([]float64, n.inputDim+n.hidden)
+		copy(x, in)
+		copy(x[n.inputDim:], h)
+		sc := refStepCache{
+			x: x,
+			f: make([]float64, n.hidden), i: make([]float64, n.hidden),
+			o: make([]float64, n.hidden), g: make([]float64, n.hidden),
+			c: make([]float64, n.hidden), h: make([]float64, n.hidden),
+			cPrev: append([]float64(nil), c...),
+		}
+		for j := 0; j < n.hidden; j++ {
+			sc.f[j] = sigmoid(refDot(n.wf[j], x) + n.bf[j])
+			sc.i[j] = sigmoid(refDot(n.wi[j], x) + n.bi[j])
+			sc.o[j] = sigmoid(refDot(n.wo[j], x) + n.bo[j])
+			sc.g[j] = math.Tanh(refDot(n.wc[j], x) + n.bc[j])
+			sc.c[j] = sc.f[j]*c[j] + sc.i[j]*sc.g[j]
+			sc.h[j] = sc.o[j] * math.Tanh(sc.c[j])
+		}
+		copy(c, sc.c)
+		copy(h, sc.h)
+		caches[t] = sc
+	}
+	pred := n.by
+	for j := 0; j < n.hidden; j++ {
+		pred += n.wy[j] * h[j]
+	}
+	return pred, caches
+}
+
+func (n *refLSTM) Predict(seq [][]float64) float64 {
+	if len(seq) == 0 {
+		return n.by
+	}
+	pred, _ := n.forward(seq)
+	return pred
+}
+
+type refGrads struct {
+	wf, wi, wo, wc [][]float64
+	bf, bi, bo, bc []float64
+	wy             []float64
+	by             float64
+}
+
+func refNewGrads(n *refLSTM) *refGrads {
+	mk := func() [][]float64 {
+		w := make([][]float64, n.hidden)
+		for i := range w {
+			w[i] = make([]float64, n.inputDim+n.hidden)
+		}
+		return w
+	}
+	return &refGrads{
+		wf: mk(), wi: mk(), wo: mk(), wc: mk(),
+		bf: make([]float64, n.hidden), bi: make([]float64, n.hidden),
+		bo: make([]float64, n.hidden), bc: make([]float64, n.hidden),
+		wy: make([]float64, n.hidden),
+	}
+}
+
+func (n *refLSTM) backward(seq [][]float64, target float64, g *refGrads) float64 {
+	pred, caches := n.forward(seq)
+	diff := pred - target
+	loss := diff * diff
+
+	last := caches[len(caches)-1]
+	dh := make([]float64, n.hidden)
+	for j := 0; j < n.hidden; j++ {
+		g.wy[j] += 2 * diff * last.h[j]
+		dh[j] = 2 * diff * n.wy[j]
+	}
+	g.by += 2 * diff
+
+	dc := make([]float64, n.hidden)
+	for t := len(caches) - 1; t >= 0; t-- {
+		sc := caches[t]
+		dhNext := make([]float64, n.hidden)
+		dcNext := make([]float64, n.hidden)
+		for j := 0; j < n.hidden; j++ {
+			tanhC := math.Tanh(sc.c[j])
+			do := dh[j] * tanhC
+			dcj := dc[j] + dh[j]*sc.o[j]*(1-tanhC*tanhC)
+			df := dcj * sc.cPrev[j]
+			di := dcj * sc.g[j]
+			dg := dcj * sc.i[j]
+			dcNext[j] = dcj * sc.f[j]
+
+			dfPre := df * sc.f[j] * (1 - sc.f[j])
+			diPre := di * sc.i[j] * (1 - sc.i[j])
+			doPre := do * sc.o[j] * (1 - sc.o[j])
+			dgPre := dg * (1 - sc.g[j]*sc.g[j])
+
+			g.bf[j] += dfPre
+			g.bi[j] += diPre
+			g.bo[j] += doPre
+			g.bc[j] += dgPre
+			for k, xv := range sc.x {
+				g.wf[j][k] += dfPre * xv
+				g.wi[j][k] += diPre * xv
+				g.wo[j][k] += doPre * xv
+				g.wc[j][k] += dgPre * xv
+				if k >= n.inputDim {
+					hIdx := k - n.inputDim
+					dhNext[hIdx] += dfPre*n.wf[j][k] + diPre*n.wi[j][k] +
+						doPre*n.wo[j][k] + dgPre*n.wc[j][k]
+				}
+			}
+		}
+		dh = dhNext
+		dc = dcNext
+	}
+	return loss
+}
+
+func (n *refLSTM) Fit(seqs [][][]float64, targets []float64, cfg TrainConfig) (float64, error) {
+	if len(seqs) == 0 || len(seqs) != len(targets) {
+		return 0, errors.New("nn: bad training data")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.01
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		for start := 0; start < len(seqs); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(seqs) {
+				end = len(seqs)
+			}
+			g := refNewGrads(n)
+			for i := start; i < end; i++ {
+				epochLoss += n.backward(seqs[i], targets[i], g)
+			}
+			n.apply(g, cfg.LearnRate/float64(end-start), cfg.ClipNorm)
+		}
+		lastLoss = epochLoss / float64(len(seqs))
+	}
+	return lastLoss, nil
+}
+
+func (n *refLSTM) apply(g *refGrads, lr, clip float64) {
+	if clip > 0 {
+		norm := g.norm()
+		if norm > clip {
+			scale := clip / norm
+			g.scale(scale)
+		}
+	}
+	upd := func(w, gw [][]float64) {
+		for i := range w {
+			for j := range w[i] {
+				w[i][j] -= lr * gw[i][j]
+			}
+		}
+	}
+	updv := func(v, gv []float64) {
+		for i := range v {
+			v[i] -= lr * gv[i]
+		}
+	}
+	upd(n.wf, g.wf)
+	upd(n.wi, g.wi)
+	upd(n.wo, g.wo)
+	upd(n.wc, g.wc)
+	updv(n.bf, g.bf)
+	updv(n.bi, g.bi)
+	updv(n.bo, g.bo)
+	updv(n.bc, g.bc)
+	updv(n.wy, g.wy)
+	n.by -= lr * g.by
+}
+
+func (g *refGrads) norm() float64 {
+	var s float64
+	add := func(w [][]float64) {
+		for i := range w {
+			for _, v := range w[i] {
+				s += v * v
+			}
+		}
+	}
+	addv := func(v []float64) {
+		for _, x := range v {
+			s += x * x
+		}
+	}
+	add(g.wf)
+	add(g.wi)
+	add(g.wo)
+	add(g.wc)
+	addv(g.bf)
+	addv(g.bi)
+	addv(g.bo)
+	addv(g.bc)
+	addv(g.wy)
+	s += g.by * g.by
+	return math.Sqrt(s)
+}
+
+func (g *refGrads) scale(f float64) {
+	sc := func(w [][]float64) {
+		for i := range w {
+			for j := range w[i] {
+				w[i][j] *= f
+			}
+		}
+	}
+	scv := func(v []float64) {
+		for i := range v {
+			v[i] *= f
+		}
+	}
+	sc(g.wf)
+	sc(g.wi)
+	sc(g.wo)
+	sc(g.wc)
+	scv(g.bf)
+	scv(g.bi)
+	scv(g.bo)
+	scv(g.bc)
+	scv(g.wy)
+	g.by *= f
+}
+
+func refDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// --- equivalence harness ---
+
+// assertWeightsMatchRef compares every parameter of the fused model against
+// the reference bit-for-bit.
+func assertWeightsMatchRef(t *testing.T, n *LSTM, r *refLSTM) {
+	t.Helper()
+	gates := []struct {
+		name string
+		gate int
+		w    [][]float64
+		b    []float64
+	}{
+		{"f", gateF, r.wf, r.bf},
+		{"i", gateI, r.wi, r.bi},
+		{"o", gateO, r.wo, r.bo},
+		{"c", gateC, r.wc, r.bc},
+	}
+	for _, gt := range gates {
+		for row := 0; row < r.hidden; row++ {
+			for col := range gt.w[row] {
+				got := n.w[n.wIdx(gt.gate, row, col)]
+				want := gt.w[row][col]
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("w%s[%d][%d] = %v, ref %v", gt.name, row, col, got, want)
+				}
+			}
+			got := n.b[n.bIdx(gt.gate, row)]
+			if math.Float64bits(got) != math.Float64bits(gt.b[row]) {
+				t.Fatalf("b%s[%d] = %v, ref %v", gt.name, row, got, gt.b[row])
+			}
+		}
+	}
+	for j := range r.wy {
+		if math.Float64bits(n.wy[j]) != math.Float64bits(r.wy[j]) {
+			t.Fatalf("wy[%d] = %v, ref %v", j, n.wy[j], r.wy[j])
+		}
+	}
+	if math.Float64bits(n.by) != math.Float64bits(r.by) {
+		t.Fatalf("by = %v, ref %v", n.by, r.by)
+	}
+}
+
+// lstmDataset builds a deterministic (sequences, targets) regression set.
+func lstmDataset(rng *rand.Rand, count, seqLen, inputDim int) ([][][]float64, []float64) {
+	seqs := make([][][]float64, count)
+	targets := make([]float64, count)
+	for i := range seqs {
+		seq := make([][]float64, seqLen)
+		var sum float64
+		for t := range seq {
+			in := make([]float64, inputDim)
+			for d := range in {
+				in[d] = rng.NormFloat64()
+			}
+			seq[t] = in
+			sum += in[0]
+		}
+		seqs[i] = seq
+		targets[i] = math.Sin(sum) + 0.1*rng.NormFloat64()
+	}
+	return seqs, targets
+}
+
+// TestLSTMInitMatchesReference: same seed, bit-identical parameters (the
+// fused layout consumes the RNG in the reference wf,wi,wo,wc,wy order).
+func TestLSTMInitMatchesReference(t *testing.T) {
+	for _, cfg := range []struct {
+		in, hid int
+		seed    int64
+	}{
+		{1, 1, 1}, {1, 8, 7}, {3, 16, 42}, {2, 5, -9},
+	} {
+		n := NewLSTM(cfg.in, cfg.hid, cfg.seed)
+		r := refNewLSTM(cfg.in, cfg.hid, cfg.seed)
+		assertWeightsMatchRef(t, n, r)
+	}
+}
+
+// TestLSTMPredictMatchesReference: fused forward is bit-identical on random
+// sequences of varying length, including repeated calls on shared scratch.
+func TestLSTMPredictMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, inputDim := range []int{1, 3} {
+		n := NewLSTM(inputDim, 12, 99)
+		r := refNewLSTM(inputDim, 12, 99)
+		// Interleave lengths so scratch reuse across different T is covered.
+		for _, seqLen := range []int{1, 48, 5, 48, 2, 17} {
+			seq := make([][]float64, seqLen)
+			for t := range seq {
+				in := make([]float64, inputDim)
+				for d := range in {
+					in[d] = rng.NormFloat64() * 3
+				}
+				seq[t] = in
+			}
+			got := n.Predict(seq)
+			want := r.Predict(seq)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("inputDim=%d seqLen=%d: Predict = %v, ref %v", inputDim, seqLen, got, want)
+			}
+		}
+	}
+}
+
+// TestLSTMFitMatchesReference: a full training run — losses, final weights,
+// and post-training predictions — is bit-identical to the reference,
+// including the gradient-clipping path.
+func TestLSTMFitMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seqs, targets := lstmDataset(rng, 30, 10, 1)
+	cfg := TrainConfig{Epochs: 5, LearnRate: 0.05, ClipNorm: 1, BatchSize: 7}
+
+	n := NewLSTM(1, 8, 5)
+	r := refNewLSTM(1, 8, 5)
+	gotLoss, err := n.Fit(seqs, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoss, err := r.Fit(seqs, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+		t.Fatalf("final loss = %v, ref %v", gotLoss, wantLoss)
+	}
+	assertWeightsMatchRef(t, n, r)
+
+	probe, _ := lstmDataset(rng, 5, 10, 1)
+	for i, seq := range probe {
+		got := n.Predict(seq)
+		want := r.Predict(seq)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("post-fit Predict[%d] = %v, ref %v", i, got, want)
+		}
+	}
+}
+
+// Benchmark baselines: the pre-fusion implementation at the same shapes as
+// BenchmarkLSTMPredict48 / BenchmarkLSTMTrainEpoch in lstm_test.go.
+
+func BenchmarkLSTMRefPredict48(b *testing.B) {
+	n := refNewLSTM(1, 16, 1)
+	seq := make([][]float64, 48)
+	for i := range seq {
+		seq[i] = []float64{float64(i % 5)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Predict(seq)
+	}
+}
+
+func BenchmarkLSTMRefTrainEpoch(b *testing.B) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = math.Sin(float64(i) / 5)
+	}
+	seqs, targets := windows(series, 10)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := refNewLSTM(1, 8, 1)
+		if _, err := n.Fit(seqs, targets, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -112,10 +112,10 @@ func TestLSTMGradientCheck(t *testing.T) {
 		const eps = 1e-6
 		orig := *w
 		*w = orig + eps
-		predP, _ := n.forward(seq)
+		predP := n.forward(seq)
 		lossP := (predP - target) * (predP - target)
 		*w = orig - eps
-		predM, _ := n.forward(seq)
+		predM := n.forward(seq)
 		lossM := (predM - target) * (predM - target)
 		*w = orig
 		numeric := (lossP - lossM) / (2 * eps)
@@ -125,12 +125,12 @@ func TestLSTMGradientCheck(t *testing.T) {
 	}
 	check("wy[0]", &n.wy[0], g.wy[0])
 	check("by", &n.by, g.by)
-	check("wf[0][0]", &n.wf[0][0], g.wf[0][0])
-	check("wi[1][0]", &n.wi[1][0], g.wi[1][0])
-	check("wo[2][1]", &n.wo[2][1], g.wo[2][1])
-	check("wc[0][2]", &n.wc[0][2], g.wc[0][2])
-	check("bf[1]", &n.bf[1], g.bf[1])
-	check("bc[2]", &n.bc[2], g.bc[2])
+	check("wf[0][0]", &n.w[n.wIdx(gateF, 0, 0)], g.w[n.wIdx(gateF, 0, 0)])
+	check("wi[1][0]", &n.w[n.wIdx(gateI, 1, 0)], g.w[n.wIdx(gateI, 1, 0)])
+	check("wo[2][1]", &n.w[n.wIdx(gateO, 2, 1)], g.w[n.wIdx(gateO, 2, 1)])
+	check("wc[0][2]", &n.w[n.wIdx(gateC, 0, 2)], g.w[n.wIdx(gateC, 0, 2)])
+	check("bf[1]", &n.b[n.bIdx(gateF, 1)], g.b[n.bIdx(gateF, 1)])
+	check("bc[2]", &n.b[n.bIdx(gateC, 2)], g.b[n.bIdx(gateC, 2)])
 }
 
 func TestGradientClipping(t *testing.T) {

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"math"
+	"sync"
 	"time"
 
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
 )
@@ -76,6 +78,25 @@ type ConcResult struct {
 //  4. Waste is the memory-time of allocated-but-unused capacity:
 //     (units − demand/unitConcurrency)⁺ × MemoryGB × step.
 func SimulateApp(app AppTrace, p Policy, cfg ConcConfig, trace bool) ConcResult {
+	ws := wsPool.Get().(*forecast.Workspace)
+	res := simulateApp(app, p, cfg, trace, ws)
+	wsPool.Put(ws)
+	return res
+}
+
+// wsPool recycles forecaster workspaces across simulations, so the
+// derived state that depends only on geometry — FFT twiddle tables and
+// Bluestein chirp/filter spectra per window length — is built once per
+// worker rather than once per (app, forecaster) simulation. Results are
+// unaffected: workspaces carry no cross-call state, only scratch capacity
+// and per-length plans (reuse equivalence is pinned by the forecast
+// package's workspace-reuse tests).
+var wsPool = sync.Pool{New: func() any { return forecast.NewWorkspace() }}
+
+// simulateApp is SimulateApp with an explicit forecaster workspace, so
+// fleet sweeps reuse one workspace across apps instead of re-growing
+// scratch buffers per app.
+func simulateApp(app AppTrace, p Policy, cfg ConcConfig, trace bool, ws *forecast.Workspace) ConcResult {
 	stepSec := cfg.Step.Seconds()
 	if stepSec <= 0 {
 		stepSec = 60
@@ -92,7 +113,7 @@ func SimulateApp(app AppTrace, p Policy, cfg ConcConfig, trace bool) ConcResult 
 	prevUnits := cfg.MinScale
 	values := app.Demand.Values
 	for t := 0; t < n; t++ {
-		warm := p.Target(values[:t], unitC)
+		warm := TargetWith(p, values[:t], unitC, ws)
 		if warm < cfg.MinScale {
 			warm = cfg.MinScale
 		}
@@ -160,8 +181,10 @@ func applyScaleLimit(target, prev int, cfg ConcConfig, stepSec float64) int {
 // samples in input order.
 func SimulateFleet(apps []AppTrace, p Policy, cfg ConcConfig) []rum.Sample {
 	out := make([]rum.Sample, len(apps))
+	ws := wsPool.Get().(*forecast.Workspace)
 	for i, a := range apps {
-		out[i] = SimulateApp(a, p, cfg, false).Sample
+		out[i] = simulateApp(a, p, cfg, false, ws).Sample
 	}
+	wsPool.Put(ws)
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/trace"
 )
@@ -116,6 +117,7 @@ func SimulateEvents(invs []trace.Invocation, p Policy, cfg EventConfig, horizon 
 	}
 
 	comps := &completionHeap{}
+	ws := forecast.NewWorkspace()
 	history := make([]float64, 0, int(horizon/tick)+1)
 	// Concurrency integral for the current interval.
 	var intervalBusyNS float64
@@ -169,7 +171,7 @@ func SimulateEvents(invs []trace.Invocation, p Policy, cfg EventConfig, horizon 
 		}
 		pods = live
 
-		target := p.Target(history, unitC)
+		target := TargetWith(p, history, unitC, ws)
 		if target < cfg.MinScale {
 			target = cfg.MinScale
 		}

@@ -28,6 +28,27 @@ type Policy interface {
 	Target(history []float64, unitConcurrency int) int
 }
 
+// WorkspaceTargeter is the zero-allocation fast path for policies whose
+// targets come from forecast kernels: Target with an explicit
+// forecast.Workspace holding all scratch state. ws may be nil (the call
+// then allocates like Target). Implementations must produce exactly the
+// same target as Target — the workspace only changes where intermediate
+// state lives.
+type WorkspaceTargeter interface {
+	Policy
+	TargetWS(history []float64, unitConcurrency int, ws *forecast.Workspace) int
+}
+
+// TargetWith invokes p's workspace fast path when it has one, falling back
+// to the allocating Target otherwise. The simulators call this per interval
+// with a per-simulation workspace.
+func TargetWith(p Policy, history []float64, unitConcurrency int, ws *forecast.Workspace) int {
+	if wt, ok := p.(WorkspaceTargeter); ok {
+		return wt.TargetWS(history, unitConcurrency, ws)
+	}
+	return p.Target(history, unitConcurrency)
+}
+
 // unitsFor converts a concurrency level to compute units at the given
 // per-unit concurrency limit, rounding up: demand that exists must be
 // served.
@@ -81,6 +102,13 @@ func (p ForecastPolicy) Name() string { return "forecast-" + p.Forecaster.Name()
 
 // Target implements Policy.
 func (p ForecastPolicy) Target(history []float64, unitConcurrency int) int {
+	return p.TargetWS(history, unitConcurrency, nil)
+}
+
+// TargetWS implements WorkspaceTargeter: the same target computation with
+// all forecaster scratch state in ws, so a warmed workspace makes the
+// per-interval policy evaluation allocation-free.
+func (p ForecastPolicy) TargetWS(history []float64, unitConcurrency int, ws *forecast.Workspace) int {
 	h := p.Horizon
 	if h < 1 {
 		h = 1
@@ -89,7 +117,7 @@ func (p ForecastPolicy) Target(history []float64, unitConcurrency int) int {
 	if p.Window > 0 && p.Window < len(history) {
 		history = history[len(history)-p.Window:]
 	}
-	pred := p.Forecaster.Forecast(history, h)
+	pred := forecast.Into(p.Forecaster, history, h, ws.Out(h), ws)
 	peak := 0.0
 	for _, v := range pred {
 		if v > peak {
