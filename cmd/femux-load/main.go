@@ -21,6 +21,13 @@
 // (the synthetic fleet draws per-app random streams, making every prefix
 // independent of -minutes).
 //
+// With -retry N each transiently-failed request or batch item — a
+// transport error, a 502/503/504 (dead or unpromoted backend mid
+// failover), or a 421 shard redirect (app mid-migration) — is retried up
+// to N times after -retry-wait, so a replay rides across a shard
+// failover or a live reshard without losing observations. Permanent
+// rejections (validation errors) are never retried.
+//
 // With -speedup 0 the replay runs as fast as the server allows.
 // -check-metrics scrapes /metrics afterwards and verifies the server-side
 // observe counters match the number of replayed observations exactly
@@ -67,6 +74,8 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "in-flight request limit")
 		batch       = flag.Int("batch", 0, "observations per POST /v1/observe/batch request (0 = per-app observes)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		retries     = flag.Int("retry", 0, "retries per transiently-failed request or batch item (503/502/504/421/transport)")
+		retryWait   = flag.Duration("retry-wait", 200*time.Millisecond, "pause before each retry")
 		checkMetric = flag.Bool("check-metrics", false, "scrape /metrics after the replay and verify observe counters match")
 		storeURLs   = flag.String("store-urls", "", "comma-separated instance URLs for -expect-store")
 		expectStore = flag.Int("expect-store", -1, "expected femux_store_observations sum across -store-urls (-1 = skip)")
@@ -102,6 +111,8 @@ func main() {
 		Concurrency: *concurrency,
 		Batch:       *batch,
 		Timeout:     *timeout,
+		Retries:     *retries,
+		RetryWait:   *retryWait,
 	})
 	fmt.Print(rep.String())
 
@@ -245,6 +256,21 @@ type replayConfig struct {
 	Concurrency int
 	Batch       int // observations per batch request; 0 = per-app observes
 	Timeout     time.Duration
+	Retries     int           // retries per transiently-failed request/item
+	RetryWait   time.Duration // pause before each retry
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// gateway failures and 503 (backend dead or replica awaiting promotion)
+// clear when the router promotes a replica; 421 (app owned elsewhere —
+// mid-migration) clears when the retry is re-routed to the new owner.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusServiceUnavailable, http.StatusBadGateway,
+		http.StatusGatewayTimeout, http.StatusMisdirectedRequest:
+		return true
+	}
+	return false
 }
 
 // Report aggregates the replay outcome.
@@ -314,9 +340,9 @@ func replay(wl workload, cfg replayConfig) Report {
 			st := &stats[w]
 			for chunk := range jobs {
 				if cfg.Batch > 0 {
-					postBatch(client, cfg.BaseURL, chunk, st)
+					postBatch(client, cfg, chunk, st)
 				} else {
-					postSingle(client, cfg.BaseURL, chunk[0], st)
+					postSingle(client, cfg, chunk[0], st)
 				}
 			}
 		}(w)
@@ -387,73 +413,121 @@ func replay(wl workload, cfg replayConfig) Report {
 	return rep
 }
 
-// postSingle replays one observation through POST /v1/apps/{app}/observe.
-func postSingle(client *http.Client, baseURL string, ev obsEvent, st *workerStats) {
+// postSingle replays one observation through POST /v1/apps/{app}/observe,
+// retrying transient failures up to cfg.Retries times. Each attempt
+// contributes a latency sample; the event fails only when its final
+// attempt does.
+func postSingle(client *http.Client, cfg replayConfig, ev obsEvent, st *workerStats) {
 	body := fmt.Sprintf(`{"concurrency": %g}`, ev.conc)
-	start := time.Now()
-	resp, err := client.Post(baseURL+"/v1/apps/"+ev.app+"/observe",
-		"application/json", strings.NewReader(body))
-	st.durs = append(st.durs, time.Since(start))
 	st.items++
-	if err != nil {
-		st.errors++
-		st.itemErrors++
-		st.noteErr(ev.app + ": " + err.Error())
-		return
+	var lastMsg string
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		resp, err := client.Post(cfg.BaseURL+"/v1/apps/"+ev.app+"/observe",
+			"application/json", strings.NewReader(body))
+		st.durs = append(st.durs, time.Since(start))
+		if err != nil {
+			lastMsg = ev.app + ": " + err.Error()
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+			lastMsg = fmt.Sprintf("%s: HTTP %d", ev.app, resp.StatusCode)
+			if !retryableStatus(resp.StatusCode) {
+				break
+			}
+		}
+		if attempt >= cfg.Retries {
+			break
+		}
+		time.Sleep(cfg.RetryWait)
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		st.errors++
-		st.itemErrors++
-		st.noteErr(fmt.Sprintf("%s: HTTP %d", ev.app, resp.StatusCode))
-	}
+	st.errors++
+	st.itemErrors++
+	st.noteErr(lastMsg)
 }
 
 // postBatch replays a chunk of observations through POST
 // /v1/observe/batch and folds the per-item outcomes into st: the server
 // answers 200 even when individual items were rejected, so partial
 // failures only surface here — exactly the case the exit code must not
-// swallow.
-func postBatch(client *http.Client, baseURL string, chunk []obsEvent, st *workerStats) {
-	req := knative.BatchObserveRequest{
-		Observations: make([]knative.BatchObservation, len(chunk)),
-	}
-	for i, ev := range chunk {
-		req.Observations[i] = knative.BatchObservation{App: ev.app, Concurrency: ev.conc}
-	}
-	body, _ := json.Marshal(req)
-	start := time.Now()
-	resp, err := client.Post(baseURL+"/v1/observe/batch", "application/json",
-		strings.NewReader(string(body)))
-	st.durs = append(st.durs, time.Since(start))
+// swallow. Transient failures — a failed request, or items answered 503
+// (shard dead / replica unpromoted) or 421 (app mid-migration) — are
+// retried up to cfg.Retries times with only the still-failing items
+// re-sent; permanent validation errors fail immediately.
+func postBatch(client *http.Client, cfg replayConfig, chunk []obsEvent, st *workerStats) {
 	st.items += len(chunk)
-	if err != nil {
-		st.errors++
-		st.itemErrors += len(chunk)
-		st.noteErr("batch: " + err.Error())
-		return
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		st.errors++
-		st.itemErrors += len(chunk)
-		st.noteErr(fmt.Sprintf("batch: HTTP %d", resp.StatusCode))
-		return
-	}
-	var out knative.BatchObserveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		st.errors++
-		st.itemErrors += len(chunk)
-		st.noteErr("batch: bad response: " + err.Error())
-		return
-	}
-	for _, res := range out.Results {
-		if res.Error != "" {
+	pending := chunk
+	for attempt := 0; ; attempt++ {
+		req := knative.BatchObserveRequest{
+			Observations: make([]knative.BatchObservation, len(pending)),
+		}
+		for i, ev := range pending {
+			req.Observations[i] = knative.BatchObservation{App: ev.app, Concurrency: ev.conc}
+		}
+		body, _ := json.Marshal(req)
+		start := time.Now()
+		resp, err := client.Post(cfg.BaseURL+"/v1/observe/batch", "application/json",
+			strings.NewReader(string(body)))
+		st.durs = append(st.durs, time.Since(start))
+
+		var out *knative.BatchObserveResponse
+		var reqMsg string
+		switch {
+		case err != nil:
+			reqMsg = "batch: " + err.Error()
+		case resp.StatusCode != http.StatusOK:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			reqMsg = fmt.Sprintf("batch: HTTP %d", resp.StatusCode)
+			if !retryableStatus(resp.StatusCode) {
+				st.errors++
+				st.itemErrors += len(pending)
+				st.noteErr(reqMsg)
+				return
+			}
+		default:
+			var decoded knative.BatchObserveResponse
+			derr := json.NewDecoder(resp.Body).Decode(&decoded)
+			resp.Body.Close()
+			if derr != nil {
+				reqMsg = "batch: bad response: " + derr.Error()
+			} else {
+				out = &decoded
+			}
+		}
+
+		if out == nil {
+			// Whole-request transient failure: retry the full chunk.
+			if attempt >= cfg.Retries {
+				st.errors++
+				st.itemErrors += len(pending)
+				st.noteErr(reqMsg)
+				return
+			}
+			time.Sleep(cfg.RetryWait)
+			continue
+		}
+
+		var retry []obsEvent
+		for i, res := range out.Results {
+			if res.Error == "" {
+				continue
+			}
+			if retryableStatus(res.Status) && attempt < cfg.Retries {
+				retry = append(retry, pending[i])
+				continue
+			}
 			st.itemErrors++
 			st.noteErr(res.App + ": " + res.Error)
 		}
+		if len(retry) == 0 {
+			return
+		}
+		pending = retry
+		time.Sleep(cfg.RetryWait)
 	}
 }
 

@@ -6,14 +6,26 @@
 // instance so a retrained model in a shared directory goes live
 // fleet-wide.
 //
+// Each -backends entry is one shard's backend GROUP: a primary
+// optionally followed by '|'-separated replicas started with
+// femuxd -replica-of. The router health-checks every shard's active
+// backend and, after -health-fails consecutive failures, promotes the
+// next backend in the group (POST /v1/admin/promote) and fails traffic
+// over — no client ever needs to know which backend is serving. It is
+// also the resharding coordinator: POST /v1/admin/reshard
+// {"add": "url[|url...]"} migrates each moving app's history to the
+// joining shard and bumps the fleet-wide ownership epoch, growing the
+// fleet N -> N+1 under live traffic.
+//
 // Usage:
 //
 //	femux-shard -addr :8080 \
-//	    -backends http://127.0.0.1:9090,http://127.0.0.1:9091
+//	    -backends 'http://127.0.0.1:9090|http://127.0.0.1:9190,http://127.0.0.1:9091'
 //
-// The backend order defines the shard numbering and must match each
-// instance's -shard-id; /healthz reports healthy only when every shard
-// is. /metrics exposes the router's per-shard routing counters.
+// The backend-group order defines the shard numbering and must match
+// each instance's -shard-id; /healthz reports healthy only when every
+// shard's active backend is. /metrics exposes the router's per-shard
+// routing, promotion, and reshard counters.
 package main
 
 import (
@@ -35,23 +47,32 @@ func main() {
 	log.SetPrefix("femux-shard: ")
 	var (
 		addr            = flag.String("addr", ":8080", "listen address")
-		backends        = flag.String("backends", "", "comma-separated femuxd base URLs, in shard order")
+		backends        = flag.String("backends", "", "comma-separated backend groups in shard order; each group is 'primary[|replica...]'")
 		timeout         = flag.Duration("timeout", 10*time.Second, "per-backend request timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "drain deadline on SIGINT/SIGTERM")
+		healthEvery     = flag.Duration("health-interval", 500*time.Millisecond, "active-backend health-check period (0 disables the failover loop)")
+		healthFails     = flag.Int("health-fails", 3, "consecutive health-check failures before promoting the next backend")
 	)
 	flag.Parse()
 
-	var urls []string
+	var groups []string
 	for _, b := range strings.Split(*backends, ",") {
 		if b = strings.TrimSpace(b); b != "" {
-			urls = append(urls, b)
+			groups = append(groups, b)
 		}
 	}
-	rt, err := knative.NewShardRouter(urls, &http.Client{Timeout: *timeout})
+	rt, err := knative.NewShardRouter(groups, &http.Client{Timeout: *timeout})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("routing %d shards: %s", rt.Shards(), strings.Join(urls, ", "))
+	log.Printf("routing %d shards: %s", rt.Shards(), strings.Join(groups, ", "))
+
+	var stopHealth func()
+	if *healthEvery > 0 {
+		stopHealth = rt.StartHealthLoop(*healthEvery, *healthFails)
+		log.Printf("failover loop: checking active backends every %s, promoting after %d failures",
+			*healthEvery, *healthFails)
+	}
 
 	server := &http.Server{
 		Addr:        *addr,
@@ -68,7 +89,11 @@ func main() {
 	}()
 
 	log.Printf("serving shard router on %s", *addr)
-	if err := serving.Run(server, stop, *shutdownTimeout, log.Printf); err != nil {
+	err = serving.Run(server, stop, *shutdownTimeout, log.Printf)
+	if stopHealth != nil {
+		stopHealth()
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

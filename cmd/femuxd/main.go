@@ -36,6 +36,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -92,6 +93,10 @@ func main() {
 		shardID    = flag.Int("shard-id", 0, "this instance's shard index in [0, shards)")
 		watchModel = flag.Bool("watch-model", false, "poll the -model file and hot-reload when it changes")
 		watchEvery = flag.Duration("watch-interval", 2*time.Second, "poll period for -watch-model")
+
+		replicaOf    = flag.String("replica-of", "", "primary femuxd base URL: start as a gated replica tailing its WAL (requires -data-dir)")
+		replInterval = flag.Duration("repl-interval", 100*time.Millisecond, "replication poll period when caught up")
+		joining      = flag.Bool("joining", false, "start as a reshard-joining shard: serve only migrated-in apps until the reshard's epoch bump")
 	)
 	flag.Parse()
 	if *shards < 1 || *shardID < 0 || *shardID >= *shards {
@@ -99,6 +104,9 @@ func main() {
 	}
 	if *watchModel && *modelPath == "" {
 		log.Fatal("-watch-model requires -model")
+	}
+	if *replicaOf != "" && *dataDir == "" {
+		log.Fatal("-replica-of requires -data-dir (the replicated WAL needs somewhere to live)")
 	}
 
 	opts := buildOpts{
@@ -144,12 +152,23 @@ func main() {
 
 	svc := knative.NewServiceWith(model, knative.ServiceOptions{
 		Store: st, ShardID: *shardID, Shards: *shards,
+		Replica: *replicaOf != "", Joining: *joining,
 	})
 	reg := serving.NewRegistry()
 	reg.RegisterGoMetrics()
 	svc.InstrumentWith(reg)
 	if st != nil {
 		registerStoreMetrics(reg, st)
+	}
+
+	var repl *knative.Replicator
+	if *replicaOf != "" {
+		repl = knative.NewReplicator(st, strings.TrimRight(*replicaOf, "/"),
+			&http.Client{Timeout: 5 * time.Second})
+		repl.Interval = *replInterval
+		repl.InstrumentWith(reg)
+		repl.Start()
+		log.Printf("replica: tailing %s every %s (serving gated until promotion)", *replicaOf, *replInterval)
 	}
 	if *shards > 1 {
 		shardInfo := reg.NewGauge("femux_shard_info",
@@ -160,7 +179,7 @@ func main() {
 	}
 
 	reload := func() (*femux.Model, error) { return buildModel(opts) }
-	handler := newHandler(svc, reg, reload, log.Default(), *reqTimeout)
+	handler := newHandler(svc, reg, reload, log.Default(), *reqTimeout, repl)
 
 	server := &http.Server{
 		Addr:         *addr,
@@ -203,6 +222,9 @@ func main() {
 
 	log.Printf("serving FeMux API on %s", *addr)
 	err = serving.Run(server, stop, *shutdownTimeout, log.Printf)
+	if repl != nil {
+		repl.Stop()
+	}
 	if st != nil {
 		if cerr := st.Close(); cerr != nil {
 			log.Printf("closing durable store: %v", cerr)
@@ -359,7 +381,7 @@ type reloadResponse struct {
 // The admin reload and pprof routes sit outside the request timeout:
 // retraining and CPU profiles legitimately run for longer than an API
 // request is allowed to.
-func newHandler(svc *knative.Service, reg *serving.Registry, rebuild func() (*femux.Model, error), logger *log.Logger, timeout time.Duration) http.Handler {
+func newHandler(svc *knative.Service, reg *serving.Registry, rebuild func() (*femux.Model, error), logger *log.Logger, timeout time.Duration, repl *knative.Replicator) http.Handler {
 	var api http.Handler = svc.Handler()
 	if timeout > 0 {
 		api = http.TimeoutHandler(api, timeout, "request timed out\n")
@@ -368,6 +390,26 @@ func newHandler(svc *knative.Service, reg *serving.Registry, rebuild func() (*fe
 	root := http.NewServeMux()
 	root.Handle("/", api)
 	root.Handle("/metrics", reg.Handler())
+	if repl != nil {
+		// Shadow the service's promote route so the replication pull loop
+		// is fully stopped BEFORE the serving gate drops — a promoted
+		// instance must never interleave replicated chunks with the direct
+		// writes it now accepts.
+		root.HandleFunc("/v1/admin/promote", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "promote requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			repl.Stop()
+			apps := svc.Promote()
+			logger.Printf("promoted to primary: serving %d apps", apps)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				Apps       int `json:"apps"`
+				Promotions int `json:"promotions"`
+			}{apps, svc.Promotions()})
+		})
+	}
 	root.HandleFunc("/v1/admin/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "reload requires POST", http.StatusMethodNotAllowed)

@@ -116,7 +116,7 @@ func TestHandlerAdminReload(t *testing.T) {
 		return next, nil
 	}
 	logger := log.New(io.Discard, "", 0)
-	srv := httptest.NewServer(newHandler(svc, reg, rebuild, logger, 5*time.Second))
+	srv := httptest.NewServer(newHandler(svc, reg, rebuild, logger, 5*time.Second, nil))
 	defer srv.Close()
 
 	// Wrong method.

@@ -41,13 +41,21 @@ type BatchObserveRequest struct {
 // BatchItemResult reports one observation's outcome, in input order.
 // Error is set (and the decision fields zero) for items that were
 // rejected — invalid values or apps owned by another shard; the rest of
-// the batch still lands.
+// the batch still lands. Status distinguishes why: 503 means the shard
+// is temporarily unavailable (replica awaiting promotion, dead backend —
+// retry the same item), 421 means the app lives on another shard
+// (Owner, when set, names it — resend there). Zero Status with a
+// non-empty Error is a permanent validation failure.
 type BatchItemResult struct {
 	App        string `json:"app"`
 	Target     int    `json:"target"`
 	Forecaster string `json:"forecaster,omitempty"`
 	History    int    `json:"historyLen,omitempty"`
 	Error      string `json:"error,omitempty"`
+	Status     int    `json:"status,omitempty"`
+	// Owner is the shard that owns the app, for Status 421 redirects.
+	// A pointer because shard 0 is a valid owner.
+	Owner *int `json:"owner,omitempty"`
 }
 
 // BatchObserveResponse is the batch reply. The request succeeds as a
@@ -67,6 +75,9 @@ type BatchObserveResponse struct {
 func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "batch observe requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.replicaGated(w) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
@@ -91,6 +102,13 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The drain fence covers validation (the moved-app check) and the
+	// group commit together, exactly like the single-observe path: a
+	// concurrent DrainApp either lands before an item's ownership check
+	// (the item 421s) or after the batch append (the export sees it).
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+
 	resp := BatchObserveResponse{Results: make([]BatchItemResult, len(req.Observations))}
 	valid := make([]int, 0, len(req.Observations))
 	durable := make([]store.Observation, 0, len(req.Observations))
@@ -102,13 +120,19 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 			res.Error = "missing app"
 		case obs.Concurrency < 0:
 			res.Error = "concurrency must be non-negative"
-		case s.shards > 1 && store.ShardOf(obs.App, s.shards) != s.shardID:
-			res.Error = fmt.Sprintf("app belongs to shard %d, this instance is shard %d of %d",
-				store.ShardOf(obs.App, s.shards), s.shardID, s.shards)
-			if sm := s.svcMetrics(); sm != nil {
-				sm.Misrouted.Inc()
-			}
 		default:
+			if msg, status, owner := s.rejectApp(obs.App); msg != "" {
+				res.Error = msg
+				res.Status = status
+				if status == http.StatusMisdirectedRequest {
+					o := owner
+					res.Owner = &o
+				}
+				if sm := s.svcMetrics(); sm != nil {
+					sm.Misrouted.Inc()
+				}
+				break
+			}
 			valid = append(valid, i)
 			durable = append(durable, store.Observation{App: obs.App, Concurrency: obs.Concurrency})
 			continue

@@ -1,0 +1,576 @@
+package knative
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
+)
+
+// The knative-layer failover and resharding suite: the store-level
+// fault-injection tests (internal/store) prove the replication protocol
+// byte by byte; these tests prove the HTTP plumbing on top of it — a
+// Replicator tailing a live primary over the wire, router-driven
+// promotion, and a 2 -> 3 reshard under live traffic — all against the
+// same bit-identical-forecast yardstick.
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{Sync: store.SyncNever, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func postObserve(t *testing.T, baseURL, app string, conc float64) int {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/apps/"+app+"/observe", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"concurrency": %g}`, conc)))
+	if err != nil {
+		t.Fatalf("observe %s: %v", app, err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+func mustObserve(t *testing.T, baseURL, app string, conc float64) {
+	t.Helper()
+	if code := postObserve(t, baseURL, app, conc); code != http.StatusOK {
+		t.Fatalf("observe %s via %s: HTTP %d", app, baseURL, code)
+	}
+}
+
+// observeWithRetry keeps retrying one observation until the fleet
+// accepts it — the client-side behavior femux-load -retry implements —
+// and fails the test if it never lands within the deadline.
+func observeWithRetry(t *testing.T, baseURL, app string, conc float64, deadline time.Duration) {
+	t.Helper()
+	limit := time.Now().Add(deadline)
+	for {
+		if code := postObserve(t, baseURL, app, conc); code == http.StatusOK {
+			return
+		}
+		if time.Now().After(limit) {
+			t.Fatalf("observe %s: not accepted within %s", app, deadline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getStatus(t *testing.T, baseURL string) ReplStatus {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/replication/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ReplStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitCaughtUp(t *testing.T, r *Replicator, primary, follower *store.Store, deadline time.Duration) {
+	t.Helper()
+	limit := time.Now().Add(deadline)
+	for {
+		up, _ := r.CaughtUp()
+		if up && follower.TotalObservations() == primary.TotalObservations() {
+			return
+		}
+		if time.Now().After(limit) {
+			up, lastErr := r.CaughtUp()
+			t.Fatalf("follower not caught up within %s: caughtUp=%v lastErr=%v follower=%d primary=%d",
+				deadline, up, lastErr, follower.TotalObservations(), primary.TotalObservations())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertDecisionsIdentical compares every app's target and forecast
+// between two serving endpoints, bit for bit.
+func assertDecisionsIdentical(t *testing.T, apps []string, wantURL, gotURL string) {
+	t.Helper()
+	for _, app := range apps {
+		want, got := fetchDecision(t, wantURL, app), fetchDecision(t, gotURL, app)
+		if want.target.Target != got.target.Target || want.target.History != got.target.History {
+			t.Errorf("%s: target %+v != %+v", app, want.target, got.target)
+		}
+		if want.forecast.Forecaster != got.forecast.Forecaster {
+			t.Errorf("%s: forecaster %s != %s", app, want.forecast.Forecaster, got.forecast.Forecaster)
+		}
+		if len(want.forecast.Values) != len(got.forecast.Values) {
+			t.Fatalf("%s: forecast lengths %d != %d", app, len(want.forecast.Values), len(got.forecast.Values))
+		}
+		for i := range want.forecast.Values {
+			if math.Float64bits(want.forecast.Values[i]) != math.Float64bits(got.forecast.Values[i]) {
+				t.Errorf("%s: forecast[%d] %v != %v (not bit-identical)",
+					app, i, want.forecast.Values[i], got.forecast.Values[i])
+			}
+		}
+	}
+}
+
+// TestReplicaFailoverE2E is the wire-level failover test: a follower
+// femuxd tails a live primary over HTTP (including a snapshot bootstrap
+// across a compaction gap), stays 503-gated the whole time, and after
+// the primary dies and the follower is promoted it serves bit-identical
+// forecasts to an unkilled control — then accepts new writes as the
+// primary.
+func TestReplicaFailoverE2E(t *testing.T) {
+	model := trainTinyModel(t)
+	apps := []string{"alpha", "beta", "gamma", "delta"}
+
+	pst := openTestStore(t, t.TempDir())
+	psvc := NewServiceWith(model, ServiceOptions{Store: pst})
+	psrv := httptest.NewServer(psvc.Handler())
+	defer psrv.Close()
+
+	ctl := httptest.NewServer(NewService(model).Handler())
+	defer ctl.Close()
+
+	feed := func(url string, round int) {
+		for i, app := range apps {
+			mustObserve(t, url, app, float64(round*len(apps)+i)*0.375+0.25)
+		}
+	}
+
+	// Phase 1: history the replicator will have to bootstrap — appended
+	// and then compacted away before the follower ever connects.
+	for r := 0; r < 10; r++ {
+		feed(psrv.URL, r)
+		feed(ctl.URL, r)
+	}
+	if err := pst.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 10; r < 13; r++ {
+		feed(psrv.URL, r)
+		feed(ctl.URL, r)
+	}
+
+	fst := openTestStore(t, t.TempDir())
+	fsvc := NewServiceWith(model, ServiceOptions{Store: fst, Replica: true})
+	fsrv := httptest.NewServer(fsvc.Handler())
+	defer fsrv.Close()
+
+	repl := NewReplicator(fst, psrv.URL, nil)
+	repl.Interval = 2 * time.Millisecond
+	replStopped := false
+	defer func() {
+		if !replStopped {
+			repl.Stop()
+		}
+	}()
+	repl.Start()
+	waitCaughtUp(t, repl, pst, fst, 10*time.Second)
+
+	// The gate: an unpromoted replica serves nothing and accepts nothing.
+	if code := postObserve(t, fsrv.URL, "alpha", 1.0); code != http.StatusServiceUnavailable {
+		t.Fatalf("replica accepted an observe with HTTP %d, want 503", code)
+	}
+	resp, out := postBatchJSON(t, fsrv.URL, marshalBatch(t, BatchObservation{App: "alpha", Concurrency: 1}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("replica accepted a batch with HTTP %d (%+v), want 503", resp.StatusCode, out)
+	}
+
+	// More live traffic while the follower tails.
+	for r := 13; r < 18; r++ {
+		feed(psrv.URL, r)
+		feed(ctl.URL, r)
+	}
+	waitCaughtUp(t, repl, pst, fst, 10*time.Second)
+
+	pstat, fstat := getStatus(t, psrv.URL), getStatus(t, fsrv.URL)
+	if pstat.Replica || !fstat.Replica {
+		t.Fatalf("status roles wrong: primary.Replica=%v follower.Replica=%v", pstat.Replica, fstat.Replica)
+	}
+	if fstat.Cursor == nil {
+		t.Fatal("follower status has no replication cursor")
+	}
+	if pstat.Total != fstat.Total {
+		t.Fatalf("status totals diverge: primary=%d follower=%d", pstat.Total, fstat.Total)
+	}
+
+	// Kill the primary; promote the follower (the femuxd glue stops the
+	// replicator first — mirrored here).
+	psrv.Close()
+	repl.Stop()
+	replStopped = true
+	for i := 0; i < 2; i++ { // promote is idempotent
+		resp, err := http.Post(fsrv.URL+"/v1/admin/promote", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("promote attempt %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	if fsvc.Promotions() != 1 {
+		t.Fatalf("promotions = %d, want 1 (second promote must be a no-op)", fsvc.Promotions())
+	}
+
+	// The promoted follower must forecast exactly as the never-killed
+	// control does, and accept new writes.
+	assertDecisionsIdentical(t, apps, ctl.URL, fsrv.URL)
+	for r := 18; r < 21; r++ {
+		feed(fsrv.URL, r)
+		feed(ctl.URL, r)
+	}
+	mustObserve(t, fsrv.URL, "epsilon", 2.5)
+	mustObserve(t, ctl.URL, "epsilon", 2.5)
+	assertDecisionsIdentical(t, append(apps, "epsilon"), ctl.URL, fsrv.URL)
+}
+
+// TestRouterFailoverPromotesReplica drives the full HA loop: traffic
+// flows through the router to a primary|replica shard group, the primary
+// dies mid-run, the health loop detects it and promotes the replica, and
+// traffic resumes against it — with every acknowledged observation
+// intact and forecasts bit-identical to an unkilled control.
+func TestRouterFailoverPromotesReplica(t *testing.T) {
+	model := trainTinyModel(t)
+	apps := []string{"svc-a", "svc-b", "svc-c"}
+
+	pst := openTestStore(t, t.TempDir())
+	psvc := NewServiceWith(model, ServiceOptions{Store: pst})
+	psrv := httptest.NewServer(psvc.Handler())
+	defer psrv.Close()
+
+	rst := openTestStore(t, t.TempDir())
+	rsvc := NewServiceWith(model, ServiceOptions{Store: rst, Replica: true})
+	rsrv := httptest.NewServer(rsvc.Handler())
+	defer rsrv.Close()
+
+	ctl := httptest.NewServer(NewService(model).Handler())
+	defer ctl.Close()
+
+	repl := NewReplicator(rst, psrv.URL, nil)
+	repl.Interval = 2 * time.Millisecond
+	repl.Start()
+	defer repl.Stop()
+
+	rt, err := NewShardRouter([]string{psrv.URL + "|" + rsrv.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	stopHealth := rt.StartHealthLoop(5*time.Millisecond, 2)
+	defer stopHealth()
+
+	acked := 0
+	for r := 0; r < 10; r++ {
+		for i, app := range apps {
+			v := float64(r*len(apps)+i)*0.5 + 0.125
+			mustObserve(t, front.URL, app, v)
+			mustObserve(t, ctl.URL, app, v)
+			acked++
+		}
+	}
+	waitCaughtUp(t, repl, pst, rst, 10*time.Second)
+
+	// Primary dies. The health loop must notice and promote the replica;
+	// the client just retries until the fleet answers again.
+	psrv.Close()
+	for r := 10; r < 16; r++ {
+		for i, app := range apps {
+			v := float64(r*len(apps)+i)*0.5 + 0.125
+			observeWithRetry(t, front.URL, app, v, 10*time.Second)
+			mustObserve(t, ctl.URL, app, v)
+			acked++
+		}
+	}
+	if rsvc.Promotions() != 1 {
+		t.Fatalf("replica promotions = %d, want 1", rsvc.Promotions())
+	}
+	if got := rst.TotalObservations(); got != int64(acked) {
+		t.Fatalf("promoted replica holds %d durable observations, want every acked = %d", got, acked)
+	}
+	assertDecisionsIdentical(t, apps, ctl.URL, front.URL)
+}
+
+// reshardFleet stands up a 2-shard fleet with durable stores plus a
+// joining shard configured as shard 2 of 3, and a router in front.
+func reshardFleet(t *testing.T) (svcs []*Service, stores []*store.Store, rt *ShardRouter, front *httptest.Server, joinURL string) {
+	t.Helper()
+	model := trainTinyModel(t)
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		st := openTestStore(t, t.TempDir())
+		svc := NewServiceWith(model, ServiceOptions{Store: st, ShardID: i, Shards: 2})
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(srv.Close)
+		svcs, stores, urls[i] = append(svcs, svc), append(stores, st), srv.URL
+	}
+	jst := openTestStore(t, t.TempDir())
+	jsvc := NewServiceWith(model, ServiceOptions{Store: jst, ShardID: 2, Shards: 3, Joining: true})
+	jsrv := httptest.NewServer(jsvc.Handler())
+	t.Cleanup(jsrv.Close)
+	svcs, stores = append(svcs, jsvc), append(stores, jst)
+
+	var err error
+	rt, err = NewShardRouter(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front = httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return svcs, stores, rt, front, jsrv.URL
+}
+
+func reshardApps(t *testing.T, n int) (apps []string, movers map[string]bool) {
+	t.Helper()
+	movers = map[string]bool{}
+	for i := 0; i < n; i++ {
+		app := fmt.Sprintf("rs-app-%d", i)
+		apps = append(apps, app)
+		if store.ShardOf(app, 3) == 2 {
+			movers[app] = true
+		}
+	}
+	if len(movers) == 0 || len(movers) == len(apps) {
+		t.Fatalf("degenerate reshard fixture: %d/%d apps move — pick different names", len(movers), len(apps))
+	}
+	return apps, movers
+}
+
+// TestReshardGrowsFleetUnderLoad grows a 2-shard fleet to 3 while a
+// client keeps writing through the router: the reshard migrates exactly
+// the rendezvous movers to the joining shard, bumps the epoch
+// fleet-wide, and not one acknowledged observation is lost — the durable
+// fleet total matches the acked count and forecasts stay bit-identical
+// to an unresharded control.
+func TestReshardGrowsFleetUnderLoad(t *testing.T) {
+	svcs, stores, rt, front, joinURL := reshardFleet(t)
+	model := trainTinyModel(t)
+	ctl := httptest.NewServer(NewService(model).Handler())
+	defer ctl.Close()
+	apps, movers := reshardApps(t, 16)
+
+	acked := 0
+	feedRound := func(r int, retry bool) {
+		for i, app := range apps {
+			v := float64(r*len(apps)+i)*0.25 + 0.5
+			if retry {
+				observeWithRetry(t, front.URL, app, v, 10*time.Second)
+			} else {
+				mustObserve(t, front.URL, app, v)
+			}
+			mustObserve(t, ctl.URL, app, v)
+			acked++
+		}
+	}
+	for r := 0; r < 8; r++ {
+		feedRound(r, false)
+	}
+
+	// Reshard concurrently with live writes.
+	done := make(chan struct{})
+	var report *ReshardReport
+	var reshardErr error
+	go func() {
+		defer close(done)
+		report, reshardErr = rt.Reshard(joinURL)
+	}()
+	for r := 8; r < 16; r++ {
+		feedRound(r, true)
+	}
+	<-done
+	if reshardErr != nil {
+		t.Fatalf("reshard: %v", reshardErr)
+	}
+	for r := 16; r < 20; r++ {
+		feedRound(r, true)
+	}
+
+	if report.Shards != 3 || rt.Shards() != 3 {
+		t.Fatalf("fleet size after reshard: report=%d router=%d, want 3", report.Shards, rt.Shards())
+	}
+	if report.Moved != len(movers) {
+		t.Errorf("reshard moved %d apps, want exactly the %d rendezvous movers", report.Moved, len(movers))
+	}
+	for i, svc := range svcs {
+		if got := svc.Epoch(); got != report.Epoch {
+			t.Errorf("shard %d epoch = %d, want %d", i, got, report.Epoch)
+		}
+	}
+
+	// Zero lost observations: the durable fleet total equals the acked
+	// count, with every mover exactly once on the joining shard.
+	var fleetTotal int64
+	for _, st := range stores {
+		fleetTotal += st.TotalObservations()
+	}
+	if fleetTotal != int64(acked) {
+		t.Fatalf("durable fleet total %d != acked %d", fleetTotal, acked)
+	}
+	for _, app := range apps {
+		onJoin := stores[2].Window(app) != nil
+		onOld := stores[0].Window(app) != nil || stores[1].Window(app) != nil
+		if movers[app] && (!onJoin || onOld) {
+			t.Errorf("mover %q: on joining shard=%v, still on old shard=%v", app, onJoin, onOld)
+		}
+		if !movers[app] && onJoin {
+			t.Errorf("non-mover %q has state on the joining shard", app)
+		}
+	}
+	assertDecisionsIdentical(t, apps, ctl.URL, front.URL)
+}
+
+// TestReshardInterruptedResumes crashes the coordinator mid-migration —
+// one mover imported but not handed off, another drained but never
+// exported — and proves a re-run completes the reshard exactly-once:
+// totals conserved, each mover on precisely its new owner, forecasts
+// bit-identical to a control that never resharded.
+func TestReshardInterruptedResumes(t *testing.T) {
+	svcs, stores, rt, front, joinURL := reshardFleet(t)
+	model := trainTinyModel(t)
+	ctl := httptest.NewServer(NewService(model).Handler())
+	defer ctl.Close()
+	apps, movers := reshardApps(t, 16)
+
+	acked := 0
+	for r := 0; r < 8; r++ {
+		for i, app := range apps {
+			v := float64(r*len(apps)+i)*0.25 + 0.5
+			mustObserve(t, front.URL, app, v)
+			mustObserve(t, ctl.URL, app, v)
+			acked++
+		}
+	}
+
+	// Simulate a coordinator crash: manually run the migration protocol
+	// partway on two movers, then abandon.
+	var moverList []string
+	for _, app := range apps {
+		if movers[app] {
+			moverList = append(moverList, app)
+		}
+	}
+	if len(moverList) < 2 {
+		t.Fatalf("fixture needs >= 2 movers, got %d", len(moverList))
+	}
+	halfMoved, drainedOnly := moverList[0], moverList[1]
+	for _, app := range []string{halfMoved, drainedOnly} {
+		oldOwner := store.ShardOf(app, 2)
+		svcs[oldOwner].DrainApp(app, 2)
+	}
+	oldOwner := store.ShardOf(halfMoved, 2)
+	win, total, ok := stores[oldOwner].ExportApp(halfMoved)
+	if !ok {
+		t.Fatalf("mover %q has no state on its old owner", halfMoved)
+	}
+	if err := svcs[2].AdoptApp(halfMoved, win, total); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: halfMoved exists on BOTH shards, drainedOnly is fenced
+	// on its old owner. Writes to both now bounce with 421 until the
+	// re-run finishes — observeWithRetry rides across it.
+
+	report, err := rt.Reshard(joinURL)
+	if err != nil {
+		t.Fatalf("reshard re-run after interruption: %v", err)
+	}
+	if report.Moved != len(movers) {
+		t.Errorf("re-run migrated %d apps, want all %d movers (idempotent replace)", report.Moved, len(movers))
+	}
+
+	for r := 8; r < 12; r++ {
+		for i, app := range apps {
+			v := float64(r*len(apps)+i)*0.25 + 0.5
+			observeWithRetry(t, front.URL, app, v, 10*time.Second)
+			mustObserve(t, ctl.URL, app, v)
+			acked++
+		}
+	}
+
+	var fleetTotal int64
+	for _, st := range stores {
+		fleetTotal += st.TotalObservations()
+	}
+	if fleetTotal != int64(acked) {
+		t.Fatalf("durable fleet total %d != acked %d (interruption lost or duplicated history)", fleetTotal, acked)
+	}
+	for _, app := range moverList {
+		if stores[2].Window(app) == nil {
+			t.Errorf("mover %q missing from joining shard after re-run", app)
+		}
+		if stores[0].Window(app) != nil || stores[1].Window(app) != nil {
+			t.Errorf("mover %q still has state on an old shard after re-run", app)
+		}
+	}
+	assertDecisionsIdentical(t, apps, ctl.URL, front.URL)
+}
+
+// TestBatchItemDegradation pins satellite behavior: a dead shard
+// degrades that slice of a routed batch to per-item 503s (retryable,
+// the healthy shard still commits), while a misrouted app posted
+// directly to the wrong instance gets a per-item 421 naming its owner.
+func TestBatchItemDegradation(t *testing.T) {
+	model := trainTinyModel(t)
+	svcs := make([]*Service, 2)
+	urls := make([]string, 2)
+	srvs := make([]*httptest.Server, 2)
+	for i := range svcs {
+		svcs[i] = NewServiceWith(model, ServiceOptions{ShardID: i, Shards: 2})
+		srvs[i] = httptest.NewServer(svcs[i].Handler())
+		defer srvs[i].Close()
+		urls[i] = srvs[i].URL
+	}
+	rt, err := NewShardRouter(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// One app per shard.
+	var app0, app1 string
+	for i := 0; app0 == "" || app1 == ""; i++ {
+		name := fmt.Sprintf("deg-%d", i)
+		if store.ShardOf(name, 2) == 0 && app0 == "" {
+			app0 = name
+		} else if store.ShardOf(name, 2) == 1 && app1 == "" {
+			app1 = name
+		}
+	}
+
+	// Direct misroute: per-item 421 with the owner identified.
+	resp, out := postBatchJSON(t, urls[0], marshalBatch(t,
+		BatchObservation{App: app0, Concurrency: 1},
+		BatchObservation{App: app1, Concurrency: 1}))
+	if resp.StatusCode != http.StatusOK || out.Accepted != 1 || out.Rejected != 1 {
+		t.Fatalf("direct misroute: status=%d accepted=%d rejected=%d", resp.StatusCode, out.Accepted, out.Rejected)
+	}
+	mis := out.Results[1]
+	if mis.Status != http.StatusMisdirectedRequest || mis.Owner == nil || *mis.Owner != 1 {
+		t.Fatalf("misrouted item = %+v, want Status 421 Owner 1", mis)
+	}
+
+	// Dead shard behind the router: that slice degrades to per-item 503,
+	// the live shard's slice still commits.
+	srvs[1].Close()
+	resp, out = postBatchJSON(t, front.URL, marshalBatch(t,
+		BatchObservation{App: app0, Concurrency: 2},
+		BatchObservation{App: app1, Concurrency: 2}))
+	if resp.StatusCode != http.StatusOK || out.Accepted != 1 || out.Rejected != 1 {
+		t.Fatalf("dead shard: status=%d accepted=%d rejected=%d", resp.StatusCode, out.Accepted, out.Rejected)
+	}
+	dead := out.Results[1]
+	if dead.Status != http.StatusServiceUnavailable || dead.Error == "" {
+		t.Fatalf("dead-shard item = %+v, want Status 503 with error", dead)
+	}
+	if live := out.Results[0]; live.Error != "" {
+		t.Fatalf("live-shard item rejected alongside the dead shard: %+v", live)
+	}
+}

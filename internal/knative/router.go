@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,42 +24,132 @@ import (
 // batch observes are split into per-shard sub-batches, forwarded
 // concurrently, and merged back into input order; admin reloads fan out
 // to every instance so one retrain propagates fleet-wide.
+//
+// Each shard is a backend GROUP — "primary|replica[|replica...]" — and
+// the router is the failover controller: a health loop watches every
+// shard's active backend and, after enough consecutive failures,
+// promotes the next backend in the group (POST /v1/admin/promote) and
+// fails traffic over to it. The router is also the resharding
+// coordinator: POST /v1/admin/reshard drains, transfers, and hands off
+// every moving app, then bumps the fleet-wide ownership epoch, growing
+// the fleet N -> N+1 under live traffic.
 type ShardRouter struct {
-	backends []string
-	client   *http.Client
+	mu      sync.RWMutex
+	shards  []*shardBackend
+	pending *shardBackend // joining shard during a reshard; owner-retries may target it
+	client  *http.Client
 
-	reg    *serving.Registry
-	routed *serving.Counter // femux_route_requests_total{shard}
-	errs   *serving.Counter // femux_route_errors_total{shard}
+	reshardMu sync.Mutex // serializes reshard runs
+
+	reg        *serving.Registry
+	routed     *serving.Counter // femux_route_requests_total{shard}
+	errs       *serving.Counter // femux_route_errors_total{shard}
+	retries    *serving.Counter // femux_route_owner_retries_total
+	promotions *serving.Counter // femux_route_promotions_total{shard}
+	moved      *serving.Counter // femux_reshard_moved_apps_total
+	resharding *serving.Gauge   // femux_resharding (1 while a reshard runs)
 }
 
-// NewShardRouter returns a router over the given backend base URLs, one
-// per shard, in shard order. client may be nil for http.DefaultClient
-// semantics with a 10 s timeout.
+// shardBackend is one shard's ordered backend group. urls[active] serves
+// traffic; the rest are replicas tailing it with -replica-of.
+type shardBackend struct {
+	urls []string
+
+	mu     sync.Mutex
+	active int
+	fails  int // consecutive health-check failures of urls[active]
+}
+
+func (b *shardBackend) url() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.urls[b.active]
+}
+
+// parseBackendGroup splits a "primary|replica|..." spec.
+func parseBackendGroup(spec string) (*shardBackend, error) {
+	var urls []string
+	for _, u := range strings.Split(spec, "|") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("knative: empty backend group %q", spec)
+	}
+	return &shardBackend{urls: urls}, nil
+}
+
+// NewShardRouter returns a router over the given backend specs, one per
+// shard in shard order; each spec is "primary[|replica...]". client may
+// be nil for a default with a 10 s timeout.
 func NewShardRouter(backends []string, client *http.Client) (*ShardRouter, error) {
 	if len(backends) == 0 {
 		return nil, errors.New("knative: router needs at least one backend")
 	}
-	for i, b := range backends {
-		backends[i] = strings.TrimRight(b, "/")
+	shards := make([]*shardBackend, len(backends))
+	for i, spec := range backends {
+		b, err := parseBackendGroup(spec)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = b
 	}
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
-	rt := &ShardRouter{backends: backends, client: client, reg: serving.NewRegistry()}
+	rt := &ShardRouter{shards: shards, client: client, reg: serving.NewRegistry()}
 	rt.reg.RegisterGoMetrics()
 	rt.routed = rt.reg.NewCounter("femux_route_requests_total",
 		"Requests routed, per owning shard.", "shard")
 	rt.errs = rt.reg.NewCounter("femux_route_errors_total",
 		"Requests that failed at the backend, per shard.", "shard")
+	rt.retries = rt.reg.NewCounter("femux_route_owner_retries_total",
+		"Requests re-sent to the owner named by a 421 redirect.")
+	rt.promotions = rt.reg.NewCounter("femux_route_promotions_total",
+		"Replica promotions triggered by the health loop, per shard.", "shard")
+	rt.moved = rt.reg.NewCounter("femux_reshard_moved_apps_total",
+		"Apps migrated between shards by reshard runs.")
+	rt.resharding = rt.reg.NewGauge("femux_resharding",
+		"1 while a reshard run is in progress.")
 	rt.reg.NewGaugeFunc("femux_route_shards",
 		"Number of backend shards behind this router.",
-		func() float64 { return float64(len(rt.backends)) })
+		func() float64 { return float64(rt.Shards()) })
 	return rt, nil
 }
 
 // Shards reports the fleet size.
-func (rt *ShardRouter) Shards() int { return len(rt.backends) }
+func (rt *ShardRouter) Shards() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.shards)
+}
+
+// snapshot returns the current shard list; the slice is never mutated in
+// place (reshard appends to a copy), so it is safe to iterate unlocked.
+func (rt *ShardRouter) snapshot() []*shardBackend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.shards
+}
+
+// backendForOwner resolves a 421 redirect's owner to a backend group.
+// During a reshard the joining shard is addressable as owner == N even
+// though routing still uses the old N-shard map — that is exactly how
+// per-app cutover stays hitless before the epoch bump.
+func (rt *ShardRouter) backendForOwner(owner int) *shardBackend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if owner >= 0 && owner < len(rt.shards) {
+		return rt.shards[owner]
+	}
+	if rt.pending != nil && owner == len(rt.shards) {
+		return rt.pending
+	}
+	return nil
+}
 
 // Handler returns the router's HTTP handler.
 func (rt *ShardRouter) Handler() http.Handler {
@@ -67,15 +158,17 @@ func (rt *ShardRouter) Handler() http.Handler {
 	mux.HandleFunc("/v1/apps/", rt.proxyApp)
 	mux.HandleFunc("/v1/observe/batch", rt.splitBatch)
 	mux.HandleFunc("/v1/admin/reload", rt.fanoutReload)
+	mux.HandleFunc("/v1/admin/reshard", rt.reshardHandler)
+	mux.HandleFunc("/v1/admin/failover", rt.failoverHandler)
 	mux.Handle("/metrics", rt.reg.Handler())
 	return mux
 }
 
-// healthz reports healthy only when every shard is.
+// healthz reports healthy only when every shard's active backend is.
 func (rt *ShardRouter) healthz(w http.ResponseWriter, _ *http.Request) {
 	var bad []string
-	for i, b := range rt.backends {
-		resp, err := rt.client.Get(b + "/healthz")
+	for i, b := range rt.snapshot() {
+		resp, err := rt.client.Get(b.url() + "/healthz")
 		if err != nil {
 			bad = append(bad, fmt.Sprintf("shard %d: %v", i, err))
 			continue
@@ -93,7 +186,132 @@ func (rt *ShardRouter) healthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// proxyApp forwards a per-app request to the shard owning the app.
+// StartHealthLoop launches the failover controller: every interval it
+// health-checks each shard's active backend; after threshold consecutive
+// failures it promotes the next backend in the group and fails traffic
+// over. Returns a stop function.
+func (rt *ShardRouter) StartHealthLoop(interval time.Duration, threshold int) (stop func()) {
+	if threshold < 1 {
+		threshold = 1
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-time.After(interval):
+			}
+			for i, b := range rt.snapshot() {
+				rt.checkShard(i, b, threshold)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-done
+	}
+}
+
+func (rt *ShardRouter) checkShard(i int, b *shardBackend, threshold int) {
+	healthy := false
+	resp, err := rt.client.Get(b.url() + "/healthz")
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		healthy = resp.StatusCode == http.StatusOK
+	}
+	b.mu.Lock()
+	if healthy {
+		b.fails = 0
+		b.mu.Unlock()
+		return
+	}
+	b.fails++
+	fails, nURLs := b.fails, len(b.urls)
+	b.mu.Unlock()
+	if fails < threshold || nURLs < 2 {
+		return
+	}
+	if err := rt.failover(i, b); err == nil {
+		b.mu.Lock()
+		b.fails = 0
+		b.mu.Unlock()
+	}
+	// On error: fails stays >= threshold, so the next tick retries the
+	// promotion (Promote is idempotent on the target).
+}
+
+// failover promotes the next backend in shard i's group and moves
+// traffic to it.
+func (rt *ShardRouter) failover(i int, b *shardBackend) error {
+	b.mu.Lock()
+	candidate := (b.active + 1) % len(b.urls)
+	url := b.urls[candidate]
+	b.mu.Unlock()
+	resp, err := rt.client.Post(url+"/v1/admin/promote", "application/json", nil)
+	if err != nil {
+		rt.errs.Inc(strconv.Itoa(i))
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rt.errs.Inc(strconv.Itoa(i))
+		return fmt.Errorf("promote %s: HTTP %d", url, resp.StatusCode)
+	}
+	b.mu.Lock()
+	b.active = candidate
+	b.mu.Unlock()
+	rt.promotions.Inc(strconv.Itoa(i))
+	return nil
+}
+
+// failoverHandler manually promotes shard {shard}'s next backend —
+// POST /v1/admin/failover {"shard": 1} — for operators and tests.
+func (rt *ShardRouter) failoverHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "failover requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Shard int `json:"shard"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxObserveBody)).Decode(&req); err != nil {
+		http.Error(w, "need {shard}", http.StatusBadRequest)
+		return
+	}
+	shards := rt.snapshot()
+	if req.Shard < 0 || req.Shard >= len(shards) {
+		http.Error(w, fmt.Sprintf("no shard %d in a fleet of %d", req.Shard, len(shards)),
+			http.StatusBadRequest)
+		return
+	}
+	b := shards[req.Shard]
+	b.mu.Lock()
+	nURLs := len(b.urls)
+	b.mu.Unlock()
+	if nURLs < 2 {
+		http.Error(w, fmt.Sprintf("shard %d has no replica to fail over to", req.Shard),
+			http.StatusConflict)
+		return
+	}
+	if err := rt.failover(req.Shard, b); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, struct {
+		Shard  int    `json:"shard"`
+		Active string `json:"active"`
+	}{req.Shard, b.url()})
+}
+
+// proxyApp forwards a per-app request to the shard owning the app. A 421
+// naming a different owner (an app mid-migration) is retried once at the
+// owner, so per-app cutover is invisible to clients.
 func (rt *ShardRouter) proxyApp(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/apps/")
 	app, _, _ := strings.Cut(rest, "/")
@@ -101,42 +319,79 @@ func (rt *ShardRouter) proxyApp(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "expected /v1/apps/{app}/...", http.StatusNotFound)
 		return
 	}
-	shard := store.ShardOf(app, len(rt.backends))
+	shards := rt.snapshot()
+	shard := store.ShardOf(app, len(shards))
 	label := strconv.Itoa(shard)
 	rt.routed.Inc(label)
 
-	target := rt.backends[shard] + r.URL.Path
+	// Per-app request bodies are tiny (maxObserveBody); buffer so the
+	// request can be replayed against the owner on a 421 redirect.
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxObserveBody))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	uri := r.URL.Path
 	if r.URL.RawQuery != "" {
-		target += "?" + r.URL.RawQuery
+		uri += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
-	}
-	resp, err := rt.client.Do(req)
+	resp, err := rt.forward(r, shards[shard].url()+uri, body)
 	if err != nil {
 		rt.errs.Inc(label)
 		http.Error(w, fmt.Sprintf("shard %d unavailable: %v", shard, err), http.StatusBadGateway)
 		return
 	}
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		if owner, err := strconv.Atoi(resp.Header.Get("X-Femux-Owner")); err == nil && owner != shard {
+			if b := rt.backendForOwner(owner); b != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				rt.retries.Inc()
+				resp2, err := rt.forward(r, b.url()+uri, body)
+				if err != nil {
+					rt.errs.Inc(strconv.Itoa(owner))
+					http.Error(w, fmt.Sprintf("owner shard %d unavailable: %v", owner, err),
+						http.StatusBadGateway)
+					return
+				}
+				resp = resp2
+			}
+		}
+	}
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 }
 
+func (rt *ShardRouter) forward(r *http.Request, target string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return rt.client.Do(req)
+}
+
 // splitBatch partitions a batch body by owning shard, posts the
 // sub-batches concurrently, and stitches the per-item results back into
 // the caller's input order. A whole-shard failure surfaces as per-item
-// errors for that shard's slice of the batch (the rest of the fleet
-// still commits), so partial outages degrade instead of failing the
-// collector's entire interval.
+// 503s for that shard's slice of the batch (the rest of the fleet still
+// commits), so partial outages degrade instead of failing the
+// collector's entire interval. Items answered 421 with an owner are
+// re-sent to the owner in a second round, so apps mid-migration commit
+// on their new shard within the same client request.
 func (rt *ShardRouter) splitBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "batch observe requires POST", http.StatusMethodNotAllowed)
@@ -159,7 +414,8 @@ func (rt *ShardRouter) splitBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	n := len(rt.backends)
+	shards := rt.snapshot()
+	n := len(shards)
 	subIdx := make([][]int, n)              // original index of each sub-batch item
 	subObs := make([][]BatchObservation, n) // per-shard sub-batches
 	for i, obs := range req.Observations {
@@ -180,15 +436,16 @@ func (rt *ShardRouter) splitBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			label := strconv.Itoa(s)
 			rt.routed.Inc(label)
-			sub, err := rt.postBatch(s, subObs[s])
+			sub, err := rt.postBatch(shards[s].url(), subObs[s])
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				rt.errs.Inc(label)
 				for _, orig := range subIdx[s] {
 					out.Results[orig] = BatchItemResult{
-						App:   req.Observations[orig].App,
-						Error: fmt.Sprintf("shard %d: %v", s, err),
+						App:    req.Observations[orig].App,
+						Error:  fmt.Sprintf("shard %d: %v", s, err),
+						Status: http.StatusServiceUnavailable,
 					}
 				}
 				out.Rejected += len(subIdx[s])
@@ -202,16 +459,66 @@ func (rt *ShardRouter) splitBatch(w http.ResponseWriter, r *http.Request) {
 		}(s)
 	}
 	wg.Wait()
+
+	rt.retryRedirected(&out, req.Observations)
 	writeJSON(w, out)
 }
 
-// postBatch forwards one sub-batch to a shard and decodes the reply.
-func (rt *ShardRouter) postBatch(shard int, obs []BatchObservation) (*BatchObserveResponse, error) {
+// retryRedirected re-sends every item the first round answered 421-with-
+// owner to the named owner, merging second-round results in place.
+func (rt *ShardRouter) retryRedirected(out *BatchObserveResponse, obs []BatchObservation) {
+	byOwner := map[int][]int{} // owner shard -> original indices
+	for i := range out.Results {
+		res := &out.Results[i]
+		if res.Status == http.StatusMisdirectedRequest && res.Owner != nil {
+			byOwner[*res.Owner] = append(byOwner[*res.Owner], i)
+		}
+	}
+	if len(byOwner) == 0 {
+		return
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for owner, idxs := range byOwner {
+		b := rt.backendForOwner(owner)
+		if b == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(owner int, idxs []int, b *shardBackend) {
+			defer wg.Done()
+			sub := make([]BatchObservation, len(idxs))
+			for j, i := range idxs {
+				sub[j] = obs[i]
+			}
+			rt.retries.Inc()
+			res, err := rt.postBatch(b.url(), sub)
+			if err != nil {
+				return // first-round 421s stand
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for j, i := range idxs {
+				out.Results[i] = res.Results[j]
+				out.Rejected--
+				if res.Results[j].Error == "" {
+					out.Accepted++
+				} else {
+					out.Rejected++
+				}
+			}
+		}(owner, idxs, b)
+	}
+	wg.Wait()
+}
+
+// postBatch forwards one sub-batch to a backend and decodes the reply.
+func (rt *ShardRouter) postBatch(baseURL string, obs []BatchObservation) (*BatchObserveResponse, error) {
 	body, err := json.Marshal(BatchObserveRequest{Observations: obs})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := rt.client.Post(rt.backends[shard]+"/v1/observe/batch",
+	resp, err := rt.client.Post(baseURL+"/v1/observe/batch",
 		"application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -238,20 +545,21 @@ func (rt *ShardRouter) fanoutReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "reload requires POST", http.StatusMethodNotAllowed)
 		return
 	}
+	shards := rt.snapshot()
 	type shardReload struct {
 		Shard  int    `json:"shard"`
 		Status int    `json:"status"`
 		Error  string `json:"error,omitempty"`
 	}
-	results := make([]shardReload, len(rt.backends))
+	results := make([]shardReload, len(shards))
 	var wg sync.WaitGroup
 	failed := false
 	var mu sync.Mutex
-	for i, b := range rt.backends {
+	for i, b := range shards {
 		wg.Add(1)
-		go func(i int, b string) {
+		go func(i int, url string) {
 			defer wg.Done()
-			resp, err := rt.client.Post(b+"/v1/admin/reload", "", nil)
+			resp, err := rt.client.Post(url+"/v1/admin/reload", "", nil)
 			res := shardReload{Shard: i}
 			if err != nil {
 				res.Error = err.Error()
@@ -269,7 +577,7 @@ func (rt *ShardRouter) fanoutReload(w http.ResponseWriter, r *http.Request) {
 				failed = true
 			}
 			mu.Unlock()
-		}(i, b)
+		}(i, b.url())
 	}
 	wg.Wait()
 	if failed {
@@ -279,4 +587,209 @@ func (rt *ShardRouter) fanoutReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, results)
+}
+
+// ReshardReport summarizes one completed reshard run.
+type ReshardReport struct {
+	Shards int `json:"shards"` // fleet size after the run
+	Epoch  int `json:"epoch"`  // ownership epoch installed fleet-wide
+	Moved  int `json:"moved"`  // apps migrated to the joining shard
+}
+
+// Reshard grows the fleet by one shard under live traffic. addSpec is
+// the joining shard's backend group ("primary[|replica...]"); the
+// instance must already be running with -shards N+1 -shard-id N. The
+// protocol, per moving app: drain on the old owner (writes fence, 421
+// redirect on), export its history, import on the new owner (replace
+// semantics — idempotent), hand off (old owner drops state). Rendezvous
+// hashing guarantees the only apps that move are those the joining shard
+// now owns (~1/(N+1) of the fleet); everything else never migrates.
+// After every mover lands, one epoch bump installs the N+1-shard map
+// fleet-wide and the router starts routing to the new shard directly.
+// Interrupted runs are safe to re-POST: completed movers are gone from
+// the old owner's app list, half-moved ones re-drain and re-import.
+func (rt *ShardRouter) Reshard(addSpec string) (*ReshardReport, error) {
+	if !rt.reshardMu.TryLock() {
+		return nil, errors.New("knative: a reshard is already in progress")
+	}
+	defer rt.reshardMu.Unlock()
+	rt.resharding.Set(1)
+	defer rt.resharding.Set(0)
+
+	joining, err := parseBackendGroup(addSpec)
+	if err != nil {
+		return nil, err
+	}
+	old := rt.snapshot()
+	newN := len(old) + 1
+
+	// The joining shard must already believe in the N+1-shard world and
+	// identify as the new shard — otherwise it would reject its movers.
+	var jst ReplStatus
+	if err := rt.getJSON(joining.url()+"/v1/replication/status", &jst); err != nil {
+		return nil, fmt.Errorf("joining shard unreachable: %w", err)
+	}
+	if jst.Shards != newN || jst.ShardID != newN-1 {
+		return nil, fmt.Errorf("joining shard is configured shard %d of %d, want %d of %d",
+			jst.ShardID, jst.Shards, newN-1, newN)
+	}
+	if jst.Replica {
+		return nil, errors.New("joining shard is an unpromoted replica")
+	}
+	if !jst.Joining {
+		return nil, errors.New("joining shard is not in -joining mode " +
+			"(already cut over, or started without the flag — a joining shard must " +
+			"reject un-migrated apps or their first writes would be lost to the import)")
+	}
+
+	// The new epoch must beat every instance's current epoch.
+	maxEpoch := jst.Epoch
+	for i, b := range old {
+		var st ReplStatus
+		if err := rt.getJSON(b.url()+"/v1/replication/status", &st); err != nil {
+			return nil, fmt.Errorf("shard %d status: %w", i, err)
+		}
+		if st.Epoch > maxEpoch {
+			maxEpoch = st.Epoch
+		}
+	}
+	newEpoch := maxEpoch + 1
+
+	// Expose the joining shard to 421-owner retries before any app is
+	// drained: from the first cutover, redirected traffic must reach it.
+	rt.mu.Lock()
+	rt.pending = joining
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		rt.pending = nil
+		rt.mu.Unlock()
+	}()
+
+	report := &ReshardReport{Shards: newN, Epoch: newEpoch}
+	for i, b := range old {
+		var apps struct {
+			Apps []string `json:"apps"`
+		}
+		if err := rt.getJSON(b.url()+"/v1/replication/apps", &apps); err != nil {
+			return report, fmt.Errorf("shard %d app list: %w", i, err)
+		}
+		for _, app := range apps.Apps {
+			target := store.ShardOf(app, newN)
+			if target == i {
+				continue
+			}
+			dst := joining
+			if target < len(old) {
+				dst = old[target] // general case; never hit with rendezvous growth
+			}
+			if err := rt.migrateApp(b, dst, app, target); err != nil {
+				return report, fmt.Errorf("migrate %q from shard %d to %d: %w", app, i, target, err)
+			}
+			rt.moved.Inc()
+			report.Moved++
+		}
+	}
+
+	// Cutover complete: install the new shard map everywhere, then route
+	// to the joining shard directly.
+	epochBody := struct {
+		Shards int `json:"shards"`
+		Epoch  int `json:"epoch"`
+	}{newN, newEpoch}
+	for i, b := range append(append([]*shardBackend{}, old...), joining) {
+		if err := rt.postJSON(b.url()+"/v1/admin/epoch", epochBody, nil); err != nil {
+			return report, fmt.Errorf("epoch bump on shard %d: %w", i, err)
+		}
+	}
+	rt.mu.Lock()
+	rt.shards = append(append([]*shardBackend{}, rt.shards...), joining)
+	rt.pending = nil
+	rt.mu.Unlock()
+	return report, nil
+}
+
+// migrateApp runs the drain -> export -> import -> handoff protocol for
+// one app.
+func (rt *ShardRouter) migrateApp(src, dst *shardBackend, app string, owner int) error {
+	drain := struct {
+		App   string `json:"app"`
+		Owner int    `json:"owner"`
+	}{app, owner}
+	if err := rt.postJSON(src.url()+"/v1/admin/drain", drain, nil); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	var transfer AppTransfer
+	if err := rt.getJSON(src.url()+"/v1/replication/app?name="+url.QueryEscape(app), &transfer); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if err := rt.postJSON(dst.url()+"/v1/replication/import", transfer, nil); err != nil {
+		return fmt.Errorf("import: %w", err)
+	}
+	handoff := struct {
+		App string `json:"app"`
+	}{app}
+	if err := rt.postJSON(src.url()+"/v1/admin/handoff", handoff, nil); err != nil {
+		return fmt.Errorf("handoff: %w", err)
+	}
+	return nil
+}
+
+// reshardHandler is POST /v1/admin/reshard {"add": "url[|url...]"}.
+func (rt *ShardRouter) reshardHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "reshard requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Add string `json:"add"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxObserveBody)).Decode(&req); err != nil || req.Add == "" {
+		http.Error(w, `need {"add": "backend[|backend...]"}`, http.StatusBadRequest)
+		return
+	}
+	report, err := rt.Reshard(req.Add)
+	if err != nil {
+		status := http.StatusBadGateway
+		if strings.Contains(err.Error(), "already in progress") {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, report)
+}
+
+func (rt *ShardRouter) getJSON(url string, v interface{}) error {
+	resp, err := rt.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (rt *ShardRouter) postJSON(url string, body, v interface{}) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		eb, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("POST %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(eb)))
+	}
+	if v == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -49,6 +49,37 @@ type Service struct {
 	shardID, shards int
 	restored        int
 
+	// replica gates the serving path: a follower replicating a primary's
+	// WAL answers 503 (retryable) until it is promoted, so clients can
+	// never split writes between a live primary and its standby.
+	replica bool
+	// epoch versions the fleet's ownership configuration; SetShards
+	// rejects stale epochs so a lagging resharding coordinator cannot
+	// roll ownership backwards.
+	epoch int
+	// moved marks apps handed off to another shard this epoch: requests
+	// are answered 421 with an X-Femux-Owner redirect. adopted marks apps
+	// imported from another shard this epoch, accepted even though the
+	// old shard map says they are foreign. Both reset on an epoch bump.
+	moved   map[string]int
+	adopted map[string]bool
+	// joining marks a shard added by an in-progress reshard: it owns its
+	// hash partition under the NEW map but must not accept an app until
+	// that app's history has been imported (adopted) — a write landing
+	// before the import would be silently replaced by it. Un-adopted own
+	// apps are redirected to their old-map owner; cleared by the epoch
+	// bump that completes the reshard.
+	joining bool
+	// promotions counts replica->primary transitions (metrics).
+	promotions int
+
+	// drainMu fences migration against in-flight writes: every observe
+	// path holds the read lock across its ownership check and store
+	// append, and DrainApp takes the write lock to flip the moved marker
+	// — after DrainApp returns, no further write can land on the app, so
+	// the export that follows sees its final history.
+	drainMu sync.RWMutex
+
 	metrics *ServiceMetrics // nil when metrics are not wired
 }
 
@@ -59,6 +90,17 @@ type ServiceOptions struct {
 	// ShardID/Shards enable hash-partition ownership (Shards <= 1 means
 	// unsharded). The partition function is store.ShardOf.
 	ShardID, Shards int
+	// Replica starts the service gated: the API answers 503 until
+	// Promote. Used with -replica-of, where a Replicator tails the
+	// primary's WAL into Store.
+	Replica bool
+	// Epoch is the initial ownership epoch (normally 0).
+	Epoch int
+	// Joining starts the instance as a reshard-joining shard: it serves
+	// only adopted (migrated-in) apps and redirects the rest of its
+	// partition to the old Shards-1-sized map's owner until the reshard's
+	// epoch bump completes the cutover.
+	Joining bool
 }
 
 type svcApp struct {
@@ -89,6 +131,8 @@ func NewServiceWith(model *femux.Model, opts ServiceOptions) *Service {
 	s := &Service{
 		model: model, apps: map[string]*svcApp{},
 		st: opts.Store, shardID: opts.ShardID, shards: opts.Shards,
+		replica: opts.Replica, epoch: opts.Epoch, joining: opts.Joining,
+		moved: map[string]int{}, adopted: map[string]bool{},
 	}
 	if s.st != nil {
 		for app, win := range s.st.Windows() {
@@ -155,6 +199,8 @@ type ServiceMetrics struct {
 	BatchReqs   *serving.Counter // femux_batch_requests_total
 	Misrouted   *serving.Counter // femux_shard_misrouted_total
 	StoreErrors *serving.Counter // femux_store_errors_total
+	Adoptions   *serving.Counter // femux_shard_adoptions_total
+	Handoffs    *serving.Counter // femux_shard_handoffs_total
 }
 
 func (sm *ServiceMetrics) setModelInfo(m *femux.Model) {
@@ -183,7 +229,25 @@ func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
 			"Requests rejected because the app belongs to another shard."),
 		StoreErrors: reg.NewCounter("femux_store_errors_total",
 			"Observations rejected because the durable store failed to append."),
+		Adoptions: reg.NewCounter("femux_shard_adoptions_total",
+			"Apps imported from another shard during resharding."),
+		Handoffs: reg.NewCounter("femux_shard_handoffs_total",
+			"Apps dropped after migrating to another shard."),
 	}
+	reg.NewGaugeFunc("femux_replica",
+		"1 while this instance is an unpromoted replica, else 0.",
+		func() float64 {
+			if s.IsReplica() {
+				return 1
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("femux_shard_epoch",
+		"Current ownership epoch of this instance.",
+		func() float64 { return float64(s.Epoch()) })
+	reg.NewGaugeFunc("femux_promotions",
+		"Replica-to-primary promotions since process start.",
+		func() float64 { return float64(s.Promotions()) })
 	reg.NewGaugeFunc("femux_apps",
 		"Applications currently tracked by the service.",
 		func() float64 { return float64(s.Apps()) })
@@ -238,23 +302,74 @@ func (s *Service) app(name string) *svcApp {
 	return a
 }
 
-// misrouted enforces shard ownership: when sharding is on and the app
-// hashes to a different instance, the request is answered with 421
-// (Misdirected Request) so clients and routers learn the correct owner
-// instead of silently splitting one app's history across the fleet.
-func (s *Service) misrouted(w http.ResponseWriter, name string) bool {
-	if s.shards <= 1 {
-		return false
+// rejectApp decides whether a request for name may be served here. A
+// non-empty msg means reject with the given status; owner is the shard
+// the client should retry against (meaningful for 421).
+func (s *Service) rejectApp(name string) (msg string, status, owner int) {
+	s.mu.RLock()
+	movedTo, isMoved := s.moved[name]
+	adopted := s.adopted[name]
+	shards, shardID, epoch := s.shards, s.shardID, s.epoch
+	joining := s.joining
+	s.mu.RUnlock()
+	if isMoved {
+		return fmt.Sprintf("app %q migrated to shard %d (epoch %d)", name, movedTo, epoch),
+			http.StatusMisdirectedRequest, movedTo
 	}
-	owner := store.ShardOf(name, s.shards)
-	if owner == s.shardID {
+	if shards <= 1 || adopted {
+		return "", 0, 0
+	}
+	own := store.ShardOf(name, shards)
+	if own != shardID {
+		return fmt.Sprintf("app %q belongs to shard %d, this instance is shard %d of %d",
+			name, own, shardID, shards), http.StatusMisdirectedRequest, own
+	}
+	if joining {
+		// Ours under the new map, but its history has not been migrated
+		// here yet: accepting the write now would be overwritten by the
+		// import. Send the client back to the old-map owner.
+		oldOwner := 0
+		if shards-1 > 1 {
+			oldOwner = store.ShardOf(name, shards-1)
+		}
+		return fmt.Sprintf("app %q awaits migration to this joining shard (old owner %d)", name, oldOwner),
+			http.StatusMisdirectedRequest, oldOwner
+	}
+	return "", 0, 0
+}
+
+// misrouted enforces shard ownership: when sharding is on and the app
+// hashes to a different instance — or the app was migrated away this
+// epoch — the request is answered with 421 (Misdirected Request) and an
+// X-Femux-Owner header naming the owning shard, so clients and routers
+// learn the correct owner instead of silently splitting one app's
+// history across the fleet.
+func (s *Service) misrouted(w http.ResponseWriter, name string) bool {
+	msg, status, owner := s.rejectApp(name)
+	if msg == "" {
 		return false
 	}
 	if sm := s.svcMetrics(); sm != nil {
 		sm.Misrouted.Inc()
 	}
-	http.Error(w, fmt.Sprintf("app %q belongs to shard %d, this instance is shard %d of %d",
-		name, owner, s.shardID, s.shards), http.StatusMisdirectedRequest)
+	w.Header().Set("X-Femux-Owner", strconv.Itoa(owner))
+	w.Header().Set("X-Femux-Epoch", strconv.Itoa(s.Epoch()))
+	http.Error(w, msg, status)
+	return true
+}
+
+// replicaGated answers 503 (retryable, unlike a 421 misroute) while the
+// service is an unpromoted replica: a standby must never serve or accept
+// state the primary does not have.
+func (s *Service) replicaGated(w http.ResponseWriter) bool {
+	s.mu.RLock()
+	replica := s.replica
+	s.mu.RUnlock()
+	if !replica {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "replica: awaiting promotion", http.StatusServiceUnavailable)
 	return true
 }
 
@@ -267,6 +382,7 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/apps/", s.appsHandler)
 	mux.HandleFunc("/v1/observe/batch", s.batchHandler)
+	s.mountReplication(mux)
 	return mux
 }
 
@@ -278,6 +394,15 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name, action := parts[0], parts[1]
+	if s.replicaGated(w) {
+		return
+	}
+	// The drain fence: ownership is checked and the observation made
+	// durable under the same read lock, so a concurrent DrainApp either
+	// happens before the check (this request 421s) or after the append
+	// (the export sees the observation).
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
 	if s.misrouted(w, name) {
 		return
 	}

@@ -1,0 +1,470 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+)
+
+// This file is the crash/failover fault-injection suite: the
+// replication and resharding protocols are driven through a fixed,
+// deterministic schedule, and the primary is killed at EVERY protocol
+// step (and the migration crashed at EVERY app-transfer boundary). At
+// each kill point the suite asserts the guarantees the single-shard
+// kill-at-every-byte-offset suite already pins, extended to the fleet:
+//
+//   - the follower always holds an exact prefix of the acknowledged
+//     observation sequence — never a gap, never a reorder, never a
+//     torn partial batch;
+//   - promoting the follower and serving from it yields forecasts
+//     Float64bits-identical to an unkilled control store fed the same
+//     observations;
+//   - restarting the killed primary and resuming replication converges
+//     the pair back to bit-identical state;
+//   - a migration crash leaves every app's full history on at least one
+//     store, and an idempotent re-run of the migration plan converges to
+//     exactly-once placement with the fleet-wide total conserved.
+//
+// "Kill" means abandoning the *Store object without Close and reopening
+// its directory — the in-process equivalent of SIGKILL: no flush hook
+// runs, recovery sees only what the WAL already made durable.
+
+// replStep is one step of the deterministic failover schedule.
+type replStep struct {
+	kind  string // "append", "fetch", "compact", "frestart"
+	batch []Observation
+}
+
+// buildFailoverSchedule returns the schedule and the full acknowledged
+// observation sequence in append order. The schedule deliberately mixes
+// segment rotations (small SegmentBytes at run time), primary
+// compactions that outrun the follower (forcing the ErrCompacted
+// snapshot-bootstrap path), and a follower crash mid-stream.
+func buildFailoverSchedule() (steps []replStep, acked []Observation) {
+	apps := []string{"alpha", "beta", "gamma", "delta"}
+	obsIdx := 0
+	for round := 0; round < 8; round++ {
+		var batch []Observation
+		for j := 0; j <= round%3; j++ {
+			batch = append(batch, Observation{
+				App:         apps[(round+j)%len(apps)],
+				Concurrency: float64(obsIdx)*1.25 + 0.0625,
+			})
+			obsIdx++
+		}
+		steps = append(steps, replStep{kind: "append", batch: batch})
+		if round%2 == 1 {
+			steps = append(steps, replStep{kind: "fetch"})
+		}
+		if round == 3 || round == 6 {
+			steps = append(steps, replStep{kind: "compact"})
+		}
+		if round == 4 {
+			steps = append(steps, replStep{kind: "frestart"})
+		}
+	}
+	steps = append(steps, replStep{kind: "fetch"})
+	for _, s := range steps {
+		acked = append(acked, s.batch...)
+	}
+	return steps, acked
+}
+
+// runFailoverSchedule replays steps[:upTo] against fresh stores in pdir
+// and fdir. It returns the live stores plus bookkeeping about what the
+// follower must now hold: ackedCount is how many observations the
+// primary acknowledged, fetchedCount how many the follower had fetched
+// at its last completed fetch step.
+func runFailoverSchedule(t *testing.T, steps []replStep, pdir, fdir string) (primary, follower *Store, ackedCount, fetchedCount int) {
+	t.Helper()
+	opt := Options{Sync: SyncNever, SegmentBytes: 256, CompactEvery: -1}
+	primary = mustOpen(t, pdir, opt)
+	follower = mustOpen(t, fdir, opt)
+	for _, s := range steps {
+		switch s.kind {
+		case "append":
+			if err := primary.AppendBatch(s.batch); err != nil {
+				t.Fatal(err)
+			}
+			ackedCount += len(s.batch)
+		case "fetch":
+			catchUp(t, primary, follower)
+			fetchedCount = ackedCount
+		case "compact":
+			if err := primary.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		case "frestart":
+			// Follower crash mid-stream: abandon and reopen.
+			follower = mustOpen(t, fdir, opt)
+		default:
+			t.Fatalf("unknown step kind %q", s.kind)
+		}
+	}
+	return primary, follower, ackedCount, fetchedCount
+}
+
+// buildWindows folds an observation sequence into expected per-app
+// windows (unlimited cap).
+func buildWindows(obs []Observation) map[string][]float64 {
+	wins := map[string][]float64{}
+	for _, o := range obs {
+		wins[o.App] = append(wins[o.App], o.Concurrency)
+	}
+	return wins
+}
+
+// assertExactPrefix requires the store to hold exactly the given
+// observation prefix: identical totals, app sets, and bit-identical
+// windows.
+func assertExactPrefix(t *testing.T, st *Store, prefix []Observation) {
+	t.Helper()
+	want := buildWindows(prefix)
+	got := st.Windows()
+	if int64(len(prefix)) != st.TotalObservations() {
+		t.Fatalf("store total %d, want exact prefix of %d", st.TotalObservations(), len(prefix))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("store tracks %d apps, prefix has %d", len(got), len(want))
+	}
+	for app, w := range want {
+		g := got[app]
+		if len(g) != len(w) {
+			t.Fatalf("app %q: window %d, want %d", app, len(g), len(w))
+		}
+		for i := range w {
+			if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+				t.Fatalf("app %q value %d not bit-identical: %x vs %x",
+					app, i, math.Float64bits(g[i]), math.Float64bits(w[i]))
+			}
+		}
+	}
+}
+
+// failoverForecasters is the fixed panel used for the Float64bits
+// forecast-identity assertions. A cross-section of the paper's set:
+// window statistics, autoregression, and smoothing all consume the
+// restored window differently.
+func failoverForecasters() []forecast.Forecaster {
+	return []forecast.Forecaster{
+		forecast.NewMovingAverage(6),
+		forecast.NewCeilPeak(4),
+		forecast.NewAR(5),
+		forecast.NewExpSmoothing(),
+	}
+}
+
+// assertForecastsIdentical requires every forecaster in the panel to
+// produce Float64bits-identical forecasts from both stores' windows.
+func assertForecastsIdentical(t *testing.T, control, promoted *Store, horizon int) {
+	t.Helper()
+	fcs := failoverForecasters()
+	cw, pw := control.Windows(), promoted.Windows()
+	if len(cw) != len(pw) {
+		t.Fatalf("control tracks %d apps, promoted %d", len(cw), len(pw))
+	}
+	for app, hist := range cw {
+		ph, ok := pw[app]
+		if !ok {
+			t.Fatalf("app %q missing from promoted store", app)
+		}
+		for _, fc := range fcs {
+			want := fc.Forecast(hist, horizon)
+			got := fc.Forecast(ph, horizon)
+			if len(want) != len(got) {
+				t.Fatalf("app %q %s: horizon %d vs %d", app, fc.Name(), len(want), len(got))
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("app %q %s forecast[%d] diverges after failover: %x vs %x",
+						app, fc.Name(), i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestFailoverKillAtEveryReplicationStep kills the primary after every
+// step of the replication schedule and proves promotion is safe: the
+// follower holds an exact acknowledged prefix, and serving from it
+// (including new writes) is Float64bits-forecast-identical to a control
+// store that never saw a failure.
+func TestFailoverKillAtEveryReplicationStep(t *testing.T) {
+	steps, acked := buildFailoverSchedule()
+	for k := 0; k <= len(steps); k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill=%d", k), func(t *testing.T) {
+			_, follower, _, fetched := runFailoverSchedule(t, steps[:k], t.TempDir(), t.TempDir())
+			// The primary dies here. The follower must hold EXACTLY the
+			// acknowledged observations up to its last completed fetch —
+			// a prefix, never a gap or reorder.
+			prefix := acked[:fetched]
+			assertExactPrefix(t, follower, prefix)
+
+			// Promote: the follower now takes writes directly. A control
+			// store is fed the identical sequence (prefix + post-failover
+			// traffic) with no failure; forecasts must be bit-identical.
+			post := []Observation{
+				{App: "alpha", Concurrency: 9.5},
+				{App: "epsilon", Concurrency: 1.0 / 3.0},
+				{App: "beta", Concurrency: 7.25},
+				{App: "alpha", Concurrency: 0.875},
+			}
+			if err := follower.AppendBatch(post); err != nil {
+				t.Fatalf("promoted follower rejects writes: %v", err)
+			}
+			control := mustOpen(t, t.TempDir(), Options{Sync: SyncNever, CompactEvery: -1})
+			defer control.Close()
+			if err := control.AppendBatch(append(append([]Observation(nil), prefix...), post...)); err != nil {
+				t.Fatal(err)
+			}
+			assertStoresEqual(t, control, follower)
+			assertForecastsIdentical(t, control, follower, 4)
+			follower.Close()
+		})
+	}
+}
+
+// TestFailoverResumeAtEveryReplicationStep kills the primary after every
+// schedule step, restarts it from its directory (crash recovery), and
+// resumes replication: the pair must converge to bit-identical state and
+// keep streaming new appends — the "kill-primary -> restart -> resume
+// replay" path the CI smoke exercises end-to-end.
+func TestFailoverResumeAtEveryReplicationStep(t *testing.T) {
+	steps, acked := buildFailoverSchedule()
+	for k := 0; k <= len(steps); k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill=%d", k), func(t *testing.T) {
+			pdir := t.TempDir()
+			opt := Options{Sync: SyncNever, SegmentBytes: 256, CompactEvery: -1}
+			_, follower, ackedCount, _ := runFailoverSchedule(t, steps[:k], pdir, t.TempDir())
+			defer follower.Close()
+
+			// Kill + restart the primary: recovery must resurrect every
+			// acknowledged observation (SyncNever is crash-safe in this
+			// in-process simulation because the page cache survives; the
+			// daemon uses SyncAlways for power-loss safety).
+			primary := mustOpen(t, pdir, opt)
+			defer primary.Close()
+			assertExactPrefix(t, primary, acked[:ackedCount])
+
+			// The follower resumes from its durable cursor against the
+			// restarted primary and converges.
+			catchUp(t, primary, follower)
+			assertStoresEqual(t, primary, follower)
+
+			// Replication keeps working after the failover.
+			if err := primary.Append("zeta", 3.5); err != nil {
+				t.Fatal(err)
+			}
+			catchUp(t, primary, follower)
+			assertStoresEqual(t, primary, follower)
+			assertForecastsIdentical(t, primary, follower, 4)
+		})
+	}
+}
+
+// migAction is one durable step of a history migration: importing an app
+// on the target, then dropping it on the source. Export is read-only and
+// therefore not a crash boundary.
+type migAction struct {
+	app  string
+	kind string // "import", "drop"
+}
+
+// seedReshardFleet populates a source store with a deterministic fleet
+// and returns the apps in creation order.
+func seedReshardFleet(t *testing.T, src *Store) []string {
+	t.Helper()
+	var apps []string
+	for i := 0; i < 12; i++ {
+		apps = append(apps, fmt.Sprintf("fn-%d", i))
+	}
+	var batch []Observation
+	for i := 0; i < 150; i++ {
+		batch = append(batch, Observation{
+			App:         apps[i%len(apps)],
+			Concurrency: float64(i)*0.5 + 0.125,
+		})
+	}
+	if err := src.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	return apps
+}
+
+// TestReshardCrashAtEveryAppBoundary crashes BOTH stores at every
+// app-transfer boundary of a 2->3 resize migration (with live traffic to
+// non-moving apps interleaved between transfers), then recovers and
+// re-runs the migration plan idempotently. At every crash point no
+// observation may be lost; after recovery placement is exactly-once,
+// histories are bit-identical, and forecasts from migrated histories
+// match an unmigrated control.
+func TestReshardCrashAtEveryAppBoundary(t *testing.T) {
+	// The migration plan is exactly the rendezvous delta: apps the new
+	// shard (index 2 of 3) now owns. Movers can only land there.
+	var planApps []string
+	probe := mustOpen(t, t.TempDir(), Options{Sync: SyncNever, CompactEvery: -1})
+	fleet := seedReshardFleet(t, probe)
+	probe.Close()
+	for _, app := range fleet {
+		if ShardOf(app, 3) == 2 {
+			if ShardOf(app, 2) == ShardOf(app, 3) {
+				t.Fatalf("app %q owned by shard 2 before the resize?", app)
+			}
+			planApps = append(planApps, app)
+		}
+	}
+	if len(planApps) == 0 {
+		t.Fatal("resize 2->3 moves no apps from this fleet; pick a bigger fleet")
+	}
+	var actions []migAction
+	for _, app := range planApps {
+		actions = append(actions, migAction{app, "import"}, migAction{app, "drop"})
+	}
+
+	// runMigration executes the first `cut` actions, interleaving one
+	// non-mover append per action (migration happens under live traffic;
+	// moving apps are drained — not written — during their transfer).
+	opt := Options{Sync: SyncNever, SegmentBytes: 512, CompactEvery: -1}
+	runMigration := func(t *testing.T, adir, bdir string, cut int) (extra []Observation) {
+		a := mustOpen(t, adir, opt)
+		fleet := seedReshardFleet(t, a)
+		b := mustOpen(t, bdir, opt)
+		nonMover := ""
+		for _, app := range fleet {
+			if ShardOf(app, 3) != 2 {
+				nonMover = app
+				break
+			}
+		}
+		for i := 0; i < cut; i++ {
+			act := actions[i]
+			switch act.kind {
+			case "import":
+				w, total, ok := a.ExportApp(act.app)
+				if !ok {
+					t.Fatalf("action %d: %q missing from source", i, act.app)
+				}
+				if err := b.ImportApp(act.app, w, total); err != nil {
+					t.Fatal(err)
+				}
+			case "drop":
+				if err := a.DropApp(act.app); err != nil {
+					t.Fatal(err)
+				}
+			}
+			o := Observation{App: nonMover, Concurrency: float64(100+i) * 0.25}
+			if err := a.Append(o.App, o.Concurrency); err != nil {
+				t.Fatal(err)
+			}
+			extra = append(extra, o)
+		}
+		// Crash both stores here: abandon without Close.
+		return extra
+	}
+
+	// Reference state: the full acknowledged sequence with no failure.
+	refDir := t.TempDir()
+	ref := mustOpen(t, refDir, opt)
+	seedReshardFleet(t, ref)
+	refTotalSeed := ref.TotalObservations()
+	refWins := ref.Windows()
+	ref.Close()
+
+	for cut := 0; cut <= len(actions); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("crash=%d", cut), func(t *testing.T) {
+			adir, bdir := t.TempDir(), t.TempDir()
+			extra := runMigration(t, adir, bdir, cut)
+			extraWins := buildWindows(extra)
+
+			// Recover both stores from disk.
+			a := mustOpen(t, adir, opt)
+			defer a.Close()
+			b := mustOpen(t, bdir, opt)
+			defer b.Close()
+
+			// Invariant at EVERY crash point: each app's complete history
+			// exists on at least one store, bit-identical to the reference
+			// (movers mid-transfer may transiently exist on both).
+			for app, want := range refWins {
+				want := append(append([]float64(nil), want...), extraWins[app]...)
+				onA, onB := a.Window(app), b.Window(app)
+				for _, got := range [][]float64{onA, onB} {
+					if got == nil {
+						continue
+					}
+					if len(got) != len(want) {
+						t.Fatalf("crash=%d app %q: window %d, want %d", cut, app, len(got), len(want))
+					}
+					for i := range want {
+						if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+							t.Fatalf("crash=%d app %q value %d not bit-identical", cut, app, i)
+						}
+					}
+				}
+				if onA == nil && onB == nil {
+					t.Fatalf("crash=%d: app %q lost entirely", cut, app)
+				}
+			}
+
+			// Recovery: re-run the FULL migration plan. ImportApp's replace
+			// semantics and DropApp's no-op-on-missing make this idempotent
+			// regardless of where the crash landed.
+			for _, app := range planApps {
+				if w, total, ok := a.ExportApp(app); ok {
+					if err := b.ImportApp(app, w, total); err != nil {
+						t.Fatal(err)
+					}
+					if err := a.DropApp(app); err != nil {
+						t.Fatal(err)
+					}
+				} else if b.Window(app) == nil {
+					t.Fatalf("crash=%d: mover %q on neither store at recovery", cut, app)
+				}
+			}
+
+			// Exactly-once placement, conserved totals, bit-identical
+			// histories, identical forecasts.
+			wantTotal := refTotalSeed + int64(len(extra))
+			if got := a.TotalObservations() + b.TotalObservations(); got != wantTotal {
+				t.Fatalf("crash=%d: fleet total %d after recovery, want %d", cut, got, wantTotal)
+			}
+			fcs := failoverForecasters()
+			for app, want := range refWins {
+				want := append(append([]float64(nil), want...), extraWins[app]...)
+				var got []float64
+				if ShardOf(app, 3) == 2 {
+					if a.Window(app) != nil {
+						t.Fatalf("crash=%d: mover %q still on source after recovery", cut, app)
+					}
+					got = b.Window(app)
+				} else {
+					if b.Window(app) != nil {
+						t.Fatalf("crash=%d: non-mover %q leaked to target", cut, app)
+					}
+					got = a.Window(app)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("crash=%d app %q: recovered window %d, want %d", cut, app, len(got), len(want))
+				}
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("crash=%d app %q value %d not bit-identical after recovery", cut, app, i)
+					}
+				}
+				for _, fc := range fcs {
+					w, g := fc.Forecast(want, 3), fc.Forecast(got, 3)
+					for i := range w {
+						if math.Float64bits(w[i]) != math.Float64bits(g[i]) {
+							t.Fatalf("crash=%d app %q %s forecast diverges after migration", cut, app, fc.Name())
+						}
+					}
+				}
+			}
+		})
+	}
+}

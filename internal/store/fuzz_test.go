@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,9 +26,9 @@ func FuzzWALReplay(f *testing.F) {
 	corrupted[10] ^= 0x80
 	f.Add(corrupted)
 	f.Add([]byte{})
-	f.Add(make([]byte, 64))                                  // zero run: len=0 frames must be rejected
+	f.Add(make([]byte, 64))                                 // zero run: len=0 frames must be rejected
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 2}) // absurd length claim
-	f.Add(appendRecord(nil, []byte{}))                       // explicitly framed empty payload
+	f.Add(appendRecord(nil, []byte{}))                      // explicitly framed empty payload
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var n int
@@ -62,5 +63,117 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatalf("store restored %d records from a log replay found %d in", got, records)
 		}
 		st.Close()
+	})
+}
+
+// FuzzReplicationStream throws arbitrary chunk bytes and cursor
+// positions at a follower's AppendReplicated. The contract under attack:
+// truncated, duplicated, reordered, or corrupt chunks must be rejected
+// WHOLE with follower state (windows, total, cursor) untouched, and an
+// accepted chunk must be durably atomic — a reopen from disk restores
+// exactly the post-apply state. No input may panic or corrupt the store.
+func FuzzReplicationStream(f *testing.F) {
+	// Seed corpus: a valid chunk at its correct position, the same chunk
+	// truncated / duplicated / shifted, control records (nested batch,
+	// app import, tombstone), and raw garbage.
+	var chunk []byte
+	for i := 0; i < 4; i++ {
+		chunk = appendRecord(chunk, encodeObservation(nil, Observation{App: "seed", Concurrency: float64(i) + 0.5}))
+	}
+	f.Add(chunk, uint64(2), int64(len(chunk)))
+	f.Add(chunk, uint64(1), int64(len(chunk)))                      // stale vs the baseline cursor
+	f.Add(chunk[:len(chunk)-5], uint64(2), int64(len(chunk)))       // torn tail
+	f.Add(chunk[recordHeaderLen+14:], uint64(2), int64(len(chunk))) // boundary truncation
+	f.Add([]byte{}, uint64(2), int64(0))
+	f.Add(appendRecord(nil, encodeReplBatch(ReplPos{Seq: 9, Off: 7}, nil)), uint64(3), int64(33))
+	f.Add(appendRecord(nil, encodeAppImport("seed", []float64{1, 2, 3}, 3)), uint64(3), int64(64))
+	f.Add(appendRecord(nil, encodeTombstone("seed")), uint64(3), int64(19))
+	f.Add(appendRecord(nil, []byte{0xFF, 0x00, 'f', 'x', 0x7F}), uint64(3), int64(13)) // unknown ctrl type
+	f.Add(make([]byte, 40), uint64(0), int64(-1))
+
+	f.Fuzz(func(t *testing.T, data []byte, seq uint64, off int64) {
+		dir := t.TempDir()
+		st, err := Open(dir, Options{Sync: SyncNever, CompactEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Baseline: an applied chunk so the follower has a cursor and
+		// state the fuzz input could corrupt.
+		var base []byte
+		for i := 0; i < 3; i++ {
+			base = appendRecord(base, encodeObservation(nil, Observation{App: "seed", Concurrency: float64(i) * 2}))
+		}
+		if _, err := st.AppendReplicated(base, ReplPos{Seq: 1, Off: int64(len(base))}); err != nil {
+			t.Fatalf("baseline chunk rejected: %v", err)
+		}
+		beforeTotal := st.TotalObservations()
+		beforeCursor, _ := st.ReplCursor()
+		beforeWins := st.Windows()
+
+		pos := ReplPos{Seq: seq % (1 << 32), Off: off}
+		n, err := st.AppendReplicated(data, pos)
+		if err != nil {
+			// Rejected chunks must leave no trace.
+			if got := st.TotalObservations(); got != beforeTotal {
+				t.Fatalf("rejected chunk moved total %d -> %d", beforeTotal, got)
+			}
+			if cur, _ := st.ReplCursor(); cur != beforeCursor {
+				t.Fatalf("rejected chunk moved cursor %s -> %s", beforeCursor, cur)
+			}
+			wins := st.Windows()
+			if len(wins) != len(beforeWins) {
+				t.Fatalf("rejected chunk changed app set: %d -> %d", len(beforeWins), len(wins))
+			}
+			for app, w := range beforeWins {
+				if len(wins[app]) != len(w) {
+					t.Fatalf("rejected chunk changed window of %q", app)
+				}
+			}
+			st.Close()
+			return
+		}
+		// Accepted: the cursor must land exactly at pos, the total must
+		// move by the observation count, and a crash-reopen must restore
+		// the identical state.
+		if cur, ok := st.ReplCursor(); !ok || cur != pos {
+			t.Fatalf("accepted chunk: cursor %s (ok=%v), want %s", cur, ok, pos)
+		}
+		if got := st.TotalObservations(); got != beforeTotal+int64(n) {
+			t.Fatalf("accepted chunk: total %d, want %d+%d", got, beforeTotal, n)
+		}
+		// A second delivery of the same chunk is a duplicate: it must be
+		// rejected (or be a cursor-only no-op), never applied twice.
+		if n2, err2 := st.AppendReplicated(data, pos); err2 == nil && n2 != 0 {
+			t.Fatalf("duplicate chunk applied %d observations", n2)
+		}
+		memWins := st.Windows()
+		memTotal := st.TotalObservations()
+		// Crash: abandon without Close, reopen from disk.
+		st2, err := Open(dir, Options{Sync: SyncNever, CompactEvery: -1})
+		if err != nil {
+			t.Fatalf("reopen after accepted chunk: %v", err)
+		}
+		defer st2.Close()
+		if got := st2.TotalObservations(); got != memTotal {
+			t.Fatalf("reopen total %d, want %d", got, memTotal)
+		}
+		if cur, ok := st2.ReplCursor(); !ok || cur != pos {
+			t.Fatalf("reopen cursor %s (ok=%v), want %s", cur, ok, pos)
+		}
+		diskWins := st2.Windows()
+		if len(diskWins) != len(memWins) {
+			t.Fatalf("reopen app set %d, want %d", len(diskWins), len(memWins))
+		}
+		for app, w := range memWins {
+			g := diskWins[app]
+			if len(g) != len(w) {
+				t.Fatalf("reopen window of %q: %d, want %d", app, len(g), len(w))
+			}
+			for i := range w {
+				if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+					t.Fatalf("reopen window of %q not bit-identical at %d", app, i)
+				}
+			}
+		}
 	})
 }

@@ -85,14 +85,67 @@ func TestShardOfSpread(t *testing.T) {
 	}
 }
 
-// TestShardOfKnownVector pins the FNV-1a implementation: clients bake in
-// the same function, so the mapping must never silently change.
+// TestShardOfMinimalMovement pins the property the resharding protocol
+// depends on: growing the fleet N -> N+1 moves only a ~1/(N+1) sliver of
+// the apps, and every app that moves lands on the new shard. (Existing
+// shards' rendezvous weights are unchanged by the resize, so only the
+// newcomer can win an app away from its old owner — the migration plan
+// is therefore exactly "apps the new shard now owns".)
+func TestShardOfMinimalMovement(t *testing.T) {
+	const apps = 4096
+	fleet := make([]string, apps)
+	for i := range fleet {
+		fleet[i] = fmt.Sprintf("fn-%d", i)
+	}
+	for n := 1; n <= 7; n++ {
+		moved := 0
+		for _, app := range fleet {
+			before, after := ShardOf(app, n), ShardOf(app, n+1)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("resize %d->%d: app %q moved %d -> %d, movers must land on the new shard %d",
+						n, n+1, app, before, after, n)
+				}
+			}
+		}
+		// Expected movement is apps/(n+1); allow 2x slack so the bound is
+		// deterministic-fleet-safe while still catching a modulo-style
+		// reshuffle (which would move ~n/(n+1) of the fleet).
+		if limit := 2 * apps / (n + 1); moved > limit {
+			t.Fatalf("resize %d->%d moved %d of %d apps, want <= %d (~1/(N+1))",
+				n, n+1, moved, apps, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("resize %d->%d moved no apps: new shard would start empty forever", n, n+1)
+		}
+	}
+}
+
+// TestShardOfKnownVector pins the rendezvous mapping: every fleet
+// component bakes in the same function, so the app->shard assignment must
+// never silently change between builds.
 func TestShardOfKnownVector(t *testing.T) {
-	// FNV-1a 32-bit of "a" is 0xe40c292c.
-	if got := ShardOf("a", 1<<16); got != 0xe40c292c%(1<<16) {
-		t.Fatalf("FNV-1a mapping changed: ShardOf(\"a\") = %#x", got)
+	vectors := []struct {
+		app    string
+		shards int
+		want   int
+	}{
+		{"a", 2, 0},
+		{"a", 8, 5},
+		{"load-0", 3, 0},
+		{"svc/0/fn-1", 5, 1},
+	}
+	for _, v := range vectors {
+		if got := ShardOf(v.app, v.shards); got != v.want {
+			t.Fatalf("rendezvous mapping changed: ShardOf(%q, %d) = %d, want %d",
+				v.app, v.shards, got, v.want)
+		}
 	}
 	if got := ShardOf("anything", 1); got != 0 {
 		t.Fatalf("single shard must own everything, got %d", got)
+	}
+	if got := ShardOf("anything", 0); got != 0 {
+		t.Fatalf("zero shards must behave as unsharded, got %d", got)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 )
@@ -112,6 +113,11 @@ type Store struct {
 	torn     bool
 	appended int // records since the last compaction
 
+	// replCursor is the last primary WAL position durably applied by
+	// AppendReplicated/ImportState (follower role); restored by replay.
+	replCursor ReplPos
+	hasCursor  bool
+
 	closeOnce sync.Once
 	stopSync  chan struct{}
 	syncDone  chan struct{}
@@ -165,14 +171,12 @@ func Open(dir string, opt Options) (*Store, error) {
 		}
 	}
 	n, torn, err := replaySegments(dir, replay, func(payload []byte) error {
-		obs, err := decodeObservation(payload)
-		if err != nil {
-			// A frame whose checksum holds but whose payload is not an
-			// observation is corruption all the same: keep the valid
-			// prefix instead of refusing to open.
+		if err := s.applyPayloadLocked(payload, 0); err != nil {
+			// A frame whose checksum holds but whose payload is neither an
+			// observation nor a valid control record is corruption all the
+			// same: keep the valid prefix instead of refusing to open.
 			return fmt.Errorf("%v: %w", err, errTorn)
 		}
-		s.apply(obs)
 		return nil
 	})
 	if err != nil {
@@ -336,6 +340,19 @@ func (s *Store) Apps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.apps)
+}
+
+// AppNames returns the name of every app with durable state, sorted.
+// Resharding coordinators use it to enumerate migration candidates.
+func (s *Store) AppNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.apps))
+	for app := range s.apps {
+		names = append(names, app)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Compact snapshots the in-memory state and deletes the WAL segments and
