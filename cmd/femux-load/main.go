@@ -8,9 +8,18 @@
 //
 // Usage:
 //
-//	femux-load -url http://localhost:8080 -apps apps.csv -invocations inv.csv -speedup 60
+//	femux-load -url http://localhost:8080 -apps-csv apps.csv -invocations inv.csv -speedup 60
 //	femux-load -url http://localhost:8080 -fleet 8 -minutes 120 -speedup 0 -concurrency 16
 //	femux-load -url http://localhost:8080 -fleet 8 -minutes 120 -batch 64
+//	femux-load -url http://localhost:8080 -sparse -apps 1000000 -minutes 60 -batch 4096
+//
+// With -sparse -apps N the workload is an Azure-like sparse fleet: N
+// mostly-idle apps with heavy-tailed invocation rates, so observations
+// per minute are far fewer than apps — the shape that exercises femuxd's
+// tiered app state at fleet sizes RAM could never hold hot. The replay
+// only POSTs minutes in which an app actually fired; -expect-replayed
+// then cross-checks that the durable store holds exactly the acked
+// observations.
 //
 // With -batch N each minute's observations are grouped into batches of
 // at most N and POSTed to /v1/observe/batch (one WAL fsync per batch on
@@ -62,34 +71,48 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("femux-load: ")
 	var (
-		url     = flag.String("url", "http://localhost:8080", "femuxd or femux-shard base URL")
-		appsCSV = flag.String("apps", "", "apps CSV from tracegen")
-		invCSV  = flag.String("invocations", "", "invocations CSV from tracegen")
-		fleet   = flag.Int("fleet", 8, "synthetic fleet size when no CSV is given")
-		minutes = flag.Int("minutes", 120, "trace minutes to replay (caps CSV traces too)")
+		url      = flag.String("url", "http://localhost:8080", "femuxd or femux-shard base URL")
+		appsCSV  = flag.String("apps-csv", "", "apps CSV from tracegen")
+		invCSV   = flag.String("invocations", "", "invocations CSV from tracegen")
+		fleet    = flag.Int("fleet", 8, "synthetic dense fleet size when no CSV is given")
+		minutes  = flag.Int("minutes", 120, "trace minutes to replay (caps CSV traces too)")
 		startMin = flag.Int("start-minute", 0, "first minute to replay (resume an interrupted run)")
-		seed    = flag.Int64("seed", 1, "synthetic workload seed")
+		seed     = flag.Int64("seed", 1, "synthetic workload seed")
 
-		speedup     = flag.Float64("speedup", 0, "replay speedup: 1 = real time, 60 = minute/second, 0 = as fast as possible")
-		concurrency = flag.Int("concurrency", 8, "in-flight request limit")
-		batch       = flag.Int("batch", 0, "observations per POST /v1/observe/batch request (0 = per-app observes)")
-		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
-		retries     = flag.Int("retry", 0, "retries per transiently-failed request or batch item (503/502/504/421/transport)")
-		retryWait   = flag.Duration("retry-wait", 200*time.Millisecond, "pause before each retry")
-		checkMetric = flag.Bool("check-metrics", false, "scrape /metrics after the replay and verify observe counters match")
-		storeURLs   = flag.String("store-urls", "", "comma-separated instance URLs for -expect-store")
-		expectStore = flag.Int("expect-store", -1, "expected femux_store_observations sum across -store-urls (-1 = skip)")
+		sparse = flag.Bool("sparse", false,
+			"sparse synthetic mode: -apps mostly-idle apps with heavy-tailed invocation rates")
+		apps         = flag.Int("apps", 0, "sparse fleet size (requires -sparse)")
+		sparsePeriod = flag.Int("sparse-period", 1440,
+			"longest mean inter-arrival gap in minutes; every app's first arrival lands within it")
+
+		speedup        = flag.Float64("speedup", 0, "replay speedup: 1 = real time, 60 = minute/second, 0 = as fast as possible")
+		concurrency    = flag.Int("concurrency", 8, "in-flight request limit")
+		batch          = flag.Int("batch", 0, "observations per POST /v1/observe/batch request (0 = per-app observes)")
+		timeout        = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		retries        = flag.Int("retry", 0, "retries per transiently-failed request or batch item (503/502/504/421/transport)")
+		retryWait      = flag.Duration("retry-wait", 200*time.Millisecond, "pause before each retry")
+		checkMetric    = flag.Bool("check-metrics", false, "scrape /metrics after the replay and verify observe counters match")
+		storeURLs      = flag.String("store-urls", "", "comma-separated instance URLs for -expect-store")
+		expectStore    = flag.Int("expect-store", -1, "expected femux_store_observations sum across -store-urls (-1 = skip)")
+		expectReplayed = flag.Bool("expect-replayed", false,
+			"verify femux_store_observations across -store-urls (default: -url) equals this replay's accepted observations (fresh store, idle server)")
 	)
 	flag.Parse()
 	if *startMin < 0 {
 		log.Fatal("-start-minute must be >= 0")
 	}
+	if *sparse && *apps <= 0 {
+		log.Fatal("-sparse requires -apps > 0")
+	}
 
 	var wl workload
 	var err error
-	if *appsCSV != "" && *invCSV != "" {
+	switch {
+	case *appsCSV != "" && *invCSV != "":
 		wl, err = csvWorkload(*appsCSV, *invCSV, *startMin, *minutes)
-	} else {
+	case *sparse:
+		wl = sparseWorkload(*apps, *startMin, *minutes, *seed, *sparsePeriod)
+	default:
 		wl = syntheticWorkload(*fleet, *startMin, *minutes, *seed)
 	}
 	if err != nil {
@@ -140,6 +163,19 @@ func main() {
 			exit = 1
 		} else {
 			log.Printf("store check passed: durable observations = %d", *expectStore)
+		}
+	}
+	if *expectReplayed {
+		targets := *storeURLs
+		if targets == "" {
+			targets = *url
+		}
+		accepted := rep.Items - rep.ItemErrors
+		if err := checkStoreTotal(targets, accepted); err != nil {
+			log.Printf("FAIL: %v", err)
+			exit = 1
+		} else {
+			log.Printf("store check passed: all %d acked observations are durable", accepted)
 		}
 	}
 	os.Exit(exit)
@@ -240,6 +276,51 @@ func syntheticWorkload(apps, startMin, minutes int, seed int64) workload {
 				minute: m,
 				conc:   math.Round(c*1000) / 1000,
 			})
+		}
+	}
+	sortEvents(wl.events)
+	return wl
+}
+
+// sparseWorkload builds an Azure-like sparse fleet: -apps applications
+// whose invocation rates are heavy-tailed (log-uniform mean inter-arrival
+// gaps between 2 minutes and -sparse-period), so a small fraction of the
+// fleet is hot while most apps fire rarely — the population shape the
+// tiering benchmarks need, where observations per minute ≪ fleet size.
+// Arrivals are Poisson per app; minutes with no arrival emit nothing.
+//
+// Prefix stability matches syntheticWorkload: each app draws from its own
+// seeded stream and the first arrival lands uniformly within
+// min(gap, period) — independent of -minutes — so replaying [0,120) then
+// [120,250) in a second process sends exactly the single-run trace, and
+// with -minutes >= -sparse-period every app appears at least once.
+func sparseWorkload(apps, startMin, minutes int, seed int64, period int) workload {
+	if period < 2 {
+		period = 2
+	}
+	var wl workload
+	wl.apps, wl.minutes = apps, minutes
+	end := startMin + minutes
+	for a := 0; a < apps; a++ {
+		rng := rand.New(rand.NewSource(seed*1000003 + int64(a)))
+		// Log-uniform mean gap in [2, period]: the heavy tail in linear
+		// space that mimics "most apps are mostly idle".
+		gap := 2 * math.Pow(float64(period)/2, rng.Float64())
+		first := gap
+		if first > float64(period) {
+			first = float64(period)
+		}
+		t := rng.Float64() * first
+		conc := math.Round((0.2+2*rng.Float64())*1000) / 1000
+		app := fmt.Sprintf("sparse-%d", a)
+		lastMinute := -1
+		for t < float64(end) {
+			m := int(t)
+			if m >= startMin && m != lastMinute {
+				wl.events = append(wl.events, obsEvent{app: app, minute: m, conc: conc})
+				lastMinute = m
+			}
+			t -= gap * math.Log(1-rng.Float64())
 		}
 	}
 	sortEvents(wl.events)

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -419,5 +420,95 @@ func getJSON(t testing.TB, url string, into any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSparseWorkloadPrefixStable: the sparse generator must have the
+// same resume property as the dense one — per-app streams are seeded
+// independently of the window, so head+tail at any split point is the
+// full trace. It also sanity-checks the sparse shape: far fewer events
+// than app-minutes, and a heavy tail (some apps near-silent, some busy).
+func TestSparseWorkloadPrefixStable(t *testing.T) {
+	full := sparseWorkload(40, 0, 200, 11, 1440)
+	head := sparseWorkload(40, 0, 120, 11, 1440)
+	tail := sparseWorkload(40, 120, 80, 11, 1440)
+
+	if len(head.events)+len(tail.events) != len(full.events) {
+		t.Fatalf("split sizes: %d + %d != %d", len(head.events), len(tail.events), len(full.events))
+	}
+	index := func(evs []obsEvent) map[string]float64 {
+		m := make(map[string]float64, len(evs))
+		for _, ev := range evs {
+			m[fmt.Sprintf("%s@%d", ev.app, ev.minute)] = ev.conc
+		}
+		return m
+	}
+	want := index(full.events)
+	for key, conc := range index(head.events) {
+		if want[key] != conc {
+			t.Errorf("head %s: %v != %v", key, conc, want[key])
+		}
+	}
+	for key, conc := range index(tail.events) {
+		if want[key] != conc {
+			t.Errorf("tail %s: %v != %v (resume would diverge)", key, conc, want[key])
+		}
+	}
+	for _, ev := range tail.events {
+		if ev.minute < 120 {
+			t.Fatalf("tail contains minute %d < 120", ev.minute)
+		}
+	}
+
+	// Sparsity: the fleet must not observe every app every minute.
+	if len(full.events) >= 40*200/2 {
+		t.Fatalf("sparse trace has %d events over %d app-minutes — not sparse", len(full.events), 40*200)
+	}
+	// Heavy tail: per-app activity spreads widely between the busiest
+	// and the median app (5x here over a 200-minute window; the spread
+	// grows with the window as slow apps' gaps exceed it entirely).
+	perApp := map[string]int{}
+	for _, ev := range full.events {
+		perApp[ev.app]++
+	}
+	counts := make([]int, 0, len(perApp))
+	for _, c := range perApp {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	if len(counts) < 10 {
+		t.Fatalf("only %d apps ever fired", len(counts))
+	}
+	busiest, median := counts[len(counts)-1], counts[len(counts)/2]
+	if median == 0 || busiest < 5*median {
+		t.Errorf("rate spread busiest=%d median=%d — want heavy tail (>=5x)", busiest, median)
+	}
+}
+
+// TestSparseWorkloadSeedStable: same seed, same trace; different seed,
+// different trace.
+func TestSparseWorkloadSeedStable(t *testing.T) {
+	a := sparseWorkload(10, 0, 100, 3, 1440)
+	b := sparseWorkload(10, 0, 100, 3, 1440)
+	if len(a.events) != len(b.events) {
+		t.Fatalf("same seed: %d vs %d events", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Fatalf("same seed diverges at event %d", i)
+		}
+	}
+	c := sparseWorkload(10, 0, 100, 4, 1440)
+	if len(c.events) == len(a.events) {
+		same := true
+		for i := range c.events {
+			if c.events[i] != a.events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
 	}
 }

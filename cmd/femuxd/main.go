@@ -20,7 +20,11 @@
 // With -data-dir, every acknowledged observation is persisted through a
 // CRC-framed write-ahead log before it is applied, and the per-app
 // sliding windows are restored on boot — a restart or reload-from-disk
-// loses no state. With -shards/-shard-id the instance owns only its
+// loses no state. -max-hot-apps / -max-workspaces / -max-warm-apps bound
+// the hot, workspace, and in-memory-window tiers so a million-app fleet
+// serves in bounded RSS: the LRU excess is demoted to compact windows
+// and, past the warm budget, paged to disk, then restored transparently
+// (and bit-identically) on first touch. With -shards/-shard-id the instance owns only its
 // FNV-1a hash partition of the apps (see cmd/femux-shard for the
 // router), and -watch-model hot-reloads the -model file whenever it
 // changes, so one retrain in a shared model directory propagates across
@@ -89,6 +93,13 @@ func main() {
 		compactEvery  = flag.Int("compact-every", 1<<16, "snapshot-compact the WAL after this many observations (-1 = never)")
 		windowCap     = flag.Int("window-cap", 0, "per-app durable window cap in observations (0 = unlimited)")
 
+		maxHotApps = flag.Int("max-hot-apps", 0,
+			"apps with materialized serving state; LRU excess is demoted to compact windows (0 = unlimited)")
+		maxWorkspaces = flag.Int("max-workspaces", 0,
+			"apps holding forecast workspaces; LRU excess returns them to the shared pool (0 = unlimited)")
+		maxWarmApps = flag.Int("max-warm-apps", 0,
+			"apps with in-memory compact windows in the store; excess is paged to disk (0 = unlimited, requires -data-dir)")
+
 		shards     = flag.Int("shards", 1, "total femuxd instances in the fleet (hash-partitioned by app)")
 		shardID    = flag.Int("shard-id", 0, "this instance's shard index in [0, shards)")
 		watchModel = flag.Bool("watch-model", false, "poll the -model file and hot-reload when it changes")
@@ -138,6 +149,7 @@ func main() {
 			SyncInterval: *fsyncInterval,
 			WindowCap:    *windowCap,
 			CompactEvery: *compactEvery,
+			InlineBudget: *maxWarmApps,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -150,9 +162,13 @@ func main() {
 		}
 	}
 
+	if *maxWarmApps > 0 && st == nil {
+		log.Fatal("-max-warm-apps requires -data-dir (paging needs a store)")
+	}
 	svc := knative.NewServiceWith(model, knative.ServiceOptions{
 		Store: st, ShardID: *shardID, Shards: *shards,
 		Replica: *replicaOf != "", Joining: *joining,
+		MaxHotApps: *maxHotApps, MaxWorkspaces: *maxWorkspaces,
 	})
 	reg := serving.NewRegistry()
 	reg.RegisterGoMetrics()
@@ -255,6 +271,21 @@ func registerStoreMetrics(reg *serving.Registry, st *store.Store) {
 	reg.NewCounterFunc("femux_store_fsyncs_total",
 		"WAL fsyncs since process start.",
 		func() float64 { return float64(st.Stats().Fsyncs) })
+	reg.NewGaugeFunc("femux_store_paged_apps",
+		"Cold apps whose window is paged to disk.",
+		func() float64 { return float64(st.PagedApps()) })
+	reg.NewGaugeFunc("femux_store_page_bytes",
+		"Bytes across live page files.",
+		func() float64 { return float64(st.Stats().PageBytes) })
+	reg.NewGaugeFunc("femux_store_window_bytes",
+		"Heap bytes retained by in-memory compact windows.",
+		func() float64 { return float64(st.Stats().WindowBytes) })
+	reg.NewCounterFunc("femux_store_page_outs_total",
+		"Lifetime warm-to-cold demotions (windows paged to disk).",
+		func() float64 { return float64(st.Stats().PageOuts) })
+	reg.NewCounterFunc("femux_store_page_errors_total",
+		"Page-in failures (window lost, durable total conserved).",
+		func() float64 { return float64(st.Stats().PageErrors) })
 }
 
 // watchModelFile polls path and fires onChange whenever its (mtime, size)

@@ -1,6 +1,10 @@
 package forecast
 
-import "github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+import (
+	"sync"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
+)
 
 // Workspace holds every scratch buffer the ForecastInto kernels need:
 // cached FFT plans keyed by window length, pooled least-squares matrices
@@ -51,6 +55,27 @@ type Workspace struct {
 
 // NewWorkspace returns an empty workspace; buffers are grown on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wsPool recycles workspaces process-wide, so the derived state that
+// depends only on geometry — FFT twiddle tables and Bluestein
+// chirp/filter spectra per window length — amortizes across users: sim
+// sweeps, and femuxd's hot-app tier, where an evicted app returns its
+// workspace here and a newly-hot app picks a warmed one up instead of
+// re-planning. Results are unaffected: workspaces carry no cross-call
+// state, only scratch capacity and per-length plans (reuse equivalence
+// is pinned by the workspace-reuse tests).
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace takes a (possibly warmed) workspace from the shared pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the shared pool. The caller must
+// not use it afterwards.
+func PutWorkspace(ws *Workspace) {
+	if ws != nil {
+		wsPool.Put(ws)
+	}
+}
 
 // Out returns a length-n destination slice backed by the workspace, for
 // callers that would otherwise allocate a fresh forecast slice per call.

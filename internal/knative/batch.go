@@ -140,10 +140,37 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 		resp.Rejected++
 	}
 
+	// Materialize and pin every app BEFORE the group commit. Ordering
+	// matters under tiering: a lazily-restored window is read from the
+	// store, so restoring after the commit would hand back a window that
+	// already contains this batch's observations and the in-memory apply
+	// below would double-count them. The pin holds off LRU eviction in
+	// the window between commit and apply, where hot state is ahead of
+	// nothing but could otherwise be demoted and re-restored post-commit.
+	pinned := make(map[string]*svcApp, len(valid))
+	for _, i := range valid {
+		app := req.Observations[i].App
+		if pinned[app] != nil {
+			continue
+		}
+		a := s.acquire(app)
+		a.pins++
+		a.mu.Unlock()
+		pinned[app] = a
+	}
+	unpin := func() {
+		for _, a := range pinned {
+			a.mu.Lock()
+			a.pins--
+			a.mu.Unlock()
+		}
+	}
+
 	// Group commit: the whole batch becomes durable under one fsync
 	// before any of it is applied or acknowledged.
 	if s.st != nil && len(durable) > 0 {
 		if err := s.st.AppendBatch(durable); err != nil {
+			unpin()
 			if sm := s.svcMetrics(); sm != nil {
 				sm.StoreErrors.Add(float64(len(durable)))
 			}
@@ -160,7 +187,7 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 		if unitC < 1 {
 			unitC = 1
 		}
-		a := s.app(obs.App)
+		a := pinned[obs.App]
 		a.mu.Lock()
 		a.history = append(a.history, obs.Concurrency)
 		res := &resp.Results[i]
@@ -173,6 +200,10 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Accepted++
 	}
+	unpin()
+	// One budget-enforcement pass for the whole batch: eviction work is
+	// amortized the same way the fsync is.
+	s.enforceTiers()
 	if sm != nil {
 		sm.BatchReqs.Inc()
 	}

@@ -87,26 +87,31 @@ func (s *Service) Promotions() int {
 	return s.promotions
 }
 
-// Promote turns a gated replica into the serving primary: per-app
-// histories are reseeded from the replicated store (so the first
-// forecast after failover is computed from exactly the windows the WAL
-// stream delivered — bit-identical to the dead primary's), and the 503
-// gate drops. Idempotent: promoting a primary is a no-op.
+// Promote turns a gated replica into the serving primary: the app map
+// is reset so every app rematerializes lazily from the replicated store
+// on first touch (the first forecast after failover is computed from
+// exactly the windows the WAL stream delivered — bit-identical to the
+// dead primary's), and the 503 gate drops. The promoted fleet boots in
+// the warm tier: failover cost does not scale with fleet size.
+// Idempotent: promoting a primary is a no-op.
 func (s *Service) Promote() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.replica {
+		if s.st != nil {
+			return s.st.Apps()
+		}
 		return len(s.apps)
 	}
 	s.replica = false
 	s.promotions++
 	if s.st != nil {
-		apps := map[string]*svcApp{}
-		for app, win := range s.st.Windows() {
-			apps[app] = &svcApp{policy: s.model.NewAppPolicy(0), history: win, ws: forecast.NewWorkspace()}
-		}
-		s.apps = apps
-		s.restored = len(apps)
+		s.apps = map[string]*svcApp{}
+		s.tier.mu.Lock()
+		s.tier.resetLocked()
+		s.tier.mu.Unlock()
+		s.restored = s.st.Apps()
+		return s.restored
 	}
 	return len(s.apps)
 }
@@ -162,9 +167,7 @@ func (s *Service) HandoffApp(app string) error {
 			return err
 		}
 	}
-	s.mu.Lock()
-	delete(s.apps, app)
-	s.mu.Unlock()
+	s.dropCached(app)
 	if sm := s.svcMetrics(); sm != nil {
 		sm.Handoffs.Inc()
 	}
@@ -184,13 +187,21 @@ func (s *Service) AdoptApp(app string, window []float64, total int64) error {
 			return err
 		}
 	}
+	// Any cached serving state predates the import (including a stale copy
+	// from a misroute bounce during resharding); drop it so the next touch
+	// rematerializes from the imported history.
+	s.dropCached(app)
 	s.mu.Lock()
 	s.adopted[app] = true
 	delete(s.moved, app)
-	s.apps[app] = &svcApp{
-		policy:  s.model.NewAppPolicy(0),
-		history: append([]float64(nil), window...),
-		ws:      forecast.NewWorkspace(),
+	if s.st == nil {
+		// No store to restore from: install the imported history directly.
+		s.apps[app] = &svcApp{
+			name:    app,
+			policy:  s.model.NewAppPolicy(0),
+			history: append([]float64(nil), window...),
+			ws:      forecast.GetWorkspace(),
+		}
 	}
 	s.mu.Unlock()
 	if sm := s.svcMetrics(); sm != nil {
@@ -205,12 +216,11 @@ func (s *Service) Status() ReplStatus {
 	s.mu.RLock()
 	st.Epoch, st.Shards, st.ShardID, st.Replica = s.epoch, s.shards, s.shardID, s.replica
 	st.Joining = s.joining
-	st.Apps = len(s.apps)
 	ds := s.st
 	s.mu.RUnlock()
+	st.Apps = s.Apps()
 	if ds != nil {
 		st.Total = ds.TotalObservations()
-		st.Apps = ds.Apps()
 		if pos, err := ds.Position(); err == nil {
 			st.Position = pos
 		}

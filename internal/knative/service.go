@@ -1,6 +1,7 @@
 package knative
 
 import (
+	"container/list"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
@@ -80,6 +82,10 @@ type Service struct {
 	// the export that follows sees its final history.
 	drainMu sync.RWMutex
 
+	// tier bounds how much of the fleet is materialized (see tier.go):
+	// apps is a cache of the hot tier, not the fleet roster.
+	tier tiers
+
 	metrics *ServiceMetrics // nil when metrics are not wired
 }
 
@@ -101,22 +107,47 @@ type ServiceOptions struct {
 	// partition to the old Shards-1-sized map's owner until the reshard's
 	// epoch bump completes the cutover.
 	Joining bool
+	// MaxHotApps bounds how many apps keep materialized serving state
+	// (history + policy); the LRU excess is demoted to the warm tier.
+	// 0 means unlimited (every touched app stays hot).
+	MaxHotApps int
+	// MaxWorkspaces bounds how many hot apps hold a forecast workspace
+	// (FFT plans and solver scratch — the largest per-app allocation);
+	// the LRU excess returns workspaces to the shared pool. 0 means
+	// unlimited.
+	MaxWorkspaces int
 }
 
 type svcApp struct {
 	mu      sync.Mutex
+	name    string
 	policy  *femux.AppPolicy
 	history []float64
 	// ws holds the app's forecast scratch state; targets and forecasts are
 	// computed under mu so the workspace is never used concurrently. After
 	// the first request warms it, the observe->target computation performs
-	// zero heap allocations (see zeroalloc_test.go).
+	// zero heap allocations (see zeroalloc_test.go). May be nil when the
+	// workspace LRU reclaimed it; touch re-acquires from the pool.
 	ws *forecast.Workspace
+
+	// Tier state (see tier.go). hotEl/wsEl are this app's positions in the
+	// LRU lists (nil when not listed), guarded by tier.mu; gone marks an
+	// evicted entry that acquire must not use, and pins holds off eviction
+	// while a batch that already committed observations for this app has
+	// yet to apply them in memory (both guarded by mu).
+	hotEl, wsEl *list.Element
+	gone        bool
+	pins        int
 }
 
 // maxObserveBody bounds the observe POST body; real observations are a
 // few dozen bytes, so anything near the cap is a client bug or abuse.
 const maxObserveBody = 1 << 20
+
+// maxAppLabels caps per-app metric cardinality (see InstrumentWith);
+// 10k distinct apps is already past what a dashboard can render, and
+// past it the per-child memory would scale with fleet size.
+const maxAppLabels = 10000
 
 // NewService returns a Service backed by a trained model.
 func NewService(model *femux.Model) *Service {
@@ -124,21 +155,22 @@ func NewService(model *femux.Model) *Service {
 }
 
 // NewServiceWith returns a Service with durability and sharding wired
-// in. When opts.Store holds restored state, every app's sliding window
-// is rebuilt immediately, so the first request after a restart forecasts
-// from the same history an uninterrupted process would hold.
+// in. When opts.Store holds restored state, apps stay in the warm tier
+// (compact windows inside the store) until first touched — boot cost and
+// RSS scale with the store's compacted state, not with a materialized
+// window+policy+workspace per app — and the first request for an app
+// restores it lazily, forecasting from the same history an uninterrupted
+// process would hold.
 func NewServiceWith(model *femux.Model, opts ServiceOptions) *Service {
 	s := &Service{
 		model: model, apps: map[string]*svcApp{},
 		st: opts.Store, shardID: opts.ShardID, shards: opts.Shards,
 		replica: opts.Replica, epoch: opts.Epoch, joining: opts.Joining,
 		moved: map[string]int{}, adopted: map[string]bool{},
+		tier: newTiers(opts.MaxHotApps, opts.MaxWorkspaces),
 	}
 	if s.st != nil {
-		for app, win := range s.st.Windows() {
-			s.apps[app] = &svcApp{policy: model.NewAppPolicy(0), history: win, ws: forecast.NewWorkspace()}
-		}
-		s.restored = len(s.apps)
+		s.restored = s.st.Apps()
 	}
 	return s
 }
@@ -201,6 +233,10 @@ type ServiceMetrics struct {
 	StoreErrors *serving.Counter // femux_store_errors_total
 	Adoptions   *serving.Counter // femux_shard_adoptions_total
 	Handoffs    *serving.Counter // femux_shard_handoffs_total
+
+	Evictions      *serving.Counter   // femux_tier_evictions_total
+	Restores       *serving.Counter   // femux_tier_restores_total{from}
+	RestoreSeconds *serving.Histogram // femux_tier_restore_seconds{from}
 }
 
 func (sm *ServiceMetrics) setModelInfo(m *femux.Model) {
@@ -212,12 +248,21 @@ func (sm *ServiceMetrics) setModelInfo(m *femux.Model) {
 // starts recording. Call once, before serving traffic.
 func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
 	sm := &ServiceMetrics{
+		// Per-app counter families are capped: beyond maxAppLabels apps
+		// the excess folds into one {app="_other"} child. Sums — which is
+		// what the conservation checks scrape — stay exact; only per-app
+		// attribution beyond the cap is lost. Without the cap a
+		// million-app fleet holds metric state per app ever seen, undoing
+		// the tiered bound on serving memory.
 		Observes: reg.NewCounter("femux_observations_total",
-			"Concurrency observations ingested, per application.", "app"),
+			"Concurrency observations ingested, per application.", "app").
+			LimitCardinality(maxAppLabels),
 		Targets: reg.NewCounter("femux_targets_total",
-			"Scale-target decisions served, per application.", "app"),
+			"Scale-target decisions served, per application.", "app").
+			LimitCardinality(maxAppLabels),
 		Forecasts: reg.NewCounter("femux_forecasts_total",
-			"Raw forecasts served, per application.", "app"),
+			"Raw forecasts served, per application.", "app").
+			LimitCardinality(maxAppLabels),
 		Reloads: reg.NewCounter("femux_model_reloads_total",
 			"Model hot-swaps since process start."),
 		ModelInfo: reg.NewGauge("femux_model_info",
@@ -233,6 +278,13 @@ func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
 			"Apps imported from another shard during resharding."),
 		Handoffs: reg.NewCounter("femux_shard_handoffs_total",
 			"Apps dropped after migrating to another shard."),
+		Evictions: reg.NewCounter("femux_tier_evictions_total",
+			"Hot apps demoted to the warm tier by the LRU budget."),
+		Restores: reg.NewCounter("femux_tier_restores_total",
+			"Apps rematerialized on first touch, by source tier.", "from"),
+		RestoreSeconds: reg.NewHistogram("femux_tier_restore_seconds",
+			"Latency of rematerializing a warm or cold app.",
+			serving.DefaultLatencyBuckets, "from"),
 	}
 	reg.NewGaugeFunc("femux_replica",
 		"1 while this instance is an unpromoted replica, else 0.",
@@ -251,6 +303,15 @@ func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
 	reg.NewGaugeFunc("femux_apps",
 		"Applications currently tracked by the service.",
 		func() float64 { return float64(s.Apps()) })
+	reg.NewGaugeFunc("femux_apps_hot",
+		"Apps with materialized serving state (hot tier).",
+		func() float64 { h, _, _ := s.TierCounts(); return float64(h) })
+	reg.NewGaugeFunc("femux_apps_warm",
+		"Apps held only as compact windows in memory (warm tier).",
+		func() float64 { _, wm, _ := s.TierCounts(); return float64(wm) })
+	reg.NewGaugeFunc("femux_apps_cold",
+		"Apps paged to disk with an in-memory stub (cold tier).",
+		func() float64 { _, _, c := s.TierCounts(); return float64(c) })
 	sm.setModelInfo(s.Model())
 	s.mu.Lock()
 	s.metrics = sm
@@ -293,12 +354,40 @@ func (s *Service) app(name string) *svcApp {
 	if a != nil {
 		return a
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if a = s.apps[name]; a == nil {
-		a = &svcApp{policy: s.model.NewAppPolicy(0), ws: forecast.NewWorkspace()}
-		s.apps[name] = a
+	return s.materialize(name)
+}
+
+// materialize builds hot serving state for an app missing from the app
+// map: a genuinely new app starts empty, a demoted one is restored from
+// the warm/cold tier. Store-backed restore runs before taking s.mu (it
+// may page in from disk); if another goroutine installs the app first,
+// its copy wins and ours — identical, since store restores promote —
+// is discarded.
+func (s *Service) materialize(name string) *svcApp {
+	start := time.Now()
+	var history []float64
+	var from string
+	if s.st != nil {
+		history, from = s.restoreHistory(name)
 	}
+	s.mu.Lock()
+	if a := s.apps[name]; a != nil {
+		s.mu.Unlock()
+		return a
+	}
+	if s.st == nil {
+		// The store-less warm lookup consumes its entry, so it must be
+		// atomic with the install: two racing misses must not leave one
+		// holding the window and the other installing an empty app.
+		history, from = s.restoreHistory(name)
+	}
+	a := &svcApp{
+		name: name, policy: s.model.NewAppPolicy(0),
+		history: history, ws: forecast.GetWorkspace(),
+	}
+	s.apps[name] = a
+	s.mu.Unlock()
+	s.noteRestore(from, time.Since(start))
 	return a
 }
 
@@ -432,15 +521,14 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		if unitC < 1 {
 			unitC = 1
 		}
-		a := s.app(name)
-		a.mu.Lock()
+		a := s.acquire(name)
 		// Write-ahead: the observation is durable before it is applied in
 		// memory or acknowledged, so an ACKed observation survives
 		// SIGKILL. The app lock is held across both steps to keep WAL
 		// order and in-memory order identical per app.
 		if s.st != nil {
 			if err := s.st.Append(name, req.Concurrency); err != nil {
-				a.mu.Unlock()
+				s.releaseApp(a)
 				if sm := s.svcMetrics(); sm != nil {
 					sm.StoreErrors.Inc()
 				}
@@ -456,7 +544,7 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		target := a.policy.TargetWS(a.history, unitC, a.ws)
 		fcName := a.policy.CurrentForecaster()
 		histLen := len(a.history)
-		a.mu.Unlock()
+		s.releaseApp(a)
 		if sm := s.svcMetrics(); sm != nil {
 			sm.Observes.Inc(name)
 		}
@@ -476,12 +564,11 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		a := s.app(name)
-		a.mu.Lock()
+		a := s.acquire(name)
 		target := a.policy.TargetWS(a.history, unitC, a.ws)
 		fcName := a.policy.CurrentForecaster()
 		histLen := len(a.history)
-		a.mu.Unlock()
+		s.releaseApp(a)
 		if sm := s.svcMetrics(); sm != nil {
 			sm.Targets.Inc(name)
 		}
@@ -501,13 +588,12 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		a := s.app(name)
-		a.mu.Lock()
+		a := s.acquire(name)
 		// dst is nil: the response slice escapes into the JSON encoder
 		// after the lock is released, so it must not alias the workspace.
 		values := a.policy.ForecastWS(a.history, horizon, nil, a.ws)
 		fcName := a.policy.CurrentForecaster()
-		a.mu.Unlock()
+		s.releaseApp(a)
 		if sm := s.svcMetrics(); sm != nil {
 			sm.Forecasts.Inc(name)
 		}
@@ -528,11 +614,21 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-// Apps returns the number of applications the service currently tracks.
+// Apps returns the number of applications the service currently tracks
+// across every tier: the durable fleet size when store-backed, otherwise
+// hot entries plus evicted warm windows.
 func (s *Service) Apps() int {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.apps)
+	st := s.st
+	hot := len(s.apps)
+	s.mu.RUnlock()
+	if st != nil {
+		return st.Apps()
+	}
+	s.tier.mu.Lock()
+	warm := len(s.tier.warm)
+	s.tier.mu.Unlock()
+	return hot + warm
 }
 
 // HTTPProvider adapts a running FeMux service to the emulator's

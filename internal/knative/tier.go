@@ -1,0 +1,317 @@
+package knative
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
+)
+
+// Tiered per-app serving state. Real fleets ("Serverless in the Wild",
+// and the paper's own production traces) are dominated by enormous
+// numbers of mostly-idle apps; keeping a materialized float64 window, an
+// AppPolicy, and a forecast workspace (FFT plans, normal-equation
+// buffers) resident for every app ever seen makes RSS scale with
+// apps-ever-seen instead of apps-currently-hot. The service therefore
+// keeps three tiers:
+//
+//	hot   materialized history + policy + (usually) a workspace: today's
+//	      layout, zero-allocation observe path. Bounded by MaxHotApps,
+//	      LRU-evicted. Workspaces are additionally bounded by
+//	      MaxWorkspaces and returned to the shared forecast pool.
+//	warm  the delta/varint-compressed window only — in the store for
+//	      store-backed services (every store app is warm at rest; the
+//	      boot path never materializes them), or in tier.warm for
+//	      store-less ones. Bounded by the store's InlineBudget
+//	      (-max-warm-apps), beyond which apps go cold.
+//	cold  paged to disk by the store, a ~few-dozen-byte stub in memory.
+//
+// Demotion is invisible to callers: hot state for a store-backed app is
+// a pure cache of the store (eviction writes nothing), and a restored
+// app re-derives its forecaster from the same history an uninterrupted
+// process would hold, so forecasts are Float64bits-identical across any
+// evict/page/restore cycle (pinned by tierequiv_test.go). The one
+// caveat matches restarts: with a WindowCap set, history beyond the cap
+// is dropped on demotion, exactly as it would be across a restart.
+type tiers struct {
+	maxHot int // hot apps; 0 = unlimited
+	maxWS  int // apps holding workspaces; 0 = unlimited
+
+	mu  sync.Mutex
+	hot *list.List // *svcApp, most recently touched first
+	ws  *list.List // *svcApp holding a workspace, most recently touched first
+
+	// warm holds evicted apps' compact windows for store-less services;
+	// with a store, warm state lives in the store itself. Entries are
+	// consumed (deleted) on restore.
+	warm map[string]*store.CompactWindow
+
+	evictions  int64 // hot -> warm demotions
+	wsReleases int64 // workspaces returned to the pool by the ws LRU
+}
+
+func newTiers(maxHot, maxWS int) tiers {
+	return tiers{
+		maxHot: maxHot, maxWS: maxWS,
+		hot: list.New(), ws: list.New(),
+		warm: map[string]*store.CompactWindow{},
+	}
+}
+
+// resetLocked drops all tier tracking (promotion installs a fresh app
+// map). Caller holds t.mu or has exclusive access.
+func (t *tiers) resetLocked() {
+	t.hot.Init()
+	t.ws.Init()
+	t.warm = map[string]*store.CompactWindow{}
+}
+
+// touch bumps a to the front of the hot and workspace LRUs, acquiring a
+// pooled workspace if the ws LRU stripped it. Called with a.mu held; on
+// the steady-state hot path both bumps are MoveToFront — no allocation.
+func (s *Service) touch(a *svcApp) {
+	t := &s.tier
+	t.mu.Lock()
+	if a.hotEl == nil {
+		a.hotEl = t.hot.PushFront(a)
+	} else {
+		t.hot.MoveToFront(a.hotEl)
+	}
+	if a.ws == nil {
+		a.ws = forecast.GetWorkspace()
+	}
+	if a.wsEl == nil {
+		a.wsEl = t.ws.PushFront(a)
+	} else {
+		t.ws.MoveToFront(a.wsEl)
+	}
+	t.mu.Unlock()
+}
+
+// acquire returns the named app with its lock held, lazily restoring
+// warm/cold state and bumping the tier LRUs. Callers must a.mu.Unlock()
+// (via releaseApp on serving paths, so budgets are re-enforced).
+func (s *Service) acquire(name string) *svcApp {
+	for {
+		a := s.app(name)
+		a.mu.Lock()
+		if !a.gone {
+			s.touch(a)
+			return a
+		}
+		// Lost a race with eviction: the map entry is about to be (or has
+		// been) removed; retry until the fresh entry is observable.
+		a.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+// releaseApp unlocks a serving request's app and then enforces tier
+// budgets — eviction happens after the response work is done, never
+// while a request holds the app.
+func (s *Service) releaseApp(a *svcApp) {
+	a.mu.Unlock()
+	s.enforceTiers()
+}
+
+// enforceTiers demotes LRU victims until the hot-app and workspace
+// budgets hold. Safe to call from any goroutine at any time.
+func (s *Service) enforceTiers() {
+	for {
+		t := &s.tier
+		t.mu.Lock()
+		var victim *svcApp
+		wsOnly := false
+		if t.maxHot > 0 && t.hot.Len() > t.maxHot {
+			victim = t.hot.Back().Value.(*svcApp)
+		} else if t.maxWS > 0 && t.ws.Len() > t.maxWS {
+			victim = t.ws.Back().Value.(*svcApp)
+			wsOnly = true
+		}
+		t.mu.Unlock()
+		if victim == nil {
+			return
+		}
+		if !s.evict(victim, wsOnly) {
+			// The victim was pinned or re-touched; budgets are best-effort
+			// within a pass and the next release re-enforces.
+			return
+		}
+	}
+}
+
+// evict demotes one app (or just releases its workspace), reporting
+// whether it made progress. The victim was chosen without its lock;
+// everything is re-checked under victim.mu -> tier.mu (the same order
+// touch uses), so a concurrent touch or pin simply wins and the
+// eviction pass stops.
+func (s *Service) evict(v *svcApp, wsOnly bool) bool {
+	v.mu.Lock()
+	t := &s.tier
+	t.mu.Lock()
+	if v.pins > 0 {
+		t.mu.Unlock()
+		v.mu.Unlock()
+		return false
+	}
+	if wsOnly {
+		if v.wsEl == nil || t.maxWS <= 0 || t.ws.Len() <= t.maxWS || t.ws.Back() != v.wsEl {
+			t.mu.Unlock()
+			v.mu.Unlock()
+			return false
+		}
+		t.ws.Remove(v.wsEl)
+		v.wsEl = nil
+		ws := v.ws
+		v.ws = nil
+		t.wsReleases++
+		t.mu.Unlock()
+		v.mu.Unlock()
+		forecast.PutWorkspace(ws)
+		return true
+	}
+	if v.hotEl == nil || t.maxHot <= 0 || t.hot.Len() <= t.maxHot || t.hot.Back() != v.hotEl {
+		t.mu.Unlock()
+		v.mu.Unlock()
+		return false
+	}
+	t.hot.Remove(v.hotEl)
+	v.hotEl = nil
+	if v.wsEl != nil {
+		t.ws.Remove(v.wsEl)
+		v.wsEl = nil
+	}
+	t.evictions++
+	if s.st == nil {
+		// Store-less warm tier: keep the history, compressed. With a
+		// store this write is unnecessary — the store already holds the
+		// app's window; hot state is a pure cache.
+		var cw store.CompactWindow
+		for _, x := range v.history {
+			cw.Append(x)
+		}
+		t.warm[v.name] = &cw
+	}
+	t.mu.Unlock()
+	ws := v.ws
+	v.ws = nil
+	v.history = nil
+	v.policy = nil
+	v.gone = true
+	v.mu.Unlock()
+	forecast.PutWorkspace(ws)
+	// Map removal last, and only if the entry is still ours: an adopt or
+	// promote may have replaced it while we held no locks.
+	s.mu.Lock()
+	if s.apps[v.name] == v {
+		delete(s.apps, v.name)
+	}
+	s.mu.Unlock()
+	if sm := s.svcMetrics(); sm != nil {
+		sm.Evictions.Inc()
+	}
+	return true
+}
+
+// restoreHistory fetches an evicted/paged app's window during an app-map
+// miss. from is "" when the app has no demoted state (genuinely new),
+// "warm" for an in-memory compact window, "cold" for a disk page-in.
+// Store-backed restore runs outside s.mu — it may touch disk — which is
+// safe because RestoreWindow promotes in the store: a racing loser
+// discards an identical copy. The store-less path is called under s.mu
+// because deleting the warm entry is destructive.
+func (s *Service) restoreHistory(name string) (history []float64, from string) {
+	if s.st == nil {
+		t := &s.tier
+		t.mu.Lock()
+		if cw := t.warm[name]; cw != nil {
+			history = cw.Values(nil)
+			delete(t.warm, name)
+			from = "warm"
+		}
+		t.mu.Unlock()
+		return history, from
+	}
+	win, paged, ok := s.st.RestoreWindow(name)
+	if !ok {
+		return nil, ""
+	}
+	if paged {
+		return win, "cold"
+	}
+	return win, "warm"
+}
+
+// noteRestore records restore metrics (counter + latency histogram).
+func (s *Service) noteRestore(from string, elapsed time.Duration) {
+	if from == "" {
+		return
+	}
+	if sm := s.svcMetrics(); sm != nil {
+		sm.Restores.Inc(from)
+		sm.RestoreSeconds.Observe(elapsed.Seconds(), from)
+	}
+}
+
+// dropCached removes an app's materialized serving state and tier
+// tracking (migration handoff/adopt replaced or dropped it); the next
+// touch lazily restores from the store.
+func (s *Service) dropCached(name string) {
+	s.mu.Lock()
+	a := s.apps[name]
+	delete(s.apps, name)
+	s.mu.Unlock()
+	t := &s.tier
+	if a == nil {
+		t.mu.Lock()
+		delete(t.warm, name)
+		t.mu.Unlock()
+		return
+	}
+	a.mu.Lock()
+	t.mu.Lock()
+	if a.hotEl != nil {
+		t.hot.Remove(a.hotEl)
+		a.hotEl = nil
+	}
+	if a.wsEl != nil {
+		t.ws.Remove(a.wsEl)
+		a.wsEl = nil
+	}
+	delete(t.warm, name)
+	t.mu.Unlock()
+	ws := a.ws
+	a.ws = nil
+	a.history = nil
+	a.gone = true
+	a.mu.Unlock()
+	forecast.PutWorkspace(ws)
+}
+
+// HotApps reports how many apps are materialized (hot tier).
+func (s *Service) HotApps() int {
+	s.tier.mu.Lock()
+	defer s.tier.mu.Unlock()
+	return s.tier.hot.Len()
+}
+
+// TierCounts reports (hot, warm, cold) app counts for the gauges. Warm
+// is everything tracked but not materialized and not paged.
+func (s *Service) TierCounts() (hot, warm, cold int) {
+	s.tier.mu.Lock()
+	hot = s.tier.hot.Len()
+	warmless := len(s.tier.warm)
+	s.tier.mu.Unlock()
+	if s.st == nil {
+		return hot, warmless, 0
+	}
+	cold = s.st.PagedApps()
+	warm = s.st.Apps() - cold - hot
+	if warm < 0 {
+		warm = 0
+	}
+	return hot, warm, cold
+}

@@ -1,0 +1,238 @@
+package knative
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
+)
+
+// TestTieredForecastsBitIdentical is the tentpole's invisibility
+// property: a service squeezed through every demotion path — hot LRU
+// eviction under a tiny -max-hot-apps, workspace reclamation, store
+// warm->cold paging, compaction embedding page stubs in snapshots —
+// must serve Float64bits-identical targets and forecasts to an
+// untiered, store-less control that saw the same observation stream.
+// Random interleavings of single observes, batches, explicit page-outs,
+// compactions, and read-only queries are compared mid-stream and at the
+// end.
+func TestTieredForecastsBitIdentical(t *testing.T) {
+	model := trainTinyModel(t)
+	apps := make([]string, 8)
+	for i := range apps {
+		apps[i] = fmt.Sprintf("eq-%d", i)
+	}
+
+	ctl := NewService(model)
+	ctlSrv := httptest.NewServer(ctl.Handler())
+	defer ctlSrv.Close()
+
+	st, err := store.Open(t.TempDir(), store.Options{
+		Sync: store.SyncNever, CompactEvery: -1,
+		InlineBudget: 3, // most of the fleet is forced cold
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tiered := NewServiceWith(model, ServiceOptions{
+		Store: st, MaxHotApps: 2, MaxWorkspaces: 1,
+	})
+	tieredSrv := httptest.NewServer(tiered.Handler())
+	defer tieredSrv.Close()
+
+	conc := func(rng *rand.Rand) float64 {
+		if rng.Intn(3) > 0 {
+			return 0 // idle minutes dominate sparse fleets
+		}
+		return math.Round(rng.Float64()*50*1000) / 1000
+	}
+	compare := func(when string) {
+		t.Helper()
+		for _, app := range apps {
+			a, b := fetchDecision(t, ctlSrv.URL, app), fetchDecision(t, tieredSrv.URL, app)
+			if a.target != b.target {
+				t.Fatalf("%s: %s: target %+v != %+v", when, app, a.target, b.target)
+			}
+			if len(a.forecast.Values) != len(b.forecast.Values) {
+				t.Fatalf("%s: %s: forecast lengths %d != %d",
+					when, app, len(a.forecast.Values), len(b.forecast.Values))
+			}
+			for i := range a.forecast.Values {
+				if math.Float64bits(a.forecast.Values[i]) != math.Float64bits(b.forecast.Values[i]) {
+					t.Fatalf("%s: %s: forecast[%d] %v != %v (not bit-identical)",
+						when, app, i, a.forecast.Values[i], b.forecast.Values[i])
+				}
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < 600; op++ {
+		switch r := rng.Intn(100); {
+		case r < 55: // single observe
+			app := apps[rng.Intn(len(apps))]
+			v := conc(rng)
+			if code := postObserve(t, ctlSrv.URL, app, v); code != 200 {
+				t.Fatalf("op %d: control observe: %d", op, code)
+			}
+			if code := postObserve(t, tieredSrv.URL, app, v); code != 200 {
+				t.Fatalf("op %d: tiered observe: %d", op, code)
+			}
+		case r < 80: // batch observe (may repeat an app within the batch)
+			n := 1 + rng.Intn(12)
+			obs := make([]BatchObservation, n)
+			for i := range obs {
+				obs[i] = BatchObservation{App: apps[rng.Intn(len(apps))], Concurrency: conc(rng)}
+			}
+			body := marshalBatch(t, obs...)
+			if resp, out := postBatchJSON(t, ctlSrv.URL, body); resp.StatusCode != 200 || out.Rejected != 0 {
+				t.Fatalf("op %d: control batch: %d/%d", op, resp.StatusCode, out.Rejected)
+			}
+			if resp, out := postBatchJSON(t, tieredSrv.URL, body); resp.StatusCode != 200 || out.Rejected != 0 {
+				t.Fatalf("op %d: tiered batch: %d/%d", op, resp.StatusCode, out.Rejected)
+			}
+		case r < 90: // force a warm->cold demotion in the store
+			if err := st.PageOut(apps[rng.Intn(len(apps))]); err != nil {
+				t.Fatalf("op %d: page out: %v", op, err)
+			}
+		case r < 95: // snapshot (fsyncs pages, embeds stubs, GCs page files)
+			if err := st.Compact(); err != nil {
+				t.Fatalf("op %d: compact: %v", op, err)
+			}
+		default:
+			compare(fmt.Sprintf("op %d", op))
+		}
+	}
+	compare("final")
+
+	// The budgets actually did something: demotions happened and the hot
+	// tier stayed within bounds.
+	if hot := tiered.HotApps(); hot > 2 {
+		t.Errorf("hot apps = %d, want <= 2", hot)
+	}
+	if st.Stats().PageOuts == 0 {
+		t.Error("inline budget never paged an app out")
+	}
+}
+
+// TestLazyBootKeepsAppsWarm pins the boot-path half of the tentpole: a
+// restart must NOT materialize the fleet. Apps restored from the store
+// stay in the warm tier (Restored counts them, the hot tier is empty)
+// until first touch, which promotes exactly one.
+func TestLazyBootKeepsAppsWarm(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs []store.Observation
+	for i := 0; i < 40; i++ {
+		for m := 0; m < 7; m++ {
+			obs = append(obs, store.Observation{App: fmt.Sprintf("boot-%d", i), Concurrency: float64(m)})
+		}
+	}
+	if err := st.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	svc := NewServiceWith(trainTinyModel(t), ServiceOptions{Store: st2})
+	if svc.Restored() != 40 {
+		t.Fatalf("Restored = %d, want 40", svc.Restored())
+	}
+	if svc.Apps() != 40 {
+		t.Fatalf("Apps = %d, want 40", svc.Apps())
+	}
+	if hot := svc.HotApps(); hot != 0 {
+		t.Fatalf("boot materialized %d apps, want 0 (lazy)", hot)
+	}
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	d := fetchDecision(t, srv.URL, "boot-3")
+	if d.target.History != 7 {
+		t.Fatalf("restored history = %d, want 7", d.target.History)
+	}
+	if hot := svc.HotApps(); hot != 1 {
+		t.Fatalf("hot apps after one touch = %d, want 1", hot)
+	}
+}
+
+// TestTierBudgetsStoreless exercises eviction without a store: demoted
+// apps live as in-memory compact windows and restore losslessly.
+func TestTierBudgetsStoreless(t *testing.T) {
+	svc := NewServiceWith(trainTinyModel(t), ServiceOptions{MaxHotApps: 4, MaxWorkspaces: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	hist := map[string][]float64{}
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 20; i++ {
+			app := fmt.Sprintf("sl-%d", i)
+			v := math.Round(rng.Float64()*10*1000) / 1000
+			if code := postObserve(t, srv.URL, app, v); code != 200 {
+				t.Fatalf("observe: %d", code)
+			}
+			hist[app] = append(hist[app], v)
+		}
+	}
+	if hot := svc.HotApps(); hot > 4 {
+		t.Errorf("hot apps = %d, want <= 4", hot)
+	}
+	if got := svc.Apps(); got != 20 {
+		t.Errorf("Apps = %d, want 20 (hot + warm)", got)
+	}
+	hot, warm, cold := svc.TierCounts()
+	if hot+warm != 20 || cold != 0 {
+		t.Errorf("TierCounts = (%d, %d, %d), want hot+warm = 20, cold = 0", hot, warm, cold)
+	}
+	// Touching an evicted app restores its full history.
+	for i := 0; i < 20; i++ {
+		app := fmt.Sprintf("sl-%d", i)
+		if d := fetchDecision(t, srv.URL, app); d.target.History != len(hist[app]) {
+			t.Fatalf("%s: history %d, want %d", app, d.target.History, len(hist[app]))
+		}
+	}
+}
+
+// BenchmarkTieredObserve measures the observe path while the fleet is
+// 16x over the hot budget, so every request cycles the LRU and a
+// fraction restore from the warm tier — the steady state of a large
+// sparse fleet under -max-hot-apps.
+func BenchmarkTieredObserve(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{Sync: store.SyncNever, CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	svc := NewServiceWith(trainTinyModel(b), ServiceOptions{
+		Store: st, MaxHotApps: 64, MaxWorkspaces: 64,
+	})
+	apps := make([]string, 1024)
+	for i := range apps {
+		apps[i] = fmt.Sprintf("bench-%d", i)
+		a := svc.acquire(apps[i])
+		a.history = append(a.history, 1, 2, 1, 0, 3)
+		svc.releaseApp(a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := svc.acquire(apps[i%len(apps)])
+		a.history = append(a.history, float64(i%5))
+		_ = a.policy.TargetWS(a.history, 1, a.ws)
+		svc.releaseApp(a)
+	}
+}

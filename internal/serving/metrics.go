@@ -51,6 +51,12 @@ type family struct {
 	children map[string]*child
 	order    []string
 	fn       func() float64 // value callback (single-child gauges/counters)
+
+	// maxChildren, when > 0, caps the number of distinct label sets; the
+	// excess folds into one overflow child whose label values all render
+	// as "_other". Family sums stay exact — only attribution is lost.
+	maxChildren int
+	overflow    *child
 }
 
 type child struct {
@@ -101,6 +107,11 @@ func (r *Registry) OnScrape(fn func()) {
 // valid UTF-8 label values produced by this codebase.
 func labelKey(values []string) string { return strings.Join(values, "\xff") }
 
+// overflowKey is the children-map key of the cardinality-overflow child.
+// It cannot collide with a real label set: \xff never appears in valid
+// UTF-8 label values, so no joined key is the bare separator pair.
+const overflowKey = "\xff\xff"
+
 func renderLabelPairs(names, values []string) string {
 	if len(names) == 0 {
 		return ""
@@ -143,6 +154,26 @@ func (f *family) child(labelValues []string) *child {
 	if c = f.children[key]; c != nil {
 		return c
 	}
+	if f.maxChildren > 0 && len(f.children) >= f.maxChildren {
+		// At the cardinality cap: fold this label set into the overflow
+		// child instead of allocating per-value state. A million-app
+		// fleet would otherwise hold a child (map entry, key, rendered
+		// labels, value) per app ever seen — per-app serving state is
+		// tiered and bounded, so the metrics must be too.
+		if f.overflow == nil {
+			other := make([]string, len(f.labelNames))
+			for i := range other {
+				other[i] = "_other"
+			}
+			f.overflow = &child{labelPairs: renderLabelPairs(f.labelNames, other)}
+			if f.kind == "histogram" {
+				f.overflow.bucketCounts = make([]atomic.Uint64, len(f.buckets)+1)
+			}
+			f.children[overflowKey] = f.overflow
+			f.order = append(f.order, overflowKey)
+		}
+		return f.overflow
+	}
 	c = &child{labelPairs: renderLabelPairs(f.labelNames, labelValues)}
 	if f.kind == "histogram" {
 		c.bucketCounts = make([]atomic.Uint64, len(f.buckets)+1)
@@ -158,6 +189,14 @@ func (f *family) reset() {
 	f.mu.Lock()
 	f.children = map[string]*child{}
 	f.order = nil
+	f.overflow = nil
+	f.mu.Unlock()
+}
+
+// limitCardinality sets the family's distinct-label-set cap.
+func (f *family) limitCardinality(n int) {
+	f.mu.Lock()
+	f.maxChildren = n
 	f.mu.Unlock()
 }
 
@@ -190,6 +229,15 @@ func (c *Counter) Add(delta float64, labelValues ...string) {
 // Value reads the current value of one child (testing and self-checks).
 func (c *Counter) Value(labelValues ...string) float64 {
 	return math.Float64frombits(c.fam.child(labelValues).valBits.Load())
+}
+
+// LimitCardinality caps the number of distinct label sets this counter
+// tracks; increments beyond the cap fold into a single child labeled
+// "_other", keeping Sum exact while bounding memory on per-app families.
+// Returns the counter for call chaining at registration sites.
+func (c *Counter) LimitCardinality(n int) *Counter {
+	c.fam.limitCardinality(n)
+	return c
 }
 
 // Sum returns the sum across all children (testing and self-checks).

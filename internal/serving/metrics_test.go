@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -184,5 +185,39 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 	if got := h.Count(); got != workers*per {
 		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestCounterCardinalityCap: past the cap, new label values fold into
+// one {app="_other"} child — the family's sum stays exact (that is what
+// femux-load's conservation checks scrape), memory stays bounded, and
+// pre-cap children keep exact per-value attribution.
+func TestCounterCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("capped_total", "test.", "app").LimitCardinality(3)
+	for i := 0; i < 50; i++ {
+		c.Add(2, fmt.Sprintf("app-%d", i%10))
+	}
+	if got := c.Sum(); got != 100 {
+		t.Fatalf("Sum = %v, want 100 (folding must not lose counts)", got)
+	}
+	// 5 increments each for app-0..app-2, the remaining 7 apps folded.
+	for i := 0; i < 3; i++ {
+		if got := c.Value(fmt.Sprintf("app-%d", i)); got != 10 {
+			t.Errorf("app-%d = %v, want 10", i, got)
+		}
+	}
+	body := scrape(t, reg)
+	if !strings.Contains(body, `capped_total{app="_other"} 70`) {
+		t.Errorf("scrape missing folded overflow child:\n%s", body)
+	}
+	if strings.Contains(body, `app="app-5"`) {
+		t.Errorf("scrape leaked a beyond-cap child:\n%s", body)
+	}
+	// The cap counts real children; the overflow child itself must not
+	// consume a slot and re-increments of pre-cap values stay attributed.
+	c.Inc("app-1")
+	if got := c.Value("app-1"); got != 11 {
+		t.Errorf("app-1 after cap = %v, want 11", got)
 	}
 }

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"math"
-	"sync"
 	"time"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
@@ -78,20 +77,11 @@ type ConcResult struct {
 //  4. Waste is the memory-time of allocated-but-unused capacity:
 //     (units − demand/unitConcurrency)⁺ × MemoryGB × step.
 func SimulateApp(app AppTrace, p Policy, cfg ConcConfig, trace bool) ConcResult {
-	ws := wsPool.Get().(*forecast.Workspace)
+	ws := forecast.GetWorkspace()
 	res := simulateApp(app, p, cfg, trace, ws)
-	wsPool.Put(ws)
+	forecast.PutWorkspace(ws)
 	return res
 }
-
-// wsPool recycles forecaster workspaces across simulations, so the
-// derived state that depends only on geometry — FFT twiddle tables and
-// Bluestein chirp/filter spectra per window length — is built once per
-// worker rather than once per (app, forecaster) simulation. Results are
-// unaffected: workspaces carry no cross-call state, only scratch capacity
-// and per-length plans (reuse equivalence is pinned by the forecast
-// package's workspace-reuse tests).
-var wsPool = sync.Pool{New: func() any { return forecast.NewWorkspace() }}
 
 // simulateApp is SimulateApp with an explicit forecaster workspace, so
 // fleet sweeps reuse one workspace across apps instead of re-growing
@@ -181,10 +171,10 @@ func applyScaleLimit(target, prev int, cfg ConcConfig, stepSec float64) int {
 // samples in input order.
 func SimulateFleet(apps []AppTrace, p Policy, cfg ConcConfig) []rum.Sample {
 	out := make([]rum.Sample, len(apps))
-	ws := wsPool.Get().(*forecast.Workspace)
+	ws := forecast.GetWorkspace()
 	for i, a := range apps {
 		out[i] = simulateApp(a, p, cfg, false, ws).Sample
 	}
-	wsPool.Put(ws)
+	forecast.PutWorkspace(ws)
 	return out
 }

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// CompactWindow is a lossless, append-only delta encoding of a sliding
+// float64 window. It is the store's in-memory representation for every
+// app — "warm" in the tiering vocabulary — and the unit that pages to
+// disk for cold apps.
+//
+// Values are stored in chunks of cwChunkLen samples. The first value of
+// a chunk is its raw 8 little-endian bytes; every following value is
+// the uvarint of bits.ReverseBytes64(prevBits XOR curBits). XOR of
+// consecutive IEEE-754 bit patterns concentrates entropy in the high
+// (sign/exponent) bytes, so byte-reversing before the uvarint makes the
+// common cases tiny: a repeated value (the zero-concurrency runs that
+// dominate sparse fleets) costs 1 byte, and values sharing sign,
+// exponent, and leading mantissa bits cost 2-4 bytes instead of 8. The
+// transform is a bijection on uint64, so the codec is bit-exact for
+// every pattern including -0, NaN payloads, and infinities.
+//
+// Chunking bounds two costs: front-trimming drops whole chunks in O(1)
+// (exact caps are applied when the window is materialized), and the
+// per-chunk raw head re-anchors the delta stream so a corrupt byte
+// cannot silently propagate past a chunk boundary on decode.
+const cwChunkLen = 64
+
+// CompactWindow's zero value is an empty window ready for use.
+type CompactWindow struct {
+	buf    []byte
+	starts []uint32 // byte offset in buf of each live chunk's first value
+	n      int      // live values across all chunks
+	tail   int      // values in the last chunk (0 iff n == 0)
+	prev   uint64   // bit pattern of the most recently appended value
+}
+
+// Len reports how many values the window holds.
+func (cw *CompactWindow) Len() int { return cw.n }
+
+// MemBytes reports the heap bytes retained by the encoded window.
+func (cw *CompactWindow) MemBytes() int { return cap(cw.buf) + 4*cap(cw.starts) }
+
+// Append adds one value to the window.
+func (cw *CompactWindow) Append(v float64) {
+	b := math.Float64bits(v)
+	if cw.tail == cwChunkLen || cw.n == 0 {
+		cw.starts = append(cw.starts, uint32(len(cw.buf)))
+		cw.buf = binary.LittleEndian.AppendUint64(cw.buf, b)
+		cw.tail = 1
+	} else {
+		cw.buf = binary.AppendUvarint(cw.buf, bits.ReverseBytes64(b^cw.prev))
+		cw.tail++
+	}
+	cw.prev = b
+	cw.n++
+}
+
+// TrimFront drops whole chunks from the front while the window would
+// still hold at least max values, keeping Len in [max, max+cwChunkLen).
+// Callers that need an exact cap slice the tail of Values; keeping the
+// trim chunk-granular keeps it O(1) per call with no re-encoding.
+func (cw *CompactWindow) TrimFront(max int) {
+	if max <= 0 || len(cw.starts) == 0 {
+		return
+	}
+	for len(cw.starts) > 1 && cw.n-cwChunkLen >= max {
+		cw.n -= cwChunkLen
+		cw.starts = cw.starts[1:]
+	}
+	// Release the dead prefix once it outgrows the live encoding, so the
+	// backing array does not pin evicted history forever.
+	if dead := int(cw.starts[0]); dead > 0 && dead >= len(cw.buf)-dead {
+		live := copy(cw.buf, cw.buf[dead:])
+		cw.buf = cw.buf[:live]
+		rebased := cw.starts[:0]
+		for _, s := range cw.starts {
+			rebased = append(rebased, s-uint32(dead))
+		}
+		cw.starts = rebased
+	}
+}
+
+// Values decodes the window into dst (grown as needed) and returns it.
+func (cw *CompactWindow) Values(dst []float64) []float64 {
+	if cap(dst) < cw.n {
+		dst = make([]float64, cw.n)
+	}
+	dst = dst[:cw.n]
+	idx := 0
+	for c := range cw.starts {
+		end := len(cw.buf)
+		if c+1 < len(cw.starts) {
+			end = int(cw.starts[c+1])
+		}
+		p := cw.buf[cw.starts[c]:end]
+		b := binary.LittleEndian.Uint64(p[:8])
+		p = p[8:]
+		dst[idx] = math.Float64frombits(b)
+		idx++
+		for len(p) > 0 {
+			d, m := binary.Uvarint(p)
+			p = p[m:]
+			b ^= bits.ReverseBytes64(d)
+			dst[idx] = math.Float64frombits(b)
+			idx++
+		}
+	}
+	return dst[:idx]
+}
+
+// compactWindowOf encodes a value slice (e.g. a v1 snapshot window or a
+// migrated app's history) into a CompactWindow.
+func compactWindowOf(values []float64) CompactWindow {
+	var cw CompactWindow
+	for _, v := range values {
+		cw.Append(v)
+	}
+	return cw
+}
+
+// appendEncoded serializes the window: uvarint n | uvarint nb | the nb
+// bytes of the live chunk stream. The chunk layout is implied by n —
+// every chunk holds cwChunkLen values except the last — so offsets need
+// no separate framing.
+func (cw *CompactWindow) appendEncoded(buf []byte) []byte {
+	start := 0
+	if len(cw.starts) > 0 {
+		start = int(cw.starts[0])
+	}
+	buf = binary.AppendUvarint(buf, uint64(cw.n))
+	buf = binary.AppendUvarint(buf, uint64(len(cw.buf)-start))
+	return append(buf, cw.buf[start:]...)
+}
+
+// decodeCompactWindow parses an appendEncoded stream from untrusted
+// bytes, re-deriving chunk offsets and fully validating every varint so
+// a corrupt page or snapshot record errors out instead of over-reading.
+// It returns the remaining bytes after the encoded window.
+func decodeCompactWindow(p []byte) (cw CompactWindow, rest []byte, err error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > math.MaxInt32 {
+		return cw, nil, fmt.Errorf("store: compact window: bad count")
+	}
+	p = p[n:]
+	nb, n := binary.Uvarint(p)
+	if n <= 0 || nb > uint64(len(p)-n) {
+		return cw, nil, fmt.Errorf("store: compact window: bad byte length")
+	}
+	p = p[n:]
+	stream, rest := p[:nb], p[nb:]
+
+	cw.buf = append([]byte(nil), stream...)
+	q := cw.buf
+	for decoded := 0; decoded < int(count); {
+		if len(q) < 8 {
+			return CompactWindow{}, nil, fmt.Errorf("store: compact window: truncated chunk head")
+		}
+		cw.starts = append(cw.starts, uint32(len(cw.buf)-len(q)))
+		b := binary.LittleEndian.Uint64(q[:8])
+		q = q[8:]
+		decoded++
+		cw.tail = 1
+		cw.prev = b
+		for cw.tail < cwChunkLen && decoded < int(count) {
+			d, m := binary.Uvarint(q)
+			if m <= 0 {
+				return CompactWindow{}, nil, fmt.Errorf("store: compact window: bad delta")
+			}
+			q = q[m:]
+			b ^= bits.ReverseBytes64(d)
+			decoded++
+			cw.tail++
+			cw.prev = b
+		}
+	}
+	if len(q) != 0 {
+		return CompactWindow{}, nil, fmt.Errorf("store: compact window: %d trailing bytes", len(q))
+	}
+	cw.n = int(count)
+	return cw, rest, nil
+}

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Cold apps page their compacted window out of memory into
+// page-<seq>.page files, leaving only a pageRef stub (a few dozen
+// bytes) in the app map. Page files reuse the WAL's CRC-framed record
+// format; each record is one app's self-contained state:
+//
+//	uvarint len(app) | app | uvarint total | compact window encoding
+//
+// Paging is a local memory/disk trade, not a durability mechanism: the
+// data a page record holds is always also recoverable from the current
+// snapshot + WAL chain until a *newer* snapshot embeds the stub. The
+// pager therefore fsyncs lazily — compaction syncs any dirty page file
+// before writing a snapshot that references its records — and a crash
+// before that snapshot simply restores the app warm from the old chain.
+//
+// Like WAL segments, a recovered process never appends to an existing
+// page file (its tail may be torn); it opens a fresh sequence number.
+// Dead bytes accumulate as apps are restored or dropped; compaction
+// rewrites live records into the current file once garbage dominates,
+// then deletes page files no live stub references.
+const (
+	pagePrefix = "page-"
+	pageSuffix = ".page"
+)
+
+func pageName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", pagePrefix, seq, pageSuffix)
+}
+
+// pageRef locates one app's paged state: record framing starts at off
+// in page file seq and spans recLen bytes. count caches the window
+// length so stats and cap decisions need no disk read.
+type pageRef struct {
+	seq    uint64
+	off    int64
+	recLen int64
+	count  int
+}
+
+// pager owns the page files of one store directory. All methods are
+// called with the store mutex held.
+type pager struct {
+	dir       string
+	seq       uint64   // current write file (opened lazily)
+	f         *os.File // nil until the first pageOut after open/GC
+	size      int64
+	dirty     bool  // written since last fsync
+	liveRefs  int   // live stubs (cold apps)
+	liveBytes int64 // bytes referenced by live stubs
+	deadBytes int64 // bytes in page files no stub references
+	fsyncs    int64
+}
+
+// openPager scans dir for existing page files and positions the writer
+// on a fresh sequence number. Live/dead accounting is rebuilt by the
+// caller once stubs are known (see recountLocked).
+func openPager(dir string) (*pager, error) {
+	seqs, err := listSeqs(dir, pagePrefix, pageSuffix)
+	if err != nil {
+		return nil, err
+	}
+	p := &pager{dir: dir, seq: 1}
+	for _, seq := range seqs {
+		if seq >= p.seq {
+			p.seq = seq + 1
+		}
+		if fi, err := os.Stat(filepath.Join(dir, pageName(seq))); err == nil {
+			p.deadBytes += fi.Size() // reclassified as live per stub below
+		}
+	}
+	return p, nil
+}
+
+// noteLive moves one stub's bytes from the dead to the live column
+// (boot-time accounting).
+func (p *pager) noteLive(ref *pageRef) {
+	p.liveRefs++
+	p.liveBytes += ref.recLen
+	p.deadBytes -= ref.recLen
+}
+
+// encodePageRecord frames one app's state for paging.
+func encodePageRecord(app string, st *appState) []byte {
+	return appendRecord(nil, encodeWireAppCompact(nil, app, st))
+}
+
+// writeOut appends one framed record to the current page file and
+// returns its stub.
+func (p *pager) writeOut(app string, st *appState) (*pageRef, error) {
+	if p.f == nil {
+		f, err := os.OpenFile(filepath.Join(p.dir, pageName(p.seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		p.f, p.size = f, 0
+	}
+	rec := encodePageRecord(app, st)
+	if _, err := p.f.Write(rec); err != nil {
+		return nil, err
+	}
+	ref := &pageRef{seq: p.seq, off: p.size, recLen: int64(len(rec)), count: st.cw.Len()}
+	p.size += int64(len(rec))
+	p.liveRefs++
+	p.liveBytes += int64(len(rec))
+	p.dirty = true
+	return ref, nil
+}
+
+// readBack loads the record a stub points to and returns the decoded
+// app state. The frame CRC plus the embedded app name guard against
+// stale or misdirected refs.
+func (p *pager) readBack(app string, ref *pageRef) (*appState, error) {
+	f, err := os.Open(filepath.Join(p.dir, pageName(ref.seq)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, ref.recLen)
+	if _, err := io.ReadFull(io.NewSectionReader(f, ref.off, ref.recLen), buf); err != nil {
+		return nil, fmt.Errorf("store: page %d@%d: %w", ref.seq, ref.off, err)
+	}
+	var got *appState
+	if _, err := readRecords(bytes.NewReader(buf), func(payload []byte) error {
+		name, st, err := decodeWireAppCompact(payload)
+		if err != nil {
+			return err
+		}
+		if name != app {
+			return fmt.Errorf("store: page %d@%d: holds %q, want %q", ref.seq, ref.off, name, app)
+		}
+		got = st
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if got == nil {
+		return nil, fmt.Errorf("store: page %d@%d: empty record", ref.seq, ref.off)
+	}
+	return got, nil
+}
+
+// free retires a stub's bytes (app restored, replaced, or dropped).
+func (p *pager) free(ref *pageRef) {
+	p.liveRefs--
+	p.liveBytes -= ref.recLen
+	p.deadBytes += ref.recLen
+}
+
+// sync fsyncs the current page file if it has unflushed writes. Called
+// before any snapshot that may reference its records.
+func (p *pager) sync() error {
+	if !p.dirty || p.f == nil {
+		return nil
+	}
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	p.fsyncs++
+	p.dirty = false
+	return nil
+}
+
+// gcThreshold: rewrite live records once dead bytes exceed 1 MiB and
+// outweigh live ones. Below that, the space is cheaper than the copy.
+const pageGCMinDead = 1 << 20
+
+// maybeGC rewrites every live stub's record into a fresh page file and
+// rebinds the stubs, so compaction can delete the old files after the
+// next snapshot commits the new refs. On any error the old refs are
+// still intact and the rewrite is abandoned (retried next compaction).
+func (p *pager) maybeGC(apps map[string]*appState) error {
+	if p.deadBytes < pageGCMinDead || p.deadBytes <= p.liveBytes {
+		return nil
+	}
+	if p.f != nil {
+		p.f.Close()
+		p.f = nil
+	}
+	p.seq++
+	type rebind struct {
+		st  *appState
+		ref *pageRef
+	}
+	var rebinds []rebind
+	for app, st := range apps {
+		if st.page == nil {
+			continue
+		}
+		full, err := p.readBack(app, st.page)
+		if err != nil {
+			return err
+		}
+		ref, err := p.writeOut(app, full)
+		if err != nil {
+			return err
+		}
+		// Double-count live bytes until the swap below settles them.
+		rebinds = append(rebinds, rebind{st, ref})
+	}
+	for _, r := range rebinds {
+		p.free(r.st.page)
+		r.st.page = r.ref
+	}
+	return nil
+}
+
+// deleteBelow removes page files whose sequence number is below the
+// lowest live reference (cleanup, not correctness — leftovers are
+// re-deleted on the next compaction). Returns bytes reclaimed.
+func (p *pager) deleteBelow(apps map[string]*appState) {
+	minLive := p.seq
+	for _, st := range apps {
+		if st.page != nil && st.page.seq < minLive {
+			minLive = st.page.seq
+		}
+	}
+	seqs, err := listSeqs(p.dir, pagePrefix, pageSuffix)
+	if err != nil {
+		return
+	}
+	for _, seq := range seqs {
+		if seq >= minLive {
+			continue
+		}
+		path := filepath.Join(p.dir, pageName(seq))
+		if fi, err := os.Stat(path); err == nil {
+			if os.Remove(path) == nil {
+				p.deadBytes -= fi.Size()
+			}
+		}
+	}
+	if p.deadBytes < 0 {
+		p.deadBytes = 0
+	}
+}
+
+func (p *pager) close() error {
+	if p.f == nil {
+		return nil
+	}
+	err := p.f.Sync()
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	p.f = nil
+	return err
+}

@@ -1,0 +1,362 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// pageFleet builds a deterministic observation stream over n apps with
+// sparse-fleet value shapes (mostly zeros, occasional bursts).
+func pageFleet(n, perApp int, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	var obs []Observation
+	for i := 0; i < perApp; i++ {
+		for a := 0; a < n; a++ {
+			v := 0.0
+			if rng.Intn(4) == 0 {
+				v = rng.Float64() * 50
+			}
+			obs = append(obs, Observation{App: appName(a), Concurrency: v})
+		}
+	}
+	return obs
+}
+
+func appName(i int) string {
+	return "app-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i/26))
+}
+
+func TestPageOutReadThroughAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	defer s.Close()
+	obs := pageFleet(12, 40, 10)
+	if err := s.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	want := buildWindows(obs)
+
+	// Page out half the fleet.
+	cold := 0
+	for i := 0; i < 12; i += 2 {
+		if err := s.PageOut(appName(i)); err != nil {
+			t.Fatal(err)
+		}
+		cold++
+	}
+	if got := s.PagedApps(); got != cold {
+		t.Fatalf("PagedApps = %d, want %d", got, cold)
+	}
+	// Window/Windows read through to disk without promoting.
+	assertExactPrefix(t, s, obs)
+	if got := s.PagedApps(); got != cold {
+		t.Fatalf("read-through promoted: PagedApps = %d, want %d", got, cold)
+	}
+
+	// RestoreWindow promotes and returns the exact window.
+	win, paged, ok := s.RestoreWindow(appName(0))
+	if !ok || !paged {
+		t.Fatalf("RestoreWindow: ok=%v paged=%v", ok, paged)
+	}
+	assertBitIdentical(t, win, want[appName(0)], "restored window")
+	if got := s.PagedApps(); got != cold-1 {
+		t.Fatalf("PagedApps after restore = %d, want %d", got, cold-1)
+	}
+	// A second restore of the same app reports paged=false.
+	if _, paged, _ := s.RestoreWindow(appName(0)); paged {
+		t.Fatal("restore of a warm app reported a page-in")
+	}
+
+	// Appending to a cold app transparently pages it in.
+	if err := s.Append(appName(2), 123.5); err != nil {
+		t.Fatal(err)
+	}
+	obs = append(obs, Observation{App: appName(2), Concurrency: 123.5})
+	assertExactPrefix(t, s, obs)
+	if got := s.PagedApps(); got != cold-2 {
+		t.Fatalf("PagedApps after append = %d, want %d", got, cold-2)
+	}
+}
+
+func TestPagedStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	obs := pageFleet(10, 30, 11)
+	if err := s.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := s.PageOut(appName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compaction embeds the stubs in a v2 snapshot (after fsyncing the
+	// page file) — cold apps stay cold across a clean restart.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	defer s.Close()
+	if got := s.PagedApps(); got != 5 {
+		t.Fatalf("PagedApps after restart = %d, want 5", got)
+	}
+	assertExactPrefix(t, s, obs)
+}
+
+// TestKillDuringPageOut crashes (abandons the store without Close) with
+// the page file truncated to every possible prefix length, simulating a
+// torn page-out write. Until a snapshot references a stub, the
+// snapshot+WAL chain still holds every observation, so recovery must be
+// exact no matter where the page write tore.
+func TestKillDuringPageOut(t *testing.T) {
+	obs := pageFleet(6, 25, 12)
+	// Probe the page file size once.
+	probeDir := t.TempDir()
+	s := mustOpen(t, probeDir, Options{Sync: SyncNever, CompactEvery: -1})
+	if err := s.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.PageOut(appName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pageFile := filepath.Join(probeDir, pageName(1))
+	fi, err := os.Stat(pageFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+
+	step := size / 17
+	if step < 1 {
+		step = 1
+	}
+	for cut := int64(0); cut <= size; cut += step {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+		if err := s.AppendBatch(obs); err != nil {
+			t.Fatal(err)
+		}
+		s.Sync()
+		for i := 0; i < 6; i++ {
+			if err := s.PageOut(appName(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Kill: no Close, page file torn at cut.
+		if err := os.Truncate(filepath.Join(dir, pageName(1)), cut); err != nil {
+			t.Fatal(err)
+		}
+		r := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+		assertExactPrefix(t, r, obs)
+		if r.PagedApps() != 0 {
+			t.Fatalf("cut %d: recovered store has %d cold apps, want 0 (stubs were never snapshotted)", cut, r.PagedApps())
+		}
+		r.Close()
+	}
+}
+
+// TestPageCorruptionAfterSnapshotKeepsTotals covers the documented
+// degradation: once a snapshot references a page record and that record
+// later rots, the window is lost but the durable total — what the CI
+// smoke cross-checks — must be conserved, and the store must keep
+// serving.
+func TestPageCorruptionAfterSnapshotKeepsTotals(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	obs := pageFleet(4, 20, 13)
+	if err := s.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	total := s.TotalObservations()
+	for i := 0; i < 4; i++ {
+		if err := s.PageOut(appName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in every page record (leave the file length intact).
+	pageFile := filepath.Join(dir, pageName(1))
+	data, err := os.ReadFile(pageFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 9; i < len(data); i += 40 {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(pageFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	defer r.Close()
+	if got := r.TotalObservations(); got != total {
+		t.Fatalf("total after page corruption = %d, want %d", got, total)
+	}
+	// Touching the corrupt apps must not wedge the store: the window
+	// restarts empty, totals keep counting, and the failure is counted.
+	for i := 0; i < 4; i++ {
+		if err := r.Append(appName(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.TotalObservations(); got != total+4 {
+		t.Fatalf("total after appends = %d, want %d", got, total+4)
+	}
+	if r.Stats().PageErrors == 0 {
+		t.Fatal("page corruption was not counted in Stats().PageErrors")
+	}
+}
+
+// TestPageGCRewritesAndDeletes drives page-out/restore churn until dead
+// bytes dominate, then checks compaction rewrites live records into a
+// fresh page file, deletes superseded ones, and keeps windows exact.
+func TestPageGCRewritesAndDeletes(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	defer s.Close()
+	// Windows big enough that page records are substantial.
+	var obs []Observation
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 40000; i++ {
+		obs = append(obs, Observation{App: appName(i % 8), Concurrency: rng.NormFloat64() * 1e6})
+	}
+	if err := s.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: repeated page-out/restore leaves every generation's records
+	// dead in the page files.
+	for round := 0; round < 24; round++ {
+		for i := 0; i < 8; i++ {
+			if err := s.PageOut(appName(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if _, _, ok := s.RestoreWindow(appName(i)); !ok {
+				t.Fatalf("round %d: app %d missing", round, i)
+			}
+		}
+	}
+	for i := 0; i < 8; i += 2 {
+		if err := s.PageOut(appName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.PageBytes == 0 {
+		t.Fatal("churn produced no page bytes")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.PageBytes >= st.PageBytes/2 {
+		t.Fatalf("GC left %d page bytes of %d", after.PageBytes, st.PageBytes)
+	}
+	if after.PagedApps != 4 {
+		t.Fatalf("PagedApps after GC = %d, want 4", after.PagedApps)
+	}
+	assertExactPrefix(t, s, obs)
+}
+
+// TestSnapshotV1Compat opens a data directory whose snapshot was
+// written in the pre-tiering v1 format.
+func TestSnapshotV1Compat(t *testing.T) {
+	dir := t.TempDir()
+	wins := map[string][]float64{
+		"alpha": {1, 2.5, 0, math.Inf(1), -0.125},
+		"beta":  {0, 0, 0, 42},
+	}
+	var buf []byte
+	buf = appendRecord(buf, []byte(snapMagic))
+	for app, w := range wins {
+		buf = appendRecord(buf, encodeWireApp(nil, app, w, int64(len(w))))
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(3)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	defer s.Close()
+	for app, w := range wins {
+		assertBitIdentical(t, s.Window(app), w, "v1 window "+app)
+	}
+	if got := s.TotalObservations(); got != 9 {
+		t.Fatalf("total = %d, want 9", got)
+	}
+}
+
+// TestInlineBudgetSweep pins the -max-warm-apps mechanism: the CLOCK
+// sweep keeps the inline (warm) app count at the budget on the apply
+// path — which is also the boot replay path, so a restart of a big
+// fleet lands mostly cold instead of materializing every window — while
+// every observation stays readable bit-identically through the stubs.
+func TestInlineBudgetSweep(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Sync: SyncNever, CompactEvery: -1, InlineBudget: 8}
+	s := mustOpen(t, dir, opt)
+	obs := pageFleet(64, 12, 15)
+	if err := s.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Apps(); got != 64 {
+		t.Fatalf("Apps = %d, want 64", got)
+	}
+	if inline := s.Apps() - s.PagedApps(); inline > 8 {
+		t.Fatalf("inline apps = %d, want <= budget 8", inline)
+	}
+	if s.Stats().PageOuts == 0 {
+		t.Fatal("budget enforcement never paged out")
+	}
+	assertExactPrefix(t, s, obs)
+	// Reading through the whole fleet must not blow the budget back up.
+	if inline := s.Apps() - s.PagedApps(); inline > 8 {
+		t.Fatalf("inline apps after read-through = %d, want <= 8", inline)
+	}
+	// RestoreWindow promotes, but enforcement keeps the steady state.
+	for i := 0; i < 64; i += 7 {
+		win, _, ok := s.RestoreWindow(appName(i))
+		if !ok || len(win) != 12 {
+			t.Fatalf("restore %s: ok=%v len=%d", appName(i), ok, len(win))
+		}
+	}
+	if inline := s.Apps() - s.PagedApps(); inline > 8 {
+		t.Fatalf("inline apps after restores = %d, want <= 8", inline)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot replay (pure WAL, no snapshot) re-enforces the budget as it
+	// applies, so a million-app fleet does not materialize at startup.
+	s2 := mustOpen(t, dir, opt)
+	if inline := s2.Apps() - s2.PagedApps(); inline > 8 {
+		t.Fatalf("inline apps after WAL replay = %d, want <= 8", inline)
+	}
+	assertExactPrefix(t, s2, obs)
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And again from the snapshot: paged stubs load as stubs.
+	s3 := mustOpen(t, dir, opt)
+	defer s3.Close()
+	if inline := s3.Apps() - s3.PagedApps(); inline > 8 {
+		t.Fatalf("inline apps after snapshot boot = %d, want <= 8", inline)
+	}
+	assertExactPrefix(t, s3, obs)
+}

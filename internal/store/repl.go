@@ -120,7 +120,7 @@ func decodeReplBatch(body []byte) (next ReplPos, frames []byte, err error) {
 func encodeAppImport(app string, window []float64, total int64) []byte {
 	buf := append([]byte(nil), ctrlPrefix...)
 	buf = append(buf, ctrlAppImport)
-	return encodeSnapshotApp(buf, app, &appState{window: window, total: total})
+	return encodeWireApp(buf, app, window, total)
 }
 
 func encodeTombstone(app string) []byte {
@@ -169,18 +169,21 @@ func (s *Store) applyPayloadLocked(p []byte, depth int) error {
 		s.replCursor, s.hasCursor = next, true
 		return nil
 	case ctrlAppImport:
-		app, st, err := decodeSnapshotApp(body)
+		app, window, total, err := decodeWireApp(body)
 		if err != nil {
 			return err
 		}
 		if old := s.apps[app]; old != nil {
 			s.total -= old.total
+			if old.page != nil {
+				s.pg.free(old.page)
+			}
 		}
-		if cap := s.opt.WindowCap; cap > 0 && len(st.window) > cap {
-			st.window = append([]float64(nil), st.window[len(st.window)-cap:]...)
+		if cap := s.opt.WindowCap; cap > 0 && len(window) > cap {
+			window = window[len(window)-cap:]
 		}
-		s.apps[app] = &appState{window: st.window, total: st.total}
-		s.total += st.total
+		s.apps[app] = &appState{cw: compactWindowOf(window), total: total}
+		s.total += total
 		return nil
 	case ctrlTombstone:
 		app, err := decodeTombstone(body)
@@ -189,6 +192,9 @@ func (s *Store) applyPayloadLocked(p []byte, depth int) error {
 		}
 		if old := s.apps[app]; old != nil {
 			s.total -= old.total
+			if old.page != nil {
+				s.pg.free(old.page)
+			}
 			delete(s.apps, app)
 		}
 		return nil
@@ -220,7 +226,7 @@ func validatePayload(p []byte, depth int) error {
 		})
 		return err
 	case ctrlAppImport:
-		_, _, err := decodeSnapshotApp(body)
+		_, _, _, err := decodeWireApp(body)
 		return err
 	case ctrlTombstone:
 		_, err := decodeTombstone(body)
@@ -490,7 +496,7 @@ func (s *Store) ExportState() (data []byte, pos ReplPos, err error) {
 	}
 	buf := appendRecord(nil, []byte(snapMagic))
 	for app, st := range s.apps {
-		buf = appendRecord(buf, encodeSnapshotApp(nil, app, st))
+		buf = appendRecord(buf, encodeWireApp(nil, app, s.windowLocked(app, st), st.total))
 	}
 	return buf, ReplPos{Seq: s.w.seq, Off: s.w.size}, nil
 }
@@ -511,14 +517,14 @@ func (s *Store) ImportState(data []byte, pos ReplPos) error {
 			}
 			return nil
 		}
-		app, st, err := decodeSnapshotApp(payload)
+		app, window, total, err := decodeWireApp(payload)
 		if err != nil {
 			return err
 		}
-		if cap := s.opt.WindowCap; cap > 0 && len(st.window) > cap {
-			st.window = append([]float64(nil), st.window[len(st.window)-cap:]...)
+		if cap := s.opt.WindowCap; cap > 0 && len(window) > cap {
+			window = window[len(window)-cap:]
 		}
-		apps[app] = &appState{window: st.window, total: st.total}
+		apps[app] = &appState{cw: compactWindowOf(window), total: total}
 		return nil
 	})
 	if err != nil {
@@ -532,6 +538,13 @@ func (s *Store) ImportState(data []byte, pos ReplPos) error {
 	defer s.mu.Unlock()
 	if s.w == nil {
 		return fmt.Errorf("store: closed")
+	}
+	// The imported fleet replaces everything, including any cold apps'
+	// stubs; their page bytes become garbage for the next compaction.
+	for _, st := range s.apps {
+		if st.page != nil {
+			s.pg.free(st.page)
+		}
 	}
 	s.apps = apps
 	s.total = 0
@@ -560,7 +573,7 @@ func (s *Store) ExportApp(app string) (window []float64, total int64, ok bool) {
 	if st == nil {
 		return nil, 0, false
 	}
-	return append([]float64(nil), st.window...), st.total, true
+	return s.windowLocked(app, st), st.total, true
 }
 
 // ImportApp durably replaces one app's state — the receiving half of a

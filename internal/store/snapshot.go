@@ -8,70 +8,187 @@ import (
 	"path/filepath"
 )
 
-// Snapshots compact the WAL: snap-<seq>.snap holds every app's window
-// (and lifetime observation count) as of the moment segments <= seq were
-// sealed. The file reuses the WAL's CRC-framed record format:
+// Snapshots compact the WAL: snap-<seq>.snap holds every app's state
+// (and lifetime observation count) as of the moment segments <= seq
+// were sealed. The file reuses the WAL's CRC-framed record format.
 //
-//	record 0   magic "femux-snap-v1"
-//	record i   uvarint len(app) | app | uvarint total | uvarint n | n × float64 bits
+// v2 (written since tiering) keeps apps in their in-memory shape:
 //
-// A snapshot is written to a temp file, fsynced, and renamed into place,
-// so a crash mid-compaction leaves either the old or the new snapshot —
-// never a half-written one (a snapshot that fails its CRC or magic check
-// is skipped and the previous one is used instead).
-const snapMagic = "femux-snap-v1"
+//	record 0   magic "femux-snap-v2"
+//	record i   tag 0x00 | uvarint len(app) | app | uvarint total | compact window
+//	           tag 0x01 | uvarint len(app) | app | uvarint total |
+//	                      uvarint pageSeq | uvarint off | uvarint recLen | uvarint count
+//
+// Tag 0x00 is an inline (warm) app with its delta/varint-encoded
+// window; tag 0x01 is a cold app's stub pointing into a page file. v1
+// snapshots (raw float64 windows) are still loadable, so a pre-tiering
+// data directory opens cleanly; the v1 record format also remains the
+// replication wire format (ExportState/ImportState, ctrlAppImport), so
+// paging never leaks into what peers see.
+//
+// A snapshot is written to a temp file, fsynced, and renamed into
+// place, so a crash mid-compaction leaves either the old or the new
+// snapshot — never a half-written one (a snapshot that fails its CRC or
+// magic check is skipped and the previous one is used instead).
+const (
+	snapMagic   = "femux-snap-v1"
+	snapMagicV2 = "femux-snap-v2"
+
+	snapTagInline = 0x00
+	snapTagPaged  = 0x01
+)
 
 // appState is one application's durable state: the sliding observation
-// window plus the lifetime count (windows may be capped; total is not).
+// window — delta-compressed always ("warm"), or paged to disk behind a
+// stub ("cold") — plus the lifetime count (windows may be capped; total
+// is not).
 type appState struct {
-	window []float64
-	total  int64
+	cw    CompactWindow
+	page  *pageRef // non-nil => cw is empty and the window lives on disk
+	total int64
+	// touched is the CLOCK reference bit for the inline-budget sweep
+	// (in-memory only, never serialized): set on every apply/restore,
+	// cleared by a sweep pass before the app becomes a page-out victim.
+	touched bool
 }
 
-// encodeSnapshotApp frames one app's state into a snapshot record payload.
-func encodeSnapshotApp(buf []byte, app string, st *appState) []byte {
+// windowLen reports the stored window length without materializing it.
+func (st *appState) windowLen() int {
+	if st.page != nil {
+		return st.page.count
+	}
+	return st.cw.Len()
+}
+
+// encodeWireApp frames one app's state in the v1 record format — raw
+// float64 window — still used on the replication wire.
+func encodeWireApp(buf []byte, app string, window []float64, total int64) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(app)))
 	buf = append(buf, app...)
-	buf = binary.AppendUvarint(buf, uint64(st.total))
-	buf = binary.AppendUvarint(buf, uint64(len(st.window)))
-	for _, v := range st.window {
+	buf = binary.AppendUvarint(buf, uint64(total))
+	buf = binary.AppendUvarint(buf, uint64(len(window)))
+	for _, v := range window {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
 	return buf
 }
 
-// decodeSnapshotApp parses a snapshot record payload. Every read is
+// decodeWireApp parses a v1 record payload. Every read is
 // bounds-checked: a corrupt record errors out instead of over-reading.
-func decodeSnapshotApp(p []byte) (app string, st appState, err error) {
+func decodeWireApp(p []byte) (app string, window []float64, total int64, err error) {
+	app, p, utotal, err := decodeAppHeader(p, "snapshot")
+	if err != nil {
+		return "", nil, 0, err
+	}
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", nil, 0, fmt.Errorf("store: snapshot record: bad window length")
+	}
+	p = p[n:]
+	if count*8 != uint64(len(p)) {
+		return "", nil, 0, fmt.Errorf("store: snapshot record: window %d values, %d bytes", count, len(p))
+	}
+	window = make([]float64, count)
+	for i := range window {
+		window[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	return app, window, int64(utotal), nil
+}
+
+// decodeAppHeader parses the shared "len(app) | app | total" prefix.
+func decodeAppHeader(p []byte, what string) (app string, rest []byte, total uint64, err error) {
 	nameLen, n := binary.Uvarint(p)
 	if n <= 0 || nameLen > uint64(len(p)-n) {
-		return "", st, fmt.Errorf("store: snapshot record: bad app length")
+		return "", nil, 0, fmt.Errorf("store: %s record: bad app length", what)
 	}
 	p = p[n:]
 	app = string(p[:nameLen])
 	p = p[nameLen:]
-	total, n := binary.Uvarint(p)
+	total, n = binary.Uvarint(p)
 	if n <= 0 {
-		return "", st, fmt.Errorf("store: snapshot record: bad total")
+		return "", nil, 0, fmt.Errorf("store: %s record: bad total", what)
 	}
-	p = p[n:]
-	count, n := binary.Uvarint(p)
-	if n <= 0 {
-		return "", st, fmt.Errorf("store: snapshot record: bad window length")
-	}
-	p = p[n:]
-	if count*8 != uint64(len(p)) {
-		return "", st, fmt.Errorf("store: snapshot record: window %d values, %d bytes", count, len(p))
-	}
-	st.total = int64(total)
-	st.window = make([]float64, count)
-	for i := range st.window {
-		st.window[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
-	}
-	return app, st, nil
+	return app, p[n:], total, nil
 }
 
-// writeSnapshot persists apps atomically as snap-<seq>.snap.
+// encodeWireAppCompact frames one inline app's state in the compact
+// form shared by v2 inline snapshot records and page records.
+func encodeWireAppCompact(buf []byte, app string, st *appState) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(app)))
+	buf = append(buf, app...)
+	buf = binary.AppendUvarint(buf, uint64(st.total))
+	return st.cw.appendEncoded(buf)
+}
+
+// decodeWireAppCompact parses an encodeWireAppCompact payload.
+func decodeWireAppCompact(p []byte) (app string, st *appState, err error) {
+	app, p, total, err := decodeAppHeader(p, "page")
+	if err != nil {
+		return "", nil, err
+	}
+	cw, rest, err := decodeCompactWindow(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rest) != 0 {
+		return "", nil, fmt.Errorf("store: page record: %d trailing bytes", len(rest))
+	}
+	return app, &appState{cw: cw, total: int64(total)}, nil
+}
+
+// encodeSnapshotApp frames one app for a v2 snapshot: inline apps carry
+// their compact window, cold apps just their page stub.
+func encodeSnapshotApp(buf []byte, app string, st *appState) []byte {
+	if st.page == nil {
+		buf = append(buf, snapTagInline)
+		return encodeWireAppCompact(buf, app, st)
+	}
+	buf = append(buf, snapTagPaged)
+	buf = binary.AppendUvarint(buf, uint64(len(app)))
+	buf = append(buf, app...)
+	buf = binary.AppendUvarint(buf, uint64(st.total))
+	buf = binary.AppendUvarint(buf, st.page.seq)
+	buf = binary.AppendUvarint(buf, uint64(st.page.off))
+	buf = binary.AppendUvarint(buf, uint64(st.page.recLen))
+	return binary.AppendUvarint(buf, uint64(st.page.count))
+}
+
+// decodeSnapshotApp parses a v2 snapshot record.
+func decodeSnapshotApp(p []byte) (app string, st *appState, err error) {
+	if len(p) == 0 {
+		return "", nil, fmt.Errorf("store: snapshot record: empty")
+	}
+	tag := p[0]
+	p = p[1:]
+	switch tag {
+	case snapTagInline:
+		return decodeWireAppCompact(p)
+	case snapTagPaged:
+		app, p, total, err := decodeAppHeader(p, "snapshot")
+		if err != nil {
+			return "", nil, err
+		}
+		var vals [4]uint64
+		for i := range vals {
+			v, n := binary.Uvarint(p)
+			if n <= 0 {
+				return "", nil, fmt.Errorf("store: snapshot record: bad page stub")
+			}
+			vals[i], p = v, p[n:]
+		}
+		if len(p) != 0 {
+			return "", nil, fmt.Errorf("store: snapshot record: %d trailing bytes", len(p))
+		}
+		return app, &appState{
+			total: int64(total),
+			page:  &pageRef{seq: vals[0], off: int64(vals[1]), recLen: int64(vals[2]), count: int(vals[3])},
+		}, nil
+	default:
+		return "", nil, fmt.Errorf("store: snapshot record: unknown tag %#x", tag)
+	}
+}
+
+// writeSnapshot persists apps atomically as snap-<seq>.snap (v2).
 func writeSnapshot(dir string, seq uint64, apps map[string]*appState) error {
 	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
@@ -80,7 +197,7 @@ func writeSnapshot(dir string, seq uint64, apps map[string]*appState) error {
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 
 	var buf []byte
-	buf = appendRecord(buf, []byte(snapMagic))
+	buf = appendRecord(buf, []byte(snapMagicV2))
 	for app, st := range apps {
 		buf = appendRecord(buf, encodeSnapshotApp(nil, app, st))
 	}
@@ -102,8 +219,9 @@ func writeSnapshot(dir string, seq uint64, apps map[string]*appState) error {
 	return nil
 }
 
-// loadSnapshot reads snap-<seq>.snap. Any framing, CRC, magic, or decode
-// failure returns an error; callers fall back to an older snapshot.
+// loadSnapshot reads snap-<seq>.snap in either format. Any framing,
+// CRC, magic, or decode failure returns an error; callers fall back to
+// an older snapshot.
 func loadSnapshot(dir string, seq uint64) (map[string]*appState, error) {
 	f, err := os.Open(filepath.Join(dir, snapName(seq)))
 	if err != nil {
@@ -111,20 +229,32 @@ func loadSnapshot(dir string, seq uint64) (map[string]*appState, error) {
 	}
 	defer f.Close()
 	apps := map[string]*appState{}
-	first := true
+	first, v2 := true, false
 	n, err := readRecords(f, func(payload []byte) error {
 		if first {
 			first = false
-			if string(payload) != snapMagic {
+			switch string(payload) {
+			case snapMagicV2:
+				v2 = true
+			case snapMagic:
+			default:
 				return fmt.Errorf("store: snapshot %d: bad magic", seq)
 			}
 			return nil
 		}
-		app, st, err := decodeSnapshotApp(payload)
+		if v2 {
+			app, st, err := decodeSnapshotApp(payload)
+			if err != nil {
+				return err
+			}
+			apps[app] = st
+			return nil
+		}
+		app, window, total, err := decodeWireApp(payload)
 		if err != nil {
 			return err
 		}
-		apps[app] = &appState{window: st.window, total: st.total}
+		apps[app] = &appState{cw: compactWindowOf(window), total: total}
 		return nil
 	})
 	if err != nil {

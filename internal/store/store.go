@@ -66,6 +66,12 @@ type Options struct {
 	// CompactEvery compacts the WAL into a snapshot after this many
 	// appended records (0 = default 65536, negative = never).
 	CompactEvery int
+	// InlineBudget bounds how many apps keep their compact window in
+	// memory (0 = unlimited): the excess is paged to disk by a CLOCK
+	// sweep, each leaving a ~few-dozen-byte stub. Enforced on the apply
+	// path, so boot replay of a fleet larger than the budget also lands
+	// mostly cold instead of materializing every app.
+	InlineBudget int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,8 +101,15 @@ type Stats struct {
 	Snapshots    int
 	WALBytes     int64 // bytes across live segments
 	Fsyncs       int64
-	TornTail     bool // a torn/corrupt WAL tail was truncated on open
+	TornTail     bool  // a torn/corrupt WAL tail was truncated on open
 	Restored     int64 // records recovered from disk on open
+
+	PagedApps   int   // cold apps whose window lives in a page file
+	PageFiles   int   // live page files
+	PageBytes   int64 // bytes across live page files
+	WindowBytes int64 // heap bytes retained by in-memory compact windows
+	PageErrors  int64 // page-in failures (window lost, total kept)
+	PageOuts    int64 // lifetime warm->cold demotions
 }
 
 // Store is a durable per-app observation store: an in-memory map of
@@ -107,11 +120,21 @@ type Store struct {
 	dir      string
 	opt      Options
 	w        *wal
+	pg       *pager
 	apps     map[string]*appState
 	total    int64
 	restored int64
 	torn     bool
-	appended int // records since the last compaction
+	appended int   // records since the last compaction
+	pageErrs int64 // page-in failures (window lost, total kept)
+	pageOuts int64 // lifetime warm->cold demotions
+
+	// CLOCK sweep state for the inline budget: a stable snapshot of app
+	// names walked with a cursor, refreshed when exhausted. Second-chance
+	// via appState.touched keeps recently-updated apps inline without
+	// per-observation LRU bookkeeping.
+	sweepNames []string
+	sweepPos   int
 
 	// replCursor is the last primary WAL position durably applied by
 	// AppendReplicated/ImportState (follower role); restored by replay.
@@ -134,6 +157,11 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, opt: opt, apps: map[string]*appState{}}
+	pg, err := openPager(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.pg = pg
 
 	snapSeqs, err := listSeqs(dir, snapPrefix, snapSuffix)
 	if err != nil {
@@ -153,6 +181,9 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	for _, st := range s.apps {
 		s.total += st.total
+		if st.page != nil {
+			s.pg.noteLive(st.page)
+		}
 	}
 	s.restored = s.total
 
@@ -244,22 +275,125 @@ func decodeObservation(p []byte) (Observation, error) {
 	}, nil
 }
 
-// apply folds one observation into the in-memory state.
+// apply folds one observation into the in-memory state, transparently
+// paging a cold app back in first.
 func (s *Store) apply(obs Observation) {
 	st := s.apps[obs.App]
 	if st == nil {
 		st = &appState{}
 		s.apps[obs.App] = st
 	}
-	st.window = append(st.window, obs.Concurrency)
-	if cap := s.opt.WindowCap; cap > 0 && len(st.window) > cap {
-		// Copy down instead of re-slicing so the backing array does not
-		// pin the evicted prefix forever.
-		keep := copy(st.window, st.window[len(st.window)-cap:])
-		st.window = st.window[:keep]
+	s.ensureInlineLocked(obs.App, st)
+	st.cw.Append(obs.Concurrency)
+	if cap := s.opt.WindowCap; cap > 0 {
+		// Chunk-granular in memory; the exact cap is applied when the
+		// window is materialized.
+		st.cw.TrimFront(cap)
 	}
+	st.touched = true
 	st.total++
 	s.total++
+	s.enforceInlineBudgetLocked()
+}
+
+// pageOutLocked demotes one warm app to cold.
+func (s *Store) pageOutLocked(app string, st *appState) error {
+	ref, err := s.pg.writeOut(app, st)
+	if err != nil {
+		return err
+	}
+	st.cw = CompactWindow{}
+	st.page = ref
+	s.pageOuts++
+	return nil
+}
+
+// enforceInlineBudgetLocked pages out warm apps until the inline count
+// fits Options.InlineBudget, picking victims with a CLOCK (second
+// chance) sweep: one touched bit per app instead of an LRU list, which
+// keeps the per-observation cost of a million-app fleet at a counter
+// compare. Page-out failures abort the pass; the budget is advisory
+// under I/O errors, never a reason to fail an append.
+func (s *Store) enforceInlineBudgetLocked() {
+	budget := s.opt.InlineBudget
+	if budget <= 0 {
+		return
+	}
+	inline := len(s.apps) - s.pg.liveRefs
+	if inline <= budget {
+		return
+	}
+	// Two full passes suffice: the first clears touched bits, the second
+	// demotes. The cursor persists across calls, so steady-state work is
+	// proportional to the overshoot, not the fleet.
+	scanned, limit := 0, 2*len(s.apps)+2
+	for inline > budget && scanned < limit {
+		if s.sweepPos >= len(s.sweepNames) {
+			s.sweepNames = s.sweepNames[:0]
+			for app := range s.apps {
+				s.sweepNames = append(s.sweepNames, app)
+			}
+			s.sweepPos = 0
+			if len(s.sweepNames) == 0 {
+				return
+			}
+		}
+		app := s.sweepNames[s.sweepPos]
+		s.sweepPos++
+		scanned++
+		st := s.apps[app]
+		if st == nil || st.page != nil {
+			continue // dropped or already cold since the snapshot
+		}
+		if st.touched {
+			st.touched = false
+			continue
+		}
+		if err := s.pageOutLocked(app, st); err != nil {
+			return
+		}
+		inline--
+	}
+}
+
+// ensureInlineLocked pages a cold app's window back into memory. The
+// record the stub points to is also covered by the snapshot+WAL chain
+// until the next compaction, so a read failure here — torn page file
+// after a crash mid-page-out, bit rot — costs the window only in the
+// rare case that chain was already compacted past it; the durable total
+// is kept either way and the app restarts with an empty window.
+func (s *Store) ensureInlineLocked(app string, st *appState) {
+	if st.page == nil {
+		return
+	}
+	full, err := s.pg.readBack(app, st.page)
+	s.pg.free(st.page)
+	st.page = nil
+	if err != nil {
+		st.cw = CompactWindow{}
+		s.pageErrs++
+		return
+	}
+	st.cw = full.cw
+}
+
+// windowLocked materializes an app's window without changing its tier
+// (cold apps are read from disk but stay cold), applying the exact
+// WindowCap.
+func (s *Store) windowLocked(app string, st *appState) []float64 {
+	cw := &st.cw
+	if st.page != nil {
+		full, err := s.pg.readBack(app, st.page)
+		if err != nil {
+			return nil
+		}
+		cw = &full.cw
+	}
+	win := cw.Values(nil)
+	if cap := s.opt.WindowCap; cap > 0 && len(win) > cap {
+		win = win[len(win)-cap:]
+	}
+	return win
 }
 
 // Append durably records one observation, then applies it in memory.
@@ -311,19 +445,69 @@ func (s *Store) Window(app string) []float64 {
 	if st == nil {
 		return nil
 	}
-	return append([]float64(nil), st.window...)
+	return s.windowLocked(app, st)
 }
 
-// Windows returns a copy of every app's sliding window, for restoring a
-// serving process's per-app history on boot.
+// Windows returns a copy of every app's sliding window. Cold apps are
+// materialized from disk without being promoted. Prefer RestoreWindow
+// per app on serving paths: this walks (and decodes) the entire fleet.
 func (s *Store) Windows() map[string][]float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string][]float64, len(s.apps))
 	for app, st := range s.apps {
-		out[app] = append([]float64(nil), st.window...)
+		out[app] = s.windowLocked(app, st)
 	}
 	return out
+}
+
+// RestoreWindow returns one app's window for lazy serving-state
+// restore, paging a cold app back in (it becomes warm). paged reports
+// whether a disk read happened; ok is false for unknown apps.
+func (s *Store) RestoreWindow(app string) (win []float64, paged bool, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.apps[app]
+	if st == nil {
+		return nil, false, false
+	}
+	paged = st.page != nil
+	s.ensureInlineLocked(app, st)
+	st.touched = true
+	win = st.cw.Values(nil)
+	if cap := s.opt.WindowCap; cap > 0 && len(win) > cap {
+		win = win[len(win)-cap:]
+	}
+	// Enforce after materializing: the sweep's second-chance pass may
+	// legitimately re-demote this very app (tiny budgets), which must not
+	// truncate the window we are about to hand to the caller.
+	s.enforceInlineBudgetLocked()
+	return win, paged, true
+}
+
+// PageOut moves one app's compact window to disk, leaving a stub — the
+// warm→cold demotion. Unknown or already-cold apps are a no-op. The
+// page write is buffered; it is fsynced before any snapshot that
+// references the stub (see compactLocked), which is the only point the
+// page copy becomes load-bearing for recovery.
+func (s *Store) PageOut(app string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("store: closed")
+	}
+	st := s.apps[app]
+	if st == nil || st.page != nil {
+		return nil
+	}
+	return s.pageOutLocked(app, st)
+}
+
+// PagedApps reports how many apps are cold (paged to disk).
+func (s *Store) PagedApps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pg.liveRefs
 }
 
 // TotalObservations reports lifetime observations (restored + appended).
@@ -373,11 +557,20 @@ func (s *Store) compactLocked() error {
 	if err := s.w.rotate(); err != nil {
 		return err
 	}
+	// Page files: rewrite live records if garbage dominates (a failed
+	// rewrite keeps the old refs and is retried next compaction), then
+	// fsync — the snapshot below is the first durable state to *depend*
+	// on page records, so they must be on disk before it exists.
+	s.pg.maybeGC(s.apps)
+	if err := s.pg.sync(); err != nil {
+		return err
+	}
 	snapSeq := s.w.seq - 1
 	if err := writeSnapshot(s.dir, snapSeq, s.apps); err != nil {
 		return err
 	}
 	s.appended = 0
+	s.pg.deleteBelow(s.apps)
 	// Deletion is cleanup, not correctness: leftovers are re-deleted on
 	// the next compaction, and restore ignores segments <= snapshot seq.
 	if segs, err := listSeqs(s.dir, segPrefix, segSuffix); err == nil {
@@ -433,6 +626,20 @@ func (s *Store) Stats() Stats {
 	if snaps, err := listSeqs(s.dir, snapPrefix, snapSuffix); err == nil {
 		st.Snapshots = len(snaps)
 	}
+	st.PagedApps = s.pg.liveRefs
+	st.PageErrors = s.pageErrs
+	st.PageOuts = s.pageOuts
+	if pages, err := listSeqs(s.dir, pagePrefix, pageSuffix); err == nil {
+		st.PageFiles = len(pages)
+		for _, seq := range pages {
+			if fi, err := os.Stat(filepath.Join(s.dir, pageName(seq))); err == nil {
+				st.PageBytes += fi.Size()
+			}
+		}
+	}
+	for _, a := range s.apps {
+		st.WindowBytes += int64(a.cw.MemBytes())
+	}
 	return st
 }
 
@@ -448,6 +655,9 @@ func (s *Store) Close() error {
 		if s.w != nil {
 			s.closeErr = s.w.close()
 			s.w = nil
+		}
+		if err := s.pg.close(); s.closeErr == nil {
+			s.closeErr = err
 		}
 	})
 	return s.closeErr
