@@ -99,6 +99,8 @@ func main() {
 			"apps holding forecast workspaces; LRU excess returns them to the shared pool (0 = unlimited)")
 		maxWarmApps = flag.Int("max-warm-apps", 0,
 			"apps with in-memory compact windows in the store; excess is paged to disk (0 = unlimited, requires -data-dir)")
+		quantileLevel = flag.Float64("quantile-level", 0,
+			"provision pod targets for this forecast quantile of demand (e.g. 0.95) instead of the point forecast (0 = off)")
 
 		shards     = flag.Int("shards", 1, "total femuxd instances in the fleet (hash-partitioned by app)")
 		shardID    = flag.Int("shard-id", 0, "this instance's shard index in [0, shards)")
@@ -165,11 +167,18 @@ func main() {
 	if *maxWarmApps > 0 && st == nil {
 		log.Fatal("-max-warm-apps requires -data-dir (paging needs a store)")
 	}
+	if *quantileLevel < 0 || *quantileLevel >= 1 {
+		log.Fatalf("-quantile-level must be in [0, 1), got %g", *quantileLevel)
+	}
 	svc := knative.NewServiceWith(model, knative.ServiceOptions{
 		Store: st, ShardID: *shardID, Shards: *shards,
 		Replica: *replicaOf != "", Joining: *joining,
 		MaxHotApps: *maxHotApps, MaxWorkspaces: *maxWorkspaces,
+		QuantileLevel: *quantileLevel,
 	})
+	if *quantileLevel > 0 {
+		log.Printf("SLO-aware provisioning: pod targets use the p%g demand quantile", *quantileLevel*100)
+	}
 	reg := serving.NewRegistry()
 	reg.RegisterGoMetrics()
 	svc.InstrumentWith(reg)

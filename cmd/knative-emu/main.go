@@ -35,6 +35,7 @@ func main() {
 		scaleOnly = flag.Bool("scalability-only", false, "skip the prototype replay")
 		svcApps   = flag.String("svc-apps", "10,50,200", "comma-separated app counts for the HTTP scalability study")
 		batchSize = flag.Int("batch", 0, "also run the scalability study through /v1/observe/batch with this batch size")
+		qlevel    = flag.Float64("quantile-level", 0, "provision for this forecast quantile of demand (e.g. 0.95) instead of the point forecast; 0 = off")
 	)
 	flag.Parse()
 
@@ -72,8 +73,12 @@ func main() {
 			}
 		}
 		specs := experiments.SpecsFromTrainApps(sel)
-		fmt.Println("== Fig 14-Mid: FeMux vs default Knative on the emulated cluster ==")
-		res := experiments.Fig14Prototype(model, specs, time.Duration(*hours*float64(time.Hour)))
+		if *qlevel > 0 {
+			fmt.Printf("== Fig 14-Mid: FeMux (p%g provisioning) vs default Knative on the emulated cluster ==\n", *qlevel*100)
+		} else {
+			fmt.Println("== Fig 14-Mid: FeMux vs default Knative on the emulated cluster ==")
+		}
+		res := experiments.Fig14PrototypeQuantile(model, specs, time.Duration(*hours*float64(time.Hour)), *qlevel)
 		fmt.Println(res)
 		fmt.Println()
 	}

@@ -1,8 +1,10 @@
 package baselines
 
 import (
+	"math"
 	"time"
 
+	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
 	"github.com/ubc-cirrus-lab/femux-go/internal/nn"
 )
 
@@ -33,6 +35,11 @@ type AquatopeForecaster struct {
 	model  *nn.LSTM
 	window int
 	scale  float64 // normalization: max of training data
+	// residStd is the training residual scale (RMSE of the final
+	// training epoch, de-normalized), the uncertainty estimate behind
+	// ForecastQuantilesInto. Zero when training data was empty or the
+	// loss was non-finite.
+	residStd float64
 	// Timing capture for the training/inference overhead comparison.
 	TrainTime time.Duration
 }
@@ -74,8 +81,13 @@ func TrainAquatope(history []float64, cfg AquatopeConfig) *AquatopeForecaster {
 	if len(seqs) > 0 {
 		tc := nn.DefaultTrainConfig()
 		tc.Epochs = cfg.Epochs
-		// Fit errors only on empty data, which we guarded above.
-		_, _ = f.model.Fit(seqs, targets, tc)
+		// Fit errors only on empty data, which we guarded above. The
+		// returned final-epoch MSE is in normalized units; its root,
+		// de-normalized, is the model's one-step residual scale.
+		mse, _ := f.model.Fit(seqs, targets, tc)
+		if mse == mse && !math.IsInf(mse, 0) && mse > 0 {
+			f.residStd = math.Sqrt(mse) * scale
+		}
 	}
 	f.TrainTime = time.Since(start)
 	return f
@@ -114,4 +126,37 @@ func (f *AquatopeForecaster) Forecast(history []float64, horizon int) []float64 
 		buf = append(buf, v)
 	}
 	return out
+}
+
+// ForecastInto implements forecast.IntoForecaster. The LSTM forward
+// pass allocates internally, so this only reuses the caller's dst; it
+// exists so the forecaster satisfies forecast.QuantileForecaster and
+// participates in forecast.QuantilesInto dispatch.
+func (f *AquatopeForecaster) ForecastInto(history []float64, horizon int, dst []float64, _ *forecast.Workspace) []float64 {
+	out := f.Forecast(history, horizon)
+	if out == nil {
+		return nil
+	}
+	if cap(dst) >= horizon {
+		dst = dst[:horizon]
+		copy(dst, out)
+		return dst
+	}
+	return out
+}
+
+// ForecastQuantilesInto implements forecast.QuantileForecaster: a
+// Gaussian band around the iterated point forecast, scaled by the
+// training residual (final-epoch RMSE) and widened by sqrt(t+1) as the
+// model feeds its own predictions back in.
+func (f *AquatopeForecaster) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *forecast.Workspace) []float64 {
+	if horizon <= 0 || len(levels) == 0 {
+		return nil
+	}
+	pt := f.Forecast(history, horizon)
+	sig := make([]float64, horizon)
+	for t := range sig {
+		sig[t] = f.residStd * math.Sqrt(float64(t+1))
+	}
+	return forecast.GaussianQuantilesInto(pt, sig, levels, dst, ws)
 }

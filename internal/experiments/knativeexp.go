@@ -109,15 +109,24 @@ type Fig14Result struct {
 // Fig14Prototype runs the emulated cluster twice — default Knative
 // autoscaling versus FeMux-overridden scaling — over the same replay.
 func Fig14Prototype(model *femux.Model, specs []knative.AppSpec, horizon time.Duration) Fig14Result {
+	return Fig14PrototypeQuantile(model, specs, horizon, 0)
+}
+
+// Fig14PrototypeQuantile is Fig14Prototype with FeMux's pod conversion
+// provisioning for the given forecast quantile (0 = point forecast,
+// knative-emu's -quantile-level knob).
+func Fig14PrototypeQuantile(model *femux.Model, specs []knative.AppSpec, horizon time.Duration, level float64) Fig14Result {
 	var res Fig14Result
 	res.Apps = len(specs)
 
 	base := knative.Run(specs, knative.EmulatorConfig{
 		Autoscaler: knative.DefaultAutoscalerConfig(),
 	}, horizon)
+	provider := knative.NewDirectProvider(model)
+	provider.QuantileLevel = level
 	fm := knative.Run(specs, knative.EmulatorConfig{
 		Autoscaler: knative.DefaultAutoscalerConfig(),
-		Provider:   knative.NewDirectProvider(model),
+		Provider:   provider,
 	}, horizon)
 
 	metric := rum.Default()

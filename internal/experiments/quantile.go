@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
+	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
+	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
+)
+
+// The quantile sweep: Fig 9 plots the cold-start-versus-waste frontier
+// that fixed keep-alives trace as their timeout grows. Quantile
+// provisioning adds the same axis to FeMux itself — provisioning for the
+// p50 of the forecast distribution sheds waste at the cost of cold
+// starts, p99 buys cold-start insurance with idle memory — so one trained
+// model yields a whole frontier instead of a single operating point. The
+// sweep trains FeMux once and evaluates the test fleet at each requested
+// level, alongside the point×headroom baseline the repository used before
+// quantiles existed.
+
+// DefaultQuantileLevels are the sweep's operating points (p50..p99).
+func DefaultQuantileLevels() []float64 { return []float64{0.5, 0.75, 0.9, 0.95, 0.99} }
+
+// QuantileSweepResult is one fleet's frontier: the point-forecast
+// baseline row first, then one row per quantile level in input order.
+type QuantileSweepResult struct {
+	Rows []PolicyZooRow
+}
+
+// QuantileSweep trains FeMux on the training split and walks the test
+// fleet across quantile levels. The baseline row ("femux-point") is the
+// existing point-forecast × headroom policy; each "femux-pNN" row
+// provisions for that forecast quantile instead (headroom replaced by
+// the quantile margin). Training happens once; every row shares the
+// same model, so differences are purely the pod-conversion rule.
+func QuantileSweep(train, test []femux.TrainApp, levels []float64) (QuantileSweepResult, error) {
+	var res QuantileSweepResult
+	if len(levels) == 0 {
+		levels = DefaultQuantileLevels()
+	}
+	cfg := expConfig(rum.Default())
+	metric := rum.Default()
+	model, err := femux.Train(train, cfg)
+	if err != nil {
+		return res, err
+	}
+	base := femux.Evaluate(model, test)
+	res.Rows = append(res.Rows, zooRow("femux-point", base.Samples, metric))
+	for _, lv := range levels {
+		r := femux.EvaluateQuantile(model, test, lv)
+		res.Rows = append(res.Rows, zooRow(fmt.Sprintf("femux-p%g", lv*100), r.Samples, metric))
+	}
+	return res, nil
+}
+
+// Best returns the lowest-RUM row of the sweep.
+func (r QuantileSweepResult) Best() PolicyZooRow {
+	if len(r.Rows) == 0 {
+		return PolicyZooRow{}
+	}
+	best := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.RUM < best.RUM {
+			best = row
+		}
+	}
+	return best
+}
+
+// String renders the frontier in sweep order (baseline first, then
+// ascending level), so the cold-start column falls and the waste column
+// rises as you read down.
+func (r QuantileSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-14s %10s %14s %14s %10s\n", "policy", "cold", "cold-start s", "wasted GB-s", "RUM")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14s %10d %14.1f %14.0f %10.1f\n",
+			row.Policy, row.ColdStarts, row.ColdStartSec, row.WastedGBs, row.RUM)
+	}
+	return b.String()
+}
+
+// SparseFleet synthesizes the femux-load -sparse population as training
+// apps: s.Apps applications whose invocation rates are heavy-tailed
+// (log-uniform mean inter-arrival gaps between 2 minutes and 24 hours),
+// with Poisson arrivals per app — a small hot fraction and a long mostly-
+// idle tail, the shape where quantile margins matter most because a
+// sparse app's forecast error distribution is wide. Per-app seeds mirror
+// femux-load's (seed*1000003 + index), so the population is deterministic
+// for a given Scale.
+func SparseFleet(s Scale) []femux.TrainApp {
+	const periodMin = 1440 // 24h cap on the mean gap, like femux-load's -sparse-period
+	minutes := int(s.Days*1440 + 0.5)
+	if minutes < 1 {
+		minutes = 1
+	}
+	apps := make([]femux.TrainApp, 0, s.Apps)
+	for a := 0; a < s.Apps; a++ {
+		rng := rand.New(rand.NewSource(s.Seed*1000003 + int64(a)))
+		// Log-uniform mean gap in [2, period]: heavy-tailed idleness.
+		gap := 2 * math.Pow(float64(periodMin)/2, rng.Float64())
+		burst := 1 + rng.Intn(3)                // invocations per arrival event
+		execSec := 0.2 + 4*rng.Float64()        // 0.2s..4.2s executions
+		memGB := 0.125 * float64(1+rng.Intn(8)) // 128MB..1GB
+		counts := make([]float64, minutes)
+		first := gap
+		if first > periodMin {
+			first = periodMin
+		}
+		t := rng.Float64() * first
+		for t < float64(minutes) {
+			counts[int(t)] += float64(burst)
+			t -= gap * math.Log(1-rng.Float64())
+		}
+		conc := timeseries.CountsToConcurrency(counts, time.Minute,
+			time.Duration(execSec*float64(time.Second)))
+		apps = append(apps, femux.TrainApp{
+			Name:        fmt.Sprintf("sparse-%d", a),
+			Demand:      conc,
+			Invocations: counts,
+			ExecSec:     execSec,
+			MemoryGB:    memGB,
+		})
+	}
+	return apps
+}

@@ -167,15 +167,22 @@ type evalAppResult struct {
 
 // cachedEvalApp memoizes one app's simulation under a trained model. fp is
 // the model fingerprint from evalFingerprint; fpOK=false (supervised
-// classifier) or a nil cache runs the simulation directly.
-func cachedEvalApp(c *memo.Cache, fp memo.Key, fpOK bool, m *Model, app TrainApp) evalAppResult {
+// classifier) or a nil cache runs the simulation directly. level > 0
+// provisions for that forecast quantile; it enters the key only when
+// positive, so the quantile axis cannot alias the existing
+// point-forecast entries (and vice versa).
+func cachedEvalApp(c *memo.Cache, fp memo.Key, fpOK bool, m *Model, app TrainApp, level float64) evalAppResult {
 	run := func() evalAppResult {
 		p := m.NewAppPolicy(app.ExecSec)
+		var policy sim.Policy = p
+		if level > 0 {
+			policy = sim.QuantilePolicy{Base: p, Level: level}
+		}
 		out := sim.SimulateApp(sim.AppTrace{
 			Demand:      app.Demand,
 			Invocations: app.Invocations,
 			ExecSec:     app.ExecSec,
-		}, p, appSimConfig(app, m.cfg.Sim), false)
+		}, policy, appSimConfig(app, m.cfg.Sim), false)
 		return evalAppResult{Sample: out.Sample, Used: p.ForecastersUsed()}
 	}
 	if c == nil || !fpOK {
@@ -185,6 +192,10 @@ func cachedEvalApp(c *memo.Cache, fp memo.Key, fpOK bool, m *Model, app TrainApp
 	h.Key(fp)
 	h.Key(appTraceKey(app))
 	hashSimConfig(h, appSimConfig(app, m.cfg.Sim))
+	if level > 0 {
+		h.String("quantile")
+		h.Float(level)
+	}
 	return memo.Do(c, h.Sum(), run)
 }
 

@@ -404,6 +404,30 @@ func (p windowedPolicy) TargetWS(history []float64, unitC int, ws *forecast.Work
 	return sim.ForecastUnits(peak, window, unitC)
 }
 
+// TargetQuantilesWS implements sim.QuantileTargeter: provision for the
+// level-quantile of the windowed forecast instead of its point peak.
+// Level <= 0 reproduces TargetWS exactly.
+func (p windowedPolicy) TargetQuantilesWS(history []float64, unitC int, level float64, ws *forecast.Workspace) int {
+	if level <= 0 {
+		return p.TargetWS(history, unitC, ws)
+	}
+	w := p.window
+	if w > len(history) {
+		w = len(history)
+	}
+	window := history[len(history)-w:]
+	lv := ws.Levels(1)
+	lv[0] = level
+	pred := forecast.QuantilesInto(p.fc, window, p.horizon, lv, ws.Out(p.horizon), ws)
+	peak := 0.0
+	for _, v := range pred {
+		if v > peak {
+			peak = v
+		}
+	}
+	return sim.ForecastUnits(peak, window, unitC)
+}
+
 // Classify returns the group index for a feature vector.
 func (m *Model) Classify(vec features.Vector) int {
 	row := m.scaler.Transform(vec.Select(m.cfg.Features))

@@ -107,3 +107,42 @@ func TestTrainWorkersDefaultMatchesExplicit(t *testing.T) {
 		t.Error("Workers=0 and Workers=1 disagree on assignment")
 	}
 }
+
+// TestEvaluateQuantileWorkerEquivalence extends the worker-equivalence
+// pin to the quantile sweep path: EvaluateQuantile must produce
+// bit-identical samples for Workers=1 and Workers=3, and its level=0
+// form must reproduce Evaluate exactly (cache keys included — level
+// only enters the key when positive).
+func TestEvaluateQuantileWorkerEquivalence(t *testing.T) {
+	apps := mixedFleet(29, 9, 288)
+	cfg := testConfig()
+	cfg.Workers = 2
+	m, err := Train(apps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := mixedFleet(31, 6, 288)
+
+	for _, level := range []float64{0, 0.5, 0.95} {
+		m.cfg.Workers = 1
+		serial := EvaluateQuantile(m, test, level)
+		m.cfg.Workers = 3
+		par := EvaluateQuantile(m, test, level)
+		if serial.RUM != par.RUM {
+			t.Errorf("level %g: RUM %v vs %v", level, serial.RUM, par.RUM)
+		}
+		if !reflect.DeepEqual(serial.Samples, par.Samples) {
+			t.Errorf("level %g: samples differ across worker counts", level)
+		}
+	}
+
+	point := Evaluate(m, test)
+	zero := EvaluateQuantile(m, test, 0)
+	if !reflect.DeepEqual(point.Samples, zero.Samples) || point.RUM != zero.RUM {
+		t.Error("EvaluateQuantile(level=0) diverged from Evaluate")
+	}
+	p95 := EvaluateQuantile(m, test, 0.95)
+	if reflect.DeepEqual(point.Samples, p95.Samples) {
+		t.Error("EvaluateQuantile(0.95) identical to point evaluation: level not applied")
+	}
+}

@@ -50,6 +50,26 @@ func (p *AppPolicy) Target(history []float64, unitConcurrency int) int {
 // safe as long as each caller supplies its own workspace — femuxd keeps one
 // per served app under the app lock.
 func (p *AppPolicy) TargetWS(history []float64, unitConcurrency int, ws *forecast.Workspace) int {
+	fc := p.currentFor(history)
+	return windowedPolicy{fc: fc, window: p.model.cfg.Window, horizon: p.model.cfg.Horizon}.
+		TargetWS(history, unitConcurrency, ws)
+}
+
+// TargetQuantilesWS implements sim.QuantileTargeter: the same block
+// bookkeeping and forecaster routing as TargetWS, but provisioning for
+// the level-quantile of the forecast instead of its point peak. Level
+// <= 0 reproduces TargetWS exactly, so a zero ServiceOptions/flag value
+// is always safe.
+func (p *AppPolicy) TargetQuantilesWS(history []float64, unitConcurrency int, level float64, ws *forecast.Workspace) int {
+	fc := p.currentFor(history)
+	return windowedPolicy{fc: fc, window: p.model.cfg.Window, horizon: p.model.cfg.Horizon}.
+		TargetQuantilesWS(history, unitConcurrency, level, ws)
+}
+
+// currentFor re-classifies when a new block has completed and returns
+// the forecaster assigned to this app right now — the shared front half
+// of every Target variant.
+func (p *AppPolicy) currentFor(history []float64) forecast.Forecaster {
 	p.mu.Lock()
 	bs := p.model.cfg.BlockSize
 	completed := len(history) / bs
@@ -71,9 +91,7 @@ func (p *AppPolicy) TargetWS(history []float64, unitConcurrency int, ws *forecas
 	}
 	fc := p.current
 	p.mu.Unlock()
-
-	return windowedPolicy{fc: fc, window: p.model.cfg.Window, horizon: p.model.cfg.Horizon}.
-		TargetWS(history, unitConcurrency, ws)
+	return fc
 }
 
 // Forecast predicts the next horizon intervals with the currently assigned
@@ -93,6 +111,21 @@ func (p *AppPolicy) ForecastWS(history []float64, horizon int, dst []float64, ws
 		w = len(history)
 	}
 	return forecast.Into(fc, history[len(history)-w:], horizon, dst, ws)
+}
+
+// ForecastQuantilesWS emits level-major quantile curves
+// (len(levels)*horizon values, dst[q*horizon+t]) from the currently
+// assigned forecaster over the windowed history — the serving path
+// behind /v1/forecast?quantiles=. dst and ws may be nil.
+func (p *AppPolicy) ForecastQuantilesWS(history []float64, horizon int, levels, dst []float64, ws *forecast.Workspace) []float64 {
+	p.mu.Lock()
+	fc := p.current
+	w := p.model.cfg.Window
+	p.mu.Unlock()
+	if w > len(history) {
+		w = len(history)
+	}
+	return forecast.QuantilesInto(fc, history[len(history)-w:], horizon, levels, dst, ws)
 }
 
 // CurrentForecaster returns the name of the forecaster in use.
@@ -132,11 +165,20 @@ type EvalResult struct {
 // the model's config carries a cache, per-app simulations are memoized
 // under a fingerprint of the trained model (see cache.go).
 func Evaluate(m *Model, apps []TrainApp) EvalResult {
+	return EvaluateQuantile(m, apps, 0)
+}
+
+// EvaluateQuantile is Evaluate with the pod-conversion policy
+// provisioning for the given forecast quantile level instead of the
+// point forecast (the RUM sweep behind the cold-start-vs-waste
+// frontier). A level <= 0 reproduces Evaluate exactly, including its
+// cache keys.
+func EvaluateQuantile(m *Model, apps []TrainApp, level float64) EvalResult {
 	res := EvalResult{Samples: make([]rum.Sample, len(apps))}
 	used := make([]int, len(apps))
 	fp, fpOK := m.evalFingerprint()
 	parallel.ForEach(parallel.Workers(m.cfg.Workers), len(apps), func(i int) {
-		out := cachedEvalApp(m.cfg.Cache, fp, fpOK, m, apps[i])
+		out := cachedEvalApp(m.cfg.Cache, fp, fpOK, m, apps[i], level)
 		res.Samples[i] = out.Sample
 		used[i] = out.Used
 	})

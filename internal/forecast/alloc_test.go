@@ -80,3 +80,66 @@ func TestForecastIntoZeroAllocDegenerate(t *testing.T) {
 		}
 	}
 }
+
+// TestForecastQuantilesIntoZeroAlloc extends the zero-allocation pin to
+// the quantile path: after warm-up, every ForecastQuantilesInto runs
+// without touching the heap, across the same window regimes as the
+// point-path test (600 covers the FFT Bluestein plan) and a five-level
+// request like the /v1/forecast serving path issues.
+func TestForecastQuantilesIntoZeroAlloc(t *testing.T) {
+	levels := []float64{0.25, 0.5, 0.9, 0.95, 0.99}
+	set := append(DefaultSet(), NewMovingAverage(60), Naive{}, Zero{})
+	for _, window := range []int{10, 64, 600} {
+		hist := allocHistory(window)
+		for _, fc := range set {
+			qf, ok := fc.(QuantileForecaster)
+			if !ok {
+				t.Fatalf("%s does not implement QuantileForecaster", fc.Name())
+			}
+			t.Run(fmt.Sprintf("%s/window=%d", fc.Name(), window), func(t *testing.T) {
+				const horizon = 5
+				ws := NewWorkspace()
+				dst := make([]float64, len(levels)*horizon)
+				qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				allocs := testing.AllocsPerRun(20, func() {
+					qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				})
+				if allocs != 0 {
+					t.Fatalf("%s window=%d: %v allocs/op at steady state, want 0",
+						fc.Name(), window, allocs)
+				}
+			})
+		}
+	}
+}
+
+// TestForecastQuantilesIntoZeroAllocDegenerate pins the quantile
+// fallback paths (short and constant histories) to zero allocations —
+// sparse fleets spend most of their calls exactly there.
+func TestForecastQuantilesIntoZeroAllocDegenerate(t *testing.T) {
+	levels := []float64{0.5, 0.95}
+	short := []float64{1, 2}
+	constant := make([]float64, 60)
+	for i := range constant {
+		constant[i] = 3
+	}
+	for _, fc := range DefaultSet() {
+		qf := fc.(QuantileForecaster)
+		for name, hist := range map[string][]float64{"short": short, "constant": constant} {
+			t.Run(fc.Name()+"/"+name, func(t *testing.T) {
+				const horizon = 3
+				ws := NewWorkspace()
+				dst := make([]float64, len(levels)*horizon)
+				qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				allocs := testing.AllocsPerRun(20, func() {
+					qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				})
+				if allocs != 0 {
+					t.Fatalf("%s/%s: %v allocs/op at steady state, want 0", fc.Name(), name, allocs)
+				}
+			})
+		}
+	}
+}

@@ -2,6 +2,7 @@ package forecast
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/mathx"
 )
@@ -35,6 +36,73 @@ func (a *AR) Forecast(history []float64, horizon int) []float64 {
 // ForecastInto implements IntoForecaster.
 func (a *AR) ForecastInto(history []float64, horizon int, dst []float64, ws *Workspace) []float64 {
 	return arForecastInto(history, horizon, a.lags, dst, ws)
+}
+
+// ForecastQuantilesInto implements QuantileForecaster: a Gaussian band
+// around the point trajectory, scaled by the in-sample one-step residual
+// standard deviation of the fitted model (a byproduct of the normal
+// equations already in the workspace) and widened by sqrt(t+1) as the
+// rolled-forward forecast compounds its own errors.
+func (a *AR) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	return arQuantilesInto(history, horizon, a.lags, levels, dst, ws)
+}
+
+// arQuantilesInto is the AR quantile fast path, shared with SETAR's
+// degenerate-history fallback.
+func arQuantilesInto(history []float64, horizon, lags int, levels, dst []float64, ws *Workspace) []float64 {
+	if horizon <= 0 || len(levels) == 0 {
+		return nil
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	dst = ensureDst(dst, len(levels)*horizon)
+	coef, ok := fitARWS(history, lags, ws)
+	if !ok {
+		// Same fallback as the point path (constant mean), spread by the
+		// window's own standard deviation.
+		fillConstQuantilesWS(dst, mean(history), histStd(history), levels, horizon, ws)
+		return dst
+	}
+	sigma := arResidualStd(history, coef, lags, ws)
+	qpt := ws.qPoint(horizon)
+	predictARInto(history, coef, lags, qpt, ws)
+	sig := ws.qSig(horizon)
+	for t := range sig {
+		sig[t] = sigma * math.Sqrt(float64(t+1))
+	}
+	fillQuantilesWS(dst, qpt, sig, levels, horizon, ws)
+	return dst
+}
+
+// arResidualStd is the in-sample one-step residual standard deviation of
+// a fitted AR model over its training rows, with a degrees-of-freedom
+// correction for the fitted coefficients. coef aliases solver scratch;
+// this only re-materializes design rows (ws.drow), which the solver no
+// longer needs.
+func arResidualStd(history, coef []float64, lags int, ws *Workspace) float64 {
+	rows := len(history) - lags
+	if rows <= 0 {
+		return 0
+	}
+	cols := lags + 1
+	row := growF(ws.drow, cols)
+	ws.drow = row
+	var sse float64
+	for r := 0; r < rows; r++ {
+		arDesignRow(history, r, lags, row)
+		var pred float64
+		for j, c := range coef {
+			pred += c * row[j]
+		}
+		e := history[r+lags] - pred
+		sse += e * e
+	}
+	denom := rows - cols
+	if denom < 1 {
+		denom = 1
+	}
+	return guardSigma(math.Sqrt(sse / float64(denom)))
 }
 
 // arForecastInto is the AR fast path, shared with SETAR's fallback.

@@ -30,3 +30,37 @@ func BenchmarkForecastKernels(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkForecastQuantiles measures the quantile fast path at the
+// same window regimes as BenchmarkForecastKernels, with the five-level
+// request the serving path issues. Runs under CI's bench-smoke at
+// -benchtime=1x; the in-loop AllocsPerRun assertion turns any steady-
+// state allocation regression into a hard failure there, not just a
+// number drift on the reference box.
+func BenchmarkForecastQuantiles(b *testing.B) {
+	levels := []float64{0.25, 0.5, 0.9, 0.95, 0.99}
+	for _, window := range []int{10, 60, 600} {
+		hist := allocHistory(window)
+		for _, fc := range DefaultSet() {
+			qf := fc.(QuantileForecaster)
+			b.Run(fmt.Sprintf("%s/window=%d", fc.Name(), window), func(b *testing.B) {
+				const horizon = 1
+				ws := NewWorkspace()
+				dst := make([]float64, len(levels)*horizon)
+				qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				if allocs := testing.AllocsPerRun(10, func() {
+					qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				}); allocs != 0 {
+					b.Fatalf("%s window=%d: %v allocs/op at steady state, want 0",
+						fc.Name(), window, allocs)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					qf.ForecastQuantilesInto(hist, horizon, levels, dst, ws)
+				}
+			})
+		}
+	}
+}

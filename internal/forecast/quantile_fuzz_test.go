@@ -1,0 +1,86 @@
+package forecast
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzForecastQuantiles drives every forecaster's quantile path with
+// arbitrary histories and levels — raw float bits, so NaN, ±Inf,
+// subnormals, short/empty histories, and degenerate levels (<=0, >=1,
+// duplicates, unsorted, NaN) all occur naturally. The invariants that
+// must survive anything:
+//
+//   - no NaN ever escapes (the write-side clamp maps NaN to 0);
+//   - every value is non-negative;
+//   - curves are monotone across comparable (non-NaN) levels;
+//   - a second call is Float64bits-identical (workspace reuse included).
+//
+// CI's fuzz-smoke step runs this for 10s per push on top of the corpus.
+func FuzzForecastQuantiles(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(1), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint8(2), uint8(3), uint8(2))
+	// A NaN, an Inf, and a negative packed as raw float64 bits.
+	seed := make([]byte, 0, 40)
+	for _, v := range []float64{math.NaN(), math.Inf(1), -3, 0.5, 1e300} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed, uint8(5), uint8(4), uint8(3))
+
+	set := quantileSet()
+	f.Fuzz(func(t *testing.T, data []byte, fcIdx, horizonB, nLevelsB uint8) {
+		qf := set[int(fcIdx)%len(set)]
+		horizon := 1 + int(horizonB)%8
+		nLevels := 1 + int(nLevelsB)%8
+
+		// Levels come off the front of data (raw bits: adversarial),
+		// history off the rest.
+		levels := make([]float64, 0, nLevels)
+		for len(levels) < nLevels && len(data) >= 8 {
+			levels = append(levels, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+		for len(levels) < nLevels {
+			levels = append(levels, 0.9)
+		}
+		hist := make([]float64, 0, 512)
+		for len(hist) < 512 && len(data) >= 8 {
+			hist = append(hist, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+
+		ws := NewWorkspace()
+		flat := qf.ForecastQuantilesInto(hist, horizon, levels, nil, ws)
+		if len(flat) != len(levels)*horizon {
+			t.Fatalf("%s: got %d values, want %d", qf.Name(), len(flat), len(levels)*horizon)
+		}
+		for i, v := range flat {
+			if math.IsNaN(v) {
+				t.Fatalf("%s: value[%d] is NaN", qf.Name(), i)
+			}
+			if v < 0 {
+				t.Fatalf("%s: value[%d] = %v < 0", qf.Name(), i, v)
+			}
+		}
+		for a := range levels {
+			for b := range levels {
+				if math.IsNaN(levels[a]) || math.IsNaN(levels[b]) || levels[a] > levels[b] {
+					continue
+				}
+				for s := 0; s < horizon; s++ {
+					if flat[a*horizon+s] > flat[b*horizon+s] {
+						t.Fatalf("%s: curves cross at step %d: p(%v)=%v > p(%v)=%v",
+							qf.Name(), s, levels[a], flat[a*horizon+s], levels[b], flat[b*horizon+s])
+					}
+				}
+			}
+		}
+		again := qf.ForecastQuantilesInto(hist, horizon, levels, nil, ws)
+		for i := range flat {
+			if math.Float64bits(flat[i]) != math.Float64bits(again[i]) {
+				t.Fatalf("%s: repeat call diverged at %d: %v vs %v", qf.Name(), i, flat[i], again[i])
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package forecast
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -124,6 +125,131 @@ func (s *SETAR) ForecastInto(history []float64, horizon int, dst []float64, ws *
 		buf = append(buf, v)
 	}
 	ws.buf = buf[:0]
+	return dst
+}
+
+// ForecastQuantilesInto implements QuantileForecaster. The regime fits
+// are re-run exactly like the point path; the band scale is the pooled
+// in-sample one-step residual of the per-row forecasts under the same
+// regime → global → mean fallback chain the forecast loop uses, widened
+// by sqrt(t+1) for the compounding rolled-forward horizon.
+func (s *SETAR) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	if horizon <= 0 || len(levels) == 0 {
+		return nil
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	thr := regimeThresholdsWS(history, s.thresholds, ws)
+	rows := len(history) - s.lags
+	if len(thr) == 0 || rows < s.lags+2 {
+		return arQuantilesInto(history, horizon, s.lags, levels, dst, ws)
+	}
+	dst = ensureDst(dst, len(levels)*horizon)
+	// Fit phase: identical call sequence to ForecastInto, so the
+	// coefficients (and the 0.5-level trajectory) are bit-identical.
+	nRegimes := len(thr) + 1
+	rowIdx := growI(ws.rowIdx, rows)
+	ws.rowIdx = rowIdx
+	rowOff := growI(ws.rowOff, nRegimes+1)
+	ws.rowOff = rowOff
+	pos := 0
+	for reg := 0; reg < nRegimes; reg++ {
+		rowOff[reg] = pos
+		for r := 0; r < rows; r++ {
+			if regimeOf(history[r+s.lags-1], thr) == reg {
+				rowIdx[pos] = r
+				pos++
+			}
+		}
+	}
+	rowOff[nRegimes] = pos
+	cols := s.lags + 1
+	coefStore := growF(ws.coef, (nRegimes+1)*cols)
+	ws.coef = coefStore
+	fitOK := growBool(ws.fitOK, nRegimes+1)
+	ws.fitOK = fitOK
+	for reg := 0; reg < nRegimes; reg++ {
+		coef, ok := fitARRowsWS(history, rowIdx[rowOff[reg]:rowOff[reg+1]], s.lags, ws)
+		fitOK[reg] = ok
+		if ok {
+			copy(coefStore[reg*cols:(reg+1)*cols], coef)
+		}
+	}
+	globalCoef, globalOK := fitARWS(history, s.lags, ws)
+	fitOK[nRegimes] = globalOK
+	if globalOK {
+		copy(coefStore[nRegimes*cols:], globalCoef)
+	}
+	histMean := mean(history)
+
+	// Pooled one-step residuals over the training rows.
+	drow := growF(ws.drow, cols)
+	ws.drow = drow
+	var sse float64
+	for r := 0; r < rows; r++ {
+		reg := regimeOf(history[r+s.lags-1], thr)
+		var coef []float64
+		switch {
+		case fitOK[reg]:
+			coef = coefStore[reg*cols : (reg+1)*cols]
+		case globalOK:
+			coef = coefStore[nRegimes*cols:]
+		}
+		var pred float64
+		if coef != nil {
+			arDesignRow(history, r, s.lags, drow)
+			for j, c := range coef {
+				pred += c * drow[j]
+			}
+		} else {
+			pred = histMean
+		}
+		e := history[r+s.lags] - pred
+		sse += e * e
+	}
+	denom := rows - cols
+	if denom < 1 {
+		denom = 1
+	}
+	sigma := guardSigma(math.Sqrt(sse / float64(denom)))
+
+	// Point trajectory: the exact rolling loop from ForecastInto.
+	qpt := ws.qPoint(horizon)
+	buf := growBuf(ws.buf, history, horizon)
+	for t := 0; t < horizon; t++ {
+		reg := regimeOf(buf[len(buf)-1], thr)
+		var coef []float64
+		switch {
+		case fitOK[reg]:
+			coef = coefStore[reg*cols : (reg+1)*cols]
+		case globalOK:
+			coef = coefStore[nRegimes*cols:]
+		default:
+			qpt[t] = histMean
+			buf = append(buf, qpt[t])
+			continue
+		}
+		v := coef[0]
+		for l := 1; l <= s.lags; l++ {
+			idx := len(buf) - l
+			if idx >= 0 {
+				v += coef[l] * buf[idx]
+			}
+		}
+		if v < 0 || v != v {
+			v = 0
+		}
+		qpt[t] = v
+		buf = append(buf, v)
+	}
+	ws.buf = buf[:0]
+
+	sig := ws.qSig(horizon)
+	for t := range sig {
+		sig[t] = sigma * math.Sqrt(float64(t+1))
+	}
+	fillQuantilesWS(dst, qpt, sig, levels, horizon, ws)
 	return dst
 }
 

@@ -194,3 +194,67 @@ func (Zero) ForecastInto(_ []float64, horizon int, dst []float64, _ *Workspace) 
 	zeroInto(dst)
 	return dst
 }
+
+// The keep-alive family's quantile forecasts come straight from the
+// demand distribution, not from a model's error band. A peak-hold is
+// the limit of "provision for fraction q of recent intervals" as q->1,
+// so its level-q forecast is the empirical q-quantile of the trailing
+// window: p99 reproduces the conservative envelope, p50 holds only
+// median demand. This is what turns the keep-alive end of FeMux's set
+// into a frontier instead of a single operating point — exactly the
+// knob Fig 9 sweeps by varying keep-alive minutes, but swept by
+// coverage instead of by timeout. The moving average (Knative's data
+// path) instead carries a Gaussian band from the window's dispersion,
+// since its point forecast is a central estimate. Naive and Zero stay
+// point masses: a last-value hold and the scale-to-zero floor have no
+// distribution to draw from.
+
+// ForecastQuantilesInto implements QuantileForecaster: Gaussian band
+// around the window mean with the window's own standard deviation as
+// sigma ("provision for the p-th percentile of demand, assuming the
+// window is representative"). Level 0.5 is bitwise the point forecast.
+func (m *MovingAverage) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	if horizon <= 0 || len(levels) == 0 {
+		return nil
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	dst = ensureDst(dst, len(levels)*horizon)
+	w := m.window
+	if w > len(history) {
+		w = len(history)
+	}
+	if w == 0 {
+		fillConstQuantilesWS(dst, 0, 0, levels, horizon, ws)
+		return dst
+	}
+	win := history[len(history)-w:]
+	fillConstQuantilesWS(dst, mean(win), histStd(win), levels, horizon, ws)
+	return dst
+}
+
+// ForecastQuantilesInto implements QuantileForecaster: the empirical
+// level-quantile of the trailing window. Levels at or above (n-1)/n
+// reproduce the point forecast (the window max).
+func (r *RecentPeak) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	return windowQuantilesInto(history, horizon, r.window, levels, dst, ws, false)
+}
+
+// ForecastQuantilesInto implements QuantileForecaster: the empirical
+// level-quantile of the trailing window with CeilPeak's keep-warm
+// rounding applied, so any level that covers a nonzero-demand interval
+// still provisions at least one full unit.
+func (c *CeilPeak) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	return windowQuantilesInto(history, horizon, c.window, levels, dst, ws, true)
+}
+
+// ForecastQuantilesInto implements QuantileForecaster.
+func (n Naive) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	return pointMassQuantilesInto(n, history, horizon, levels, dst, ws)
+}
+
+// ForecastQuantilesInto implements QuantileForecaster.
+func (z Zero) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	return pointMassQuantilesInto(z, history, horizon, levels, dst, ws)
+}

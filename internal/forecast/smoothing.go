@@ -49,7 +49,17 @@ func (e *ExpSmoothing) ForecastInto(history []float64, horizon int, dst []float6
 		zeroInto(dst)
 		return dst
 	}
-	g := e.grid
+	bestLevel, _ := esSearchWS(history, e.grid, ws)
+	// ES forecasts a flat continuation of the smoothed level.
+	constantInto(dst, bestLevel)
+	return dst
+}
+
+// esSearchWS runs the interleaved alpha grid search and returns the
+// SSE-minimizing smoothed level with its SSE (strict < in grid order,
+// matching the reference tie-breaking). The final per-alpha levels are
+// left in ws.levels for callers that want the grid spread.
+func esSearchWS(history, g []float64, ws *Workspace) (bestLevel, bestSSE float64) {
 	levels := growF(ws.levels, len(g))
 	ws.levels = levels
 	sses := growF(ws.sses, len(g))
@@ -70,18 +80,54 @@ func (e *ExpSmoothing) ForecastInto(history []float64, horizon int, dst []float6
 			levels[a] += alpha * err
 		}
 	}
-	// Select in grid order with strict <, matching the reference
-	// tie-breaking.
-	bestLevel := history[len(history)-1]
-	bestSSE := math.Inf(1)
+	bestLevel = history[len(history)-1]
+	bestSSE = math.Inf(1)
 	for a := range g {
 		if sses[a] < bestSSE {
 			bestSSE = sses[a]
 			bestLevel = levels[a]
 		}
 	}
-	// ES forecasts a flat continuation of the smoothed level.
-	constantInto(dst, bestLevel)
+	return bestLevel, bestSSE
+}
+
+// ForecastQuantilesInto implements QuantileForecaster. The scale
+// combines the winning chain's one-step residual variance with the
+// disagreement (variance) of the final smoothed levels across the alpha
+// grid — both byproducts of the search already in the workspace. ES
+// forecasts a flat continuation, so the band does not widen with t.
+func (e *ExpSmoothing) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	if horizon <= 0 || len(levels) == 0 {
+		return nil
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	dst = ensureDst(dst, len(levels)*horizon)
+	if len(history) == 0 {
+		zeroInto(dst)
+		return dst
+	}
+	bestLevel, bestSSE := esSearchWS(history, e.grid, ws)
+	denom := len(history) - 1
+	if denom < 1 {
+		denom = 1
+	}
+	residVar := bestSSE / float64(denom)
+	chains := ws.levels[:len(e.grid)]
+	var gm float64
+	for _, v := range chains {
+		gm += v
+	}
+	gm /= float64(len(chains))
+	var gv float64
+	for _, v := range chains {
+		d := v - gm
+		gv += d * d
+	}
+	gv /= float64(len(chains))
+	sigma := guardSigma(math.Sqrt(residVar + gv))
+	fillConstQuantilesWS(dst, bestLevel, sigma, levels, horizon, ws)
 	return dst
 }
 
@@ -133,7 +179,23 @@ func (h *Holt) ForecastInto(history []float64, horizon int, dst []float64, ws *W
 		constantInto(dst, v)
 		return dst
 	}
-	combos := len(h.alphas) * len(h.betas)
+	bestLevel, bestTrend, _ := holtSearchWS(history, h.alphas, h.betas, ws)
+	for t := range dst {
+		v := bestLevel + float64(t+1)*bestTrend
+		if v < 0 || v != v {
+			v = 0
+		}
+		dst[t] = v
+	}
+	return dst
+}
+
+// holtSearchWS runs the interleaved (alpha, beta) grid search and
+// returns the SSE-minimizing (level, trend) with its SSE. The final
+// per-combination levels and trends are left in ws.levels/ws.trends for
+// callers that want the grid spread. len(history) must be >= 2.
+func holtSearchWS(history, alphas, betas []float64, ws *Workspace) (bestLevel, bestTrend, bestSSE float64) {
+	combos := len(alphas) * len(betas)
 	levels := growF(ws.levels, combos)
 	ws.levels = levels
 	trends := growF(ws.trends, combos)
@@ -145,8 +207,8 @@ func (h *Holt) ForecastInto(history []float64, horizon int, dst []float64, ws *W
 	gab := growF(ws.gab, combos)
 	ws.gab = gab
 	c := 0
-	for _, alpha := range h.alphas {
-		for _, beta := range h.betas {
+	for _, alpha := range alphas {
+		for _, beta := range betas {
 			ga[c] = alpha
 			gab[c] = alpha * beta
 			c++
@@ -175,20 +237,68 @@ func (h *Holt) ForecastInto(history []float64, horizon int, dst []float64, ws *W
 			trends[c] += gab[c] * err
 		}
 	}
-	bestSSE := math.Inf(1)
-	var bestLevel, bestTrend float64
+	bestSSE = math.Inf(1)
 	for c := 0; c < combos; c++ {
 		if sses[c] < bestSSE {
 			bestSSE = sses[c]
 			bestLevel, bestTrend = levels[c], trends[c]
 		}
 	}
-	for t := range dst {
-		v := bestLevel + float64(t+1)*bestTrend
+	return bestLevel, bestTrend, bestSSE
+}
+
+// ForecastQuantilesInto implements QuantileForecaster. The per-step
+// scale combines the winning chain's one-step residual variance with the
+// variance of the step-t extrapolations across the (alpha, beta) grid,
+// so the band widens with the horizon exactly as the candidate trends
+// fan out.
+func (h *Holt) ForecastQuantilesInto(history []float64, horizon int, levels, dst []float64, ws *Workspace) []float64 {
+	if horizon <= 0 || len(levels) == 0 {
+		return nil
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	dst = ensureDst(dst, len(levels)*horizon)
+	if len(history) < 2 {
+		v := 0.0
+		if len(history) == 1 {
+			v = history[0]
+		}
+		fillConstQuantilesWS(dst, v, 0, levels, horizon, ws)
+		return dst
+	}
+	bestLevel, bestTrend, bestSSE := holtSearchWS(history, h.alphas, h.betas, ws)
+	denom := len(history) - 1
+	if denom < 1 {
+		denom = 1
+	}
+	residVar := bestSSE / float64(denom)
+	combos := len(h.alphas) * len(h.betas)
+	lv := ws.levels[:combos]
+	tr := ws.trends[:combos]
+	qpt := ws.qPoint(horizon)
+	sig := ws.qSig(horizon)
+	for t := 0; t < horizon; t++ {
+		step := float64(t + 1)
+		v := bestLevel + step*bestTrend
 		if v < 0 || v != v {
 			v = 0
 		}
-		dst[t] = v
+		qpt[t] = v
+		var gm float64
+		for c := range lv {
+			gm += lv[c] + step*tr[c]
+		}
+		gm /= float64(combos)
+		var gv float64
+		for c := range lv {
+			d := lv[c] + step*tr[c] - gm
+			gv += d * d
+		}
+		gv /= float64(combos)
+		sig[t] = guardSigma(math.Sqrt(residVar + gv))
 	}
+	fillQuantilesWS(dst, qpt, sig, levels, horizon, ws)
 	return dst
 }

@@ -49,8 +49,16 @@ type Workspace struct {
 	levels, trends, sses []float64
 	ga, gab              []float64
 
-	// Caller-facing destination buffer, handed out by Out.
-	out []float64
+	// Quantile scratch: point trajectory, per-step scale, per-level
+	// z-scores, level/centroid order, and the in-sample reconstruction
+	// buffer used for residual estimates (quantile.go).
+	qpt, qsig, qz, qres []float64
+	qord                []int
+
+	// Caller-facing destination buffer, handed out by Out, and the
+	// reusable levels list handed out by Levels.
+	out     []float64
+	qlevels []float64
 }
 
 // NewWorkspace returns an empty workspace; buffers are grown on first use.
@@ -90,6 +98,21 @@ func (ws *Workspace) Out(n int) []float64 {
 	}
 	ws.out = ws.out[:n]
 	return ws.out
+}
+
+// Levels returns a length-n levels slice backed by the workspace, for
+// callers assembling per-call quantile-level lists without allocating
+// (the single-level pod-conversion path builds []float64{level} here).
+// Overwritten by the next Levels call; a nil receiver allocates.
+func (ws *Workspace) Levels(n int) []float64 {
+	if ws == nil {
+		return make([]float64, n)
+	}
+	if cap(ws.qlevels) < n {
+		ws.qlevels = make([]float64, n)
+	}
+	ws.qlevels = ws.qlevels[:n]
+	return ws.qlevels
 }
 
 // IntoForecaster is the zero-allocation fast path implemented by every

@@ -191,7 +191,7 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 		a.mu.Lock()
 		a.history = append(a.history, obs.Concurrency)
 		res := &resp.Results[i]
-		res.Target = a.policy.TargetWS(a.history, unitC, a.ws)
+		res.Target = a.policy.TargetQuantilesWS(a.history, unitC, s.qlevel, a.ws)
 		res.Forecaster = a.policy.CurrentForecaster()
 		res.History = len(a.history)
 		a.mu.Unlock()

@@ -21,6 +21,11 @@ type ScaleProvider interface {
 type DirectProvider struct {
 	model *femux.Model
 
+	// QuantileLevel, when positive, provisions every decision for that
+	// forecast quantile of demand instead of the point forecast (the
+	// emulator's -quantile-level knob). Set before first use.
+	QuantileLevel float64
+
 	mu   sync.Mutex
 	apps map[string]*directApp
 }
@@ -51,7 +56,7 @@ func (p *DirectProvider) Target(app string, minuteAvg float64, unitConcurrency i
 
 	st.mu.Lock()
 	st.history = append(st.history, minuteAvg)
-	target := st.policy.TargetWS(st.history, unitConcurrency, st.ws)
+	target := st.policy.TargetQuantilesWS(st.history, unitConcurrency, p.QuantileLevel, st.ws)
 	st.mu.Unlock()
 	return target, true
 }

@@ -31,13 +31,18 @@ import (
 //	    the scale target for the next interval.
 //	GET  /v1/apps/{app}/target?concurrency=100
 //	    recompute the target without recording a new observation.
-//	GET  /v1/apps/{app}/forecast?horizon=5
-//	    raw concurrency forecast from the app's current forecaster.
+//	GET  /v1/apps/{app}/forecast?horizon=5&quantiles=0.5,0.9,0.95
+//	    raw concurrency forecast from the app's current forecaster,
+//	    optionally with one curve per requested quantile level.
 //	GET  /healthz
 type Service struct {
-	mu      sync.RWMutex
-	model   *femux.Model
-	apps    map[string]*svcApp
+	mu    sync.RWMutex
+	model *femux.Model
+	apps  map[string]*svcApp
+	// qlevel, when positive, makes every scale decision provision for
+	// that forecast quantile of demand instead of the point forecast
+	// (the -quantile-level knob; immutable after construction).
+	qlevel  float64
 	reloads int
 
 	// st, when set, persists every acknowledged observation through the
@@ -116,6 +121,10 @@ type ServiceOptions struct {
 	// the LRU excess returns workspaces to the shared pool. 0 means
 	// unlimited.
 	MaxWorkspaces int
+	// QuantileLevel, when positive (e.g. 0.95), converts forecasts to
+	// pod targets at that demand quantile instead of the point forecast
+	// — SLO-aware provisioning. 0 keeps the point × headroom default.
+	QuantileLevel float64
 }
 
 type svcApp struct {
@@ -166,7 +175,8 @@ func NewServiceWith(model *femux.Model, opts ServiceOptions) *Service {
 		model: model, apps: map[string]*svcApp{},
 		st: opts.Store, shardID: opts.ShardID, shards: opts.Shards,
 		replica: opts.Replica, epoch: opts.Epoch, joining: opts.Joining,
-		moved: map[string]int{}, adopted: map[string]bool{},
+		qlevel: opts.QuantileLevel,
+		moved:  map[string]int{}, adopted: map[string]bool{},
 		tier: newTiers(opts.MaxHotApps, opts.MaxWorkspaces),
 	}
 	if s.st != nil {
@@ -334,11 +344,20 @@ type TargetResponse struct {
 	History    int    `json:"historyLen"`
 }
 
-// ForecastResponse reports a raw forecast.
+// ForecastResponse reports a raw forecast, plus one curve per requested
+// quantile level when the request carried ?quantiles=.
 type ForecastResponse struct {
-	App        string    `json:"app"`
-	Forecaster string    `json:"forecaster"`
-	Values     []float64 `json:"values"`
+	App        string         `json:"app"`
+	Forecaster string         `json:"forecaster"`
+	Values     []float64      `json:"values"`
+	Quantiles  []QuantileBand `json:"quantiles,omitempty"`
+}
+
+// QuantileBand is one quantile curve of a forecast: at each step, demand
+// is predicted to stay at or below Values[t] with probability Level.
+type QuantileBand struct {
+	Level  float64   `json:"level"`
+	Values []float64 `json:"values"`
 }
 
 func (s *Service) svcMetrics() *ServiceMetrics {
@@ -541,7 +560,7 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		// The scale decision happens under the app lock: the per-app
 		// workspace is single-threaded by construction, and concurrent
 		// observes for one app serialize exactly as the WAL order does.
-		target := a.policy.TargetWS(a.history, unitC, a.ws)
+		target := a.policy.TargetQuantilesWS(a.history, unitC, s.qlevel, a.ws)
 		fcName := a.policy.CurrentForecaster()
 		histLen := len(a.history)
 		s.releaseApp(a)
@@ -565,7 +584,7 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		a := s.acquire(name)
-		target := a.policy.TargetWS(a.history, unitC, a.ws)
+		target := a.policy.TargetQuantilesWS(a.history, unitC, s.qlevel, a.ws)
 		fcName := a.policy.CurrentForecaster()
 		histLen := len(a.history)
 		s.releaseApp(a)
@@ -588,10 +607,27 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		levels, ok := parseQuantileLevels(r.URL.Query().Get("quantiles"))
+		if !ok {
+			http.Error(w, "bad quantiles", http.StatusBadRequest)
+			return
+		}
 		a := s.acquire(name)
-		// dst is nil: the response slice escapes into the JSON encoder
-		// after the lock is released, so it must not alias the workspace.
+		// dst is nil: the response slices escape into the JSON encoder
+		// after the lock is released, so they must not alias the
+		// workspace.
 		values := a.policy.ForecastWS(a.history, horizon, nil, a.ws)
+		var bands []QuantileBand
+		if len(levels) > 0 {
+			flat := a.policy.ForecastQuantilesWS(a.history, horizon, levels, nil, a.ws)
+			bands = make([]QuantileBand, len(levels))
+			for q, lv := range levels {
+				bands[q] = QuantileBand{
+					Level:  lv,
+					Values: flat[q*horizon : (q+1)*horizon : (q+1)*horizon],
+				}
+			}
+		}
 		fcName := a.policy.CurrentForecaster()
 		s.releaseApp(a)
 		if sm := s.svcMetrics(); sm != nil {
@@ -599,11 +635,35 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, ForecastResponse{
 			App: name, Forecaster: fcName,
-			Values: values,
+			Values: values, Quantiles: bands,
 		})
 	default:
 		http.Error(w, "unknown action "+action, http.StatusNotFound)
 	}
+}
+
+// parseQuantileLevels parses the ?quantiles= query parameter: a
+// comma-separated list of probability levels, each strictly inside
+// (0, 1). Returns ok=false on malformed input; an absent parameter is
+// simply no levels. The count is capped so a request cannot inflate the
+// response arbitrarily.
+func parseQuantileLevels(raw string) ([]float64, bool) {
+	if raw == "" {
+		return nil, true
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > 16 {
+		return nil, false
+	}
+	levels := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || !(v > 0 && v < 1) {
+			return nil, false
+		}
+		levels = append(levels, v)
+	}
+	return levels, true
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

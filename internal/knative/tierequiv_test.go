@@ -1,9 +1,11 @@
 package knative
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -65,6 +67,23 @@ func TestTieredForecastsBitIdentical(t *testing.T) {
 				if math.Float64bits(a.forecast.Values[i]) != math.Float64bits(b.forecast.Values[i]) {
 					t.Fatalf("%s: %s: forecast[%d] %v != %v (not bit-identical)",
 						when, app, i, a.forecast.Values[i], b.forecast.Values[i])
+				}
+			}
+			// The quantile curves ride the same invisibility contract.
+			qa := fetchQuantileBands(t, ctlSrv.URL, app)
+			qb := fetchQuantileBands(t, tieredSrv.URL, app)
+			if len(qa) != len(qb) {
+				t.Fatalf("%s: %s: quantile band counts %d != %d", when, app, len(qa), len(qb))
+			}
+			for q := range qa {
+				if qa[q].Level != qb[q].Level || len(qa[q].Values) != len(qb[q].Values) {
+					t.Fatalf("%s: %s: band %d shape mismatch", when, app, q)
+				}
+				for i := range qa[q].Values {
+					if math.Float64bits(qa[q].Values[i]) != math.Float64bits(qb[q].Values[i]) {
+						t.Fatalf("%s: %s: quantile p%g[%d] %v != %v (not bit-identical)",
+							when, app, qa[q].Level*100, i, qa[q].Values[i], qb[q].Values[i])
+					}
 				}
 			}
 		}
@@ -235,4 +254,26 @@ func BenchmarkTieredObserve(b *testing.B) {
 		_ = a.policy.TargetWS(a.history, 1, a.ws)
 		svc.releaseApp(a)
 	}
+}
+
+// fetchQuantileBands reads the app's quantile curves through the REST
+// path at the sweep's canonical levels.
+func fetchQuantileBands(t testing.TB, srvURL, app string) []QuantileBand {
+	t.Helper()
+	resp, err := http.Get(srvURL + "/v1/apps/" + app + "/forecast?horizon=6&quantiles=0.5,0.9,0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast?quantiles: HTTP %d", resp.StatusCode)
+	}
+	var out ForecastResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Quantiles) != 3 {
+		t.Fatalf("got %d quantile bands, want 3", len(out.Quantiles))
+	}
+	return out.Quantiles
 }

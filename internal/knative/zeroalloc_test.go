@@ -57,3 +57,53 @@ func TestDirectProviderMatchesPlainTarget(t *testing.T) {
 		}
 	}
 }
+
+// TestServiceQuantileTargetZeroAlloc extends the serving-path pin to the
+// quantile decision: with -quantile-level set, the per-app-minute
+// observe->target computation must stay allocation-free too (the level
+// slice comes from the workspace, not the stack, so it cannot escape
+// through the forecaster interface).
+func TestServiceQuantileTargetZeroAlloc(t *testing.T) {
+	s := NewServiceWith(trainTinyModel(t), ServiceOptions{QuantileLevel: 0.95})
+	rng := rand.New(rand.NewSource(4))
+
+	a := s.app("alloc-probe-q")
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := 0; i < 45; i++ {
+		a.history = append(a.history, 2+rng.Float64())
+	}
+	a.policy.TargetQuantilesWS(a.history, 1, s.qlevel, a.ws)
+	a.policy.TargetQuantilesWS(a.history, 1, s.qlevel, a.ws)
+	allocs := testing.AllocsPerRun(50, func() {
+		a.policy.TargetQuantilesWS(a.history, 1, s.qlevel, a.ws)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state quantile target computation: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestQuantileLevelZeroMatchesPointPath pins the knob's default: a
+// provider with QuantileLevel 0 must return exactly the targets the
+// point path returns — flag-off is bit-for-bit the old behaviour.
+func TestQuantileLevelZeroMatchesPointPath(t *testing.T) {
+	m := trainTinyModel(t)
+	p := NewDirectProvider(m)
+	ref := m.NewAppPolicy(0)
+	var hist []float64
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 70; i++ {
+		v := 0.0
+		if i%10 < 2 {
+			v = 2 + rng.Float64()
+		}
+		hist = append(hist, v)
+		got, ok := p.Target("equiv-app-q", v, 1)
+		if !ok {
+			t.Fatal("provider refused target")
+		}
+		if want := ref.Target(hist, 1); got != want {
+			t.Fatalf("obs %d: zero-level target %d, plain Target %d", i, got, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
@@ -47,6 +48,54 @@ func TargetWith(p Policy, history []float64, unitConcurrency int, ws *forecast.W
 		return wt.TargetWS(history, unitConcurrency, ws)
 	}
 	return p.Target(history, unitConcurrency)
+}
+
+// QuantileTargeter is the SLO-aware variant of WorkspaceTargeter:
+// provision for the given forecast quantile level (e.g. 0.95 = "enough
+// capacity for the p95 demand") instead of point forecast × fixed
+// headroom. A level <= 0 must reproduce TargetWS exactly — point ×
+// headroom remains the default — so a zero level is always safe to
+// thread through config.
+type QuantileTargeter interface {
+	Policy
+	TargetQuantilesWS(history []float64, unitConcurrency int, level float64, ws *forecast.Workspace) int
+}
+
+// TargetQuantilesWith invokes p's quantile path when it has one and the
+// level is positive, degrading to the point-forecast TargetWith
+// otherwise. This is the single call-site helper for quantile-aware
+// policy evaluation: policies without a quantile path (keep-alive,
+// Knative default, fixed) are unaffected by the level.
+func TargetQuantilesWith(p Policy, history []float64, unitConcurrency int, level float64, ws *forecast.Workspace) int {
+	if level > 0 {
+		if qt, ok := p.(QuantileTargeter); ok {
+			return qt.TargetQuantilesWS(history, unitConcurrency, level, ws)
+		}
+	}
+	return TargetWith(p, history, unitConcurrency, ws)
+}
+
+// QuantilePolicy wraps a base policy with a fixed quantile level, so the
+// simulators and sweeps can treat "provision for p95" as just another
+// Policy value. The zero level reproduces the base policy exactly.
+type QuantilePolicy struct {
+	Base  Policy
+	Level float64
+}
+
+// Name implements Policy.
+func (p QuantilePolicy) Name() string {
+	return fmt.Sprintf("%s-p%g", p.Base.Name(), p.Level*100)
+}
+
+// Target implements Policy.
+func (p QuantilePolicy) Target(history []float64, unitConcurrency int) int {
+	return p.TargetWS(history, unitConcurrency, nil)
+}
+
+// TargetWS implements WorkspaceTargeter.
+func (p QuantilePolicy) TargetWS(history []float64, unitConcurrency int, ws *forecast.Workspace) int {
+	return TargetQuantilesWith(p.Base, history, unitConcurrency, p.Level, ws)
 }
 
 // unitsFor converts a concurrency level to compute units at the given
@@ -125,6 +174,43 @@ func (p ForecastPolicy) TargetWS(history []float64, unitConcurrency int, ws *for
 		}
 	}
 	peak *= 1 + p.Headroom
+	target := ForecastUnits(peak, history, unitConcurrency)
+	if p.FloorWindow > 0 {
+		if floor := (KeepAlivePolicy{IdleIntervals: p.FloorWindow}).Target(full, unitConcurrency); floor > target {
+			target = floor
+		}
+	}
+	return target
+}
+
+// TargetQuantilesWS implements QuantileTargeter: scale to the peak of
+// the level-quantile forecast over the horizon. The fixed Headroom
+// multiplier is intentionally NOT applied — the quantile level IS the
+// safety margin, calibrated per app from the forecaster's own
+// uncertainty, which is the point of SLO-aware provisioning. The
+// keep-alive floor still applies: capacity that served the stable
+// window is not reaped on a dip in the quantile forecast either.
+func (p ForecastPolicy) TargetQuantilesWS(history []float64, unitConcurrency int, level float64, ws *forecast.Workspace) int {
+	if level <= 0 {
+		return p.TargetWS(history, unitConcurrency, ws)
+	}
+	h := p.Horizon
+	if h < 1 {
+		h = 1
+	}
+	full := history
+	if p.Window > 0 && p.Window < len(history) {
+		history = history[len(history)-p.Window:]
+	}
+	lv := ws.Levels(1)
+	lv[0] = level
+	pred := forecast.QuantilesInto(p.Forecaster, history, h, lv, ws.Out(h), ws)
+	peak := 0.0
+	for _, v := range pred {
+		if v > peak {
+			peak = v
+		}
+	}
 	target := ForecastUnits(peak, history, unitConcurrency)
 	if p.FloorWindow > 0 {
 		if floor := (KeepAlivePolicy{IdleIntervals: p.FloorWindow}).Target(full, unitConcurrency); floor > target {
