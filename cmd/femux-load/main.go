@@ -78,6 +78,8 @@ func main() {
 		minutes  = flag.Int("minutes", 120, "trace minutes to replay (caps CSV traces too)")
 		startMin = flag.Int("start-minute", 0, "first minute to replay (resume an interrupted run)")
 		seed     = flag.Int64("seed", 1, "synthetic workload seed")
+		shiftAt  = flag.Int("shift-at", 0,
+			"synthetic fleet: minute at which every app's regime changes from smooth to bursty (0 = stationary)")
 
 		sparse = flag.Bool("sparse", false,
 			"sparse synthetic mode: -apps mostly-idle apps with heavy-tailed invocation rates")
@@ -113,7 +115,7 @@ func main() {
 	case *sparse:
 		wl = sparseWorkload(*apps, *startMin, *minutes, *seed, *sparsePeriod)
 	default:
-		wl = syntheticWorkload(*fleet, *startMin, *minutes, *seed)
+		wl = syntheticWorkload(*fleet, *startMin, *minutes, *seed, *shiftAt)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -253,7 +255,14 @@ func csvWorkload(appsPath, invPath string, startMin, maxMinutes int) (workload, 
 // trace a single [0, 250) replay would have sent. That prefix stability
 // is what lets the crash-recovery smoke kill a replay mid-flight and
 // resume it against a restarted server.
-func syntheticWorkload(apps, startMin, minutes int, seed int64) workload {
+//
+// shiftAt > 0 switches every app to a bursty high-level regime from that
+// minute on (the retrain-lifecycle smoke's drift trigger). The shift
+// preserves prefix stability: every minute consumes exactly one noise
+// draw whichever regime it is in, and the burst parameters derive from
+// the app's existing draws, so minutes before shiftAt are identical to
+// an unshifted run's.
+func syntheticWorkload(apps, startMin, minutes int, seed int64, shiftAt int) workload {
 	var wl workload
 	wl.apps, wl.minutes = apps, minutes
 	end := startMin + minutes
@@ -262,9 +271,18 @@ func syntheticWorkload(apps, startMin, minutes int, seed int64) workload {
 		base := 0.5 + 4*rng.Float64()
 		period := float64(20 + rng.Intn(120))
 		phase := rng.Float64() * 2 * math.Pi
+		burstGap := 10 + int(period)%16 // regime-B spacing, from existing draws
 		for m := 0; m < end; m++ {
-			c := base * (1 + math.Sin(2*math.Pi*float64(m)/period+phase))
-			c += 0.2 * rng.NormFloat64()
+			noise := rng.NormFloat64()
+			var c float64
+			if shiftAt > 0 && m >= shiftAt {
+				// Regime B: mostly idle with 10x-level bursts.
+				if (m+burstGap*a)%burstGap < 2 {
+					c = 10 * base * (1 + 0.05*noise)
+				}
+			} else {
+				c = base*(1+math.Sin(2*math.Pi*float64(m)/period+phase)) + 0.2*noise
+			}
 			if c < 0 {
 				c = 0
 			}

@@ -69,7 +69,7 @@ func tinyService(t testing.TB) (*knative.Service, *httptest.Server) {
 }
 
 func TestSyntheticWorkloadShape(t *testing.T) {
-	wl := syntheticWorkload(3, 0, 50, 7)
+	wl := syntheticWorkload(3, 0, 50, 7, 0)
 	if wl.apps != 3 || wl.minutes != 50 {
 		t.Fatalf("shape = %d apps x %d minutes", wl.apps, wl.minutes)
 	}
@@ -87,7 +87,7 @@ func TestSyntheticWorkloadShape(t *testing.T) {
 		}
 	}
 	// Deterministic for a fixed seed.
-	again := syntheticWorkload(3, 0, 50, 7)
+	again := syntheticWorkload(3, 0, 50, 7, 0)
 	for i := range wl.events {
 		if wl.events[i] != again.events[i] {
 			t.Fatal("synthetic workload not deterministic")
@@ -95,9 +95,59 @@ func TestSyntheticWorkloadShape(t *testing.T) {
 	}
 }
 
+func TestSyntheticWorkloadShift(t *testing.T) {
+	const shift = 25
+	flat := syntheticWorkload(3, 0, 50, 7, 0)
+	shifted := syntheticWorkload(3, 0, 50, 7, shift)
+
+	// Prefix stability across the regime change: minutes before the shift
+	// are identical to the unshifted run's, minutes after diverge.
+	byApp := func(wl workload) map[string][]obsEvent {
+		m := map[string][]obsEvent{}
+		for _, ev := range wl.events {
+			m[ev.app] = append(m[ev.app], ev)
+		}
+		return m
+	}
+	fa, sa := byApp(flat), byApp(shifted)
+	diverged := false
+	for app, fevs := range fa {
+		sevs := sa[app]
+		if len(sevs) != len(fevs) {
+			t.Fatalf("%s: event counts differ: %d vs %d", app, len(fevs), len(sevs))
+		}
+		for i := range fevs {
+			if fevs[i].minute < shift && fevs[i] != sevs[i] {
+				t.Fatalf("%s minute %d: pre-shift event changed: %+v vs %+v",
+					app, fevs[i].minute, fevs[i], sevs[i])
+			}
+			if fevs[i].minute >= shift && fevs[i] != sevs[i] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("regime never changed after the shift minute")
+	}
+
+	// Resume still works through the shift: head + tail == one full run.
+	head := syntheticWorkload(3, 0, 30, 7, shift)
+	tail := syntheticWorkload(3, 30, 20, 7, shift)
+	joined := append(append([]obsEvent{}, head.events...), tail.events...)
+	sortEvents(joined)
+	if len(joined) != len(shifted.events) {
+		t.Fatalf("resumed events = %d, want %d", len(joined), len(shifted.events))
+	}
+	for i := range joined {
+		if joined[i] != shifted.events[i] {
+			t.Fatalf("event %d: resumed %+v != full %+v", i, joined[i], shifted.events[i])
+		}
+	}
+}
+
 func TestReplayAgainstService(t *testing.T) {
 	_, srv := tinyService(t)
-	wl := syntheticWorkload(4, 0, 40, 3) // 160 observations
+	wl := syntheticWorkload(4, 0, 40, 3, 0) // 160 observations
 	rep := replay(wl, replayConfig{
 		BaseURL:     srv.URL,
 		Speedup:     0,
@@ -133,7 +183,7 @@ func TestReplayAgainstService(t *testing.T) {
 
 func TestReplaySpeedupPacing(t *testing.T) {
 	_, srv := tinyService(t)
-	wl := syntheticWorkload(2, 0, 5, 1) // 5 minutes of trace
+	wl := syntheticWorkload(2, 0, 5, 1, 0) // 5 minutes of trace
 	start := time.Now()
 	rep := replay(wl, replayConfig{
 		BaseURL:     srv.URL,
@@ -215,9 +265,9 @@ func TestPercentile(t *testing.T) {
 // smoke relies on when it resumes an interrupted replay with
 // -start-minute.
 func TestSyntheticWorkloadPrefixStable(t *testing.T) {
-	full := syntheticWorkload(3, 0, 50, 7)
-	head := syntheticWorkload(3, 0, 30, 7)
-	tail := syntheticWorkload(3, 30, 20, 7)
+	full := syntheticWorkload(3, 0, 50, 7, 0)
+	head := syntheticWorkload(3, 0, 30, 7, 0)
+	tail := syntheticWorkload(3, 30, 20, 7, 0)
 
 	if len(head.events)+len(tail.events) != len(full.events) {
 		t.Fatalf("split sizes: %d + %d != %d", len(head.events), len(tail.events), len(full.events))
@@ -252,7 +302,7 @@ func TestSyntheticWorkloadPrefixStable(t *testing.T) {
 // server's counters.
 func TestBatchReplay(t *testing.T) {
 	_, srv := tinyService(t)
-	wl := syntheticWorkload(5, 0, 30, 3) // 150 observations
+	wl := syntheticWorkload(5, 0, 30, 3, 0) // 150 observations
 	rep := replay(wl, replayConfig{
 		BaseURL:     srv.URL,
 		Concurrency: 4,
@@ -311,7 +361,7 @@ func TestReplayReportsPartialBatchFailure(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	wl := syntheticWorkload(3, 0, 10, 2) // load-0..load-2, 10 minutes
+	wl := syntheticWorkload(3, 0, 10, 2, 0) // load-0..load-2, 10 minutes
 	rep := replay(wl, replayConfig{
 		BaseURL:     srv.URL,
 		Concurrency: 2,
@@ -344,7 +394,7 @@ func TestReplayResumeBitIdentical(t *testing.T) {
 	const apps, half, total = 4, 25, 50
 
 	run := func(srvURL string, startMin, minutes int) {
-		wl := syntheticWorkload(apps, startMin, minutes, 11)
+		wl := syntheticWorkload(apps, startMin, minutes, 11, 0)
 		// Concurrency 1: with parallel workers the per-app append order
 		// varies run to run, so the two replays wouldn't be comparable.
 		rep := replay(wl, replayConfig{BaseURL: srvURL, Concurrency: 1, Batch: 4, Timeout: 10 * time.Second})

@@ -31,7 +31,7 @@ func main() {
 		days       = flag.Float64("days", 2, "trace length in days")
 		seed       = flag.Int64("seed", 1, "generation seed")
 		workers    = flag.Int("workers", 0, "worker goroutines for training and sweeps (0 = one per CPU)")
-		exp        = flag.String("exp", "all", "experiment: c1, fig8, fig9, fig11-faascache, fig11-icebreaker, fig11-aquatope, fig12, s513, fig17, fig18, blocksize, classifiers, zoo, quantiles, all")
+		exp        = flag.String("exp", "all", "experiment: c1, fig8, fig9, fig11-faascache, fig11-icebreaker, fig11-aquatope, fig12, s513, fig17, fig18, blocksize, classifiers, zoo, quantiles, drift, all")
 		cacheDir   = flag.String("cache-dir", "", "spill the training cache to this directory so repeated runs warm-start (default: in-memory only)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -179,6 +179,13 @@ func main() {
 		rs, err := experiments.QuantileSweep(spTrain, spTest, levels)
 		fail("quantiles", err)
 		fmt.Println(rs)
+	}
+
+	if want("drift") {
+		fmt.Println("== Regime change: static model vs retrain lifecycle ==")
+		r, err := experiments.DriftStudy(scale, 6, 3)
+		fail("drift", err)
+		fmt.Println(r)
 	}
 
 	if st := experiments.CacheStats(); st.Hits+st.Misses > 0 {

@@ -48,6 +48,7 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/experiments"
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
+	"github.com/ubc-cirrus-lab/femux-go/internal/lifecycle"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
 	"github.com/ubc-cirrus-lab/femux-go/internal/store"
@@ -110,6 +111,17 @@ func main() {
 		replicaOf    = flag.String("replica-of", "", "primary femuxd base URL: start as a gated replica tailing its WAL (requires -data-dir)")
 		replInterval = flag.Duration("repl-interval", 100*time.Millisecond, "replication poll period when caught up")
 		joining      = flag.Bool("joining", false, "start as a reshard-joining shard: serve only migrated-in apps until the reshard's epoch bump")
+
+		retrainEvery = flag.Duration("retrain-every", 0,
+			"run a drift-aware retrain cycle this often: retrain on recent windows, shadow-evaluate, auto-promote winners (0 = disabled)")
+		driftThreshold = flag.Float64("drift-threshold", 0.5,
+			"minimum per-app drift score before a retrain cycle trains a candidate (0 = retrain every cycle)")
+		shadowWindow = flag.Int("shadow-window", 0,
+			"trailing observations per app used for retraining and shadow evaluation (0 = full window)")
+		minImprove = flag.Float64("min-improve", 0.01,
+			"fractional shadow-RUM improvement a candidate needs to be auto-promoted")
+		promoteSave = flag.String("promote-save", "",
+			"write auto-promoted models to this path (atomic rename; feeds -watch-model fleets)")
 	)
 	flag.Parse()
 	if *shards < 1 || *shardID < 0 || *shardID >= *shards {
@@ -203,8 +215,26 @@ func main() {
 		log.Printf("serving shard %d of %d (FNV-1a partition by app)", *shardID, *shards)
 	}
 
+	var lcm *lifecycle.Manager
+	if *retrainEvery > 0 {
+		lcm = lifecycle.New(svc, lifecycle.Config{
+			RetrainEvery:   *retrainEvery,
+			DriftThreshold: *driftThreshold,
+			ShadowWindow:   *shadowWindow,
+			MinImprove:     *minImprove,
+			Workers:        *workers,
+			Seed:           *seed,
+			SaveTo:         *promoteSave,
+			Logf:           log.Printf,
+		})
+		lcm.InstrumentWith(reg)
+		lcm.Start()
+		log.Printf("lifecycle: retraining every %s (drift threshold %g, shadow window %d, min improvement %g)",
+			*retrainEvery, *driftThreshold, *shadowWindow, *minImprove)
+	}
+
 	reload := func() (*femux.Model, error) { return buildModel(opts) }
-	handler := newHandler(svc, reg, reload, log.Default(), *reqTimeout, repl)
+	handler := newHandler(svc, reg, reload, log.Default(), *reqTimeout, repl, lcm)
 
 	server := &http.Server{
 		Addr:         *addr,
@@ -247,6 +277,9 @@ func main() {
 
 	log.Printf("serving FeMux API on %s", *addr)
 	err = serving.Run(server, stop, *shutdownTimeout, log.Printf)
+	if lcm != nil {
+		lcm.Stop()
+	}
 	if repl != nil {
 		repl.Stop()
 	}
@@ -421,7 +454,7 @@ type reloadResponse struct {
 // The admin reload and pprof routes sit outside the request timeout:
 // retraining and CPU profiles legitimately run for longer than an API
 // request is allowed to.
-func newHandler(svc *knative.Service, reg *serving.Registry, rebuild func() (*femux.Model, error), logger *log.Logger, timeout time.Duration, repl *knative.Replicator) http.Handler {
+func newHandler(svc *knative.Service, reg *serving.Registry, rebuild func() (*femux.Model, error), logger *log.Logger, timeout time.Duration, repl *knative.Replicator, lcm *lifecycle.Manager) http.Handler {
 	var api http.Handler = svc.Handler()
 	if timeout > 0 {
 		api = http.TimeoutHandler(api, timeout, "request timed out\n")
@@ -472,6 +505,26 @@ func newHandler(svc *knative.Service, reg *serving.Registry, rebuild func() (*fe
 			Clusters:          m.Diag.Clusters,
 			DurationMs:        time.Since(start).Milliseconds(),
 		})
+	})
+	// Lifecycle admin: GET reports status, POST triggers one synchronous
+	// retrain cycle (the same injectable trigger the ticker and the tests
+	// use). Outside the request timeout: a cycle legitimately retrains.
+	root.HandleFunc("/v1/admin/lifecycle", func(w http.ResponseWriter, r *http.Request) {
+		if lcm == nil {
+			http.Error(w, "lifecycle disabled (-retrain-every 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		switch r.Method {
+		case http.MethodGet:
+			json.NewEncoder(w).Encode(lcm.Status())
+		case http.MethodPost:
+			res := lcm.RunCycle()
+			logger.Printf("lifecycle: admin-triggered cycle: %s", res.Outcome)
+			json.NewEncoder(w).Encode(res)
+		default:
+			http.Error(w, "lifecycle requires GET or POST", http.StatusMethodNotAllowed)
+		}
 	})
 	root.HandleFunc("/debug/pprof/", pprof.Index)
 	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

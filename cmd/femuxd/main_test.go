@@ -15,6 +15,7 @@ import (
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
 	"github.com/ubc-cirrus-lab/femux-go/internal/knative"
+	"github.com/ubc-cirrus-lab/femux-go/internal/lifecycle"
 	"github.com/ubc-cirrus-lab/femux-go/internal/rum"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
 	"github.com/ubc-cirrus-lab/femux-go/internal/timeseries"
@@ -116,7 +117,7 @@ func TestHandlerAdminReload(t *testing.T) {
 		return next, nil
 	}
 	logger := log.New(io.Discard, "", 0)
-	srv := httptest.NewServer(newHandler(svc, reg, rebuild, logger, 5*time.Second, nil))
+	srv := httptest.NewServer(newHandler(svc, reg, rebuild, logger, 5*time.Second, nil, nil))
 	defer srv.Close()
 
 	// Wrong method.
@@ -215,6 +216,104 @@ func TestHandlerAdminReload(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+// TestHandlerAdminLifecycle covers the /v1/admin/lifecycle surface: 404
+// while the lifecycle is disabled, GET status, POST as the synchronous
+// cycle trigger, and the method guard.
+func TestHandlerAdminLifecycle(t *testing.T) {
+	model := tinyModel(t)
+	svc := knative.NewService(model)
+	reg := serving.NewRegistry()
+	svc.InstrumentWith(reg)
+	logger := log.New(io.Discard, "", 0)
+	rebuild := func() (*femux.Model, error) { return model, nil }
+
+	// Disabled (-retrain-every 0): the endpoint 404s.
+	off := httptest.NewServer(newHandler(svc, reg, rebuild, logger, 5*time.Second, nil, nil))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/v1/admin/lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled lifecycle GET = %d, want 404", resp.StatusCode)
+	}
+
+	lcm := lifecycle.New(svc, lifecycle.Config{DriftThreshold: 0, MinImprove: -100, Seed: 3})
+	lcm.InstrumentWith(reg)
+	srv := httptest.NewServer(newHandler(svc, reg, rebuild, logger, 5*time.Second, nil, lcm))
+	defer srv.Close()
+
+	// GET: status JSON, zero cycles so far.
+	resp, err = http.Get(srv.URL + "/v1/admin/lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st lifecycle.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.Cycles != 0 {
+		t.Errorf("initial status: code=%d %+v", resp.StatusCode, st)
+	}
+
+	// POST triggers one synchronous cycle; an empty service has no data.
+	resp, err = http.Post(srv.URL+"/v1/admin/lifecycle", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res lifecycle.CycleResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.Outcome != lifecycle.OutcomeNoData {
+		t.Errorf("empty-fleet cycle: code=%d outcome=%q", resp.StatusCode, res.Outcome)
+	}
+
+	// With real windows the POSTed cycle retrains and promotes.
+	for _, app := range []string{"x", "y", "z"} {
+		for i := 0; i < 120; i++ {
+			c := "0"
+			if i%8 < 2 {
+				c = "2.5"
+			}
+			resp, err := http.Post(srv.URL+"/v1/apps/"+app+"/observe", "application/json",
+				strings.NewReader(`{"concurrency": `+c+`}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	resp, err = http.Post(srv.URL+"/v1/admin/lifecycle", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Outcome != lifecycle.OutcomePromoted {
+		t.Errorf("cycle outcome = %q (err %q), want promoted", res.Outcome, res.Error)
+	}
+	if svc.Reloads() != 1 {
+		t.Errorf("reloads = %d, want 1 after promotion", svc.Reloads())
+	}
+
+	// Method guard.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/admin/lifecycle", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE lifecycle = %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -497,6 +497,64 @@ func TestSpecsFromTrainApps(t *testing.T) {
 	}
 }
 
+func TestDriftStudyLifecycleBeatsStatic(t *testing.T) {
+	scale := Scale{Seed: 5, Apps: 16, Days: 0.5}
+	res, err := DriftStudy(scale, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	if res.Promotions < 1 {
+		t.Fatal("lifecycle never promoted across the regime change")
+	}
+	promoted := false
+	for _, row := range res.Rows {
+		switch {
+		case row.Regime == "A":
+			// Stationary epochs: the lifecycle idles and the arms agree.
+			if row.Outcome == "promoted" {
+				t.Errorf("epoch %d promoted during the stationary regime", row.Epoch)
+			}
+			if row.LifecycleRUM != row.StaticRUM {
+				t.Errorf("epoch %d: arms diverged before any promotion", row.Epoch)
+			}
+		case promoted:
+			// Epochs after the promotion: the retrained model must hold RUM
+			// well below the frozen model's.
+			if row.LifecycleRUM >= 0.8*row.StaticRUM {
+				t.Errorf("epoch %d: lifecycle RUM %v not clearly below static %v",
+					row.Epoch, row.LifecycleRUM, row.StaticRUM)
+			}
+		default:
+			// The shift epoch itself: drift must be unmistakable.
+			if row.MaxDrift < 1 {
+				t.Errorf("epoch %d: regime shift scored drift %v, want >= 1", row.Epoch, row.MaxDrift)
+			}
+		}
+		if row.Outcome == "promoted" {
+			promoted = true
+		}
+	}
+	if imp := res.Improvement(); imp < 0.2 {
+		t.Errorf("post-shift RUM reduction %v, want >= 20%%", imp)
+	}
+
+	// The study is deterministic: a second run reproduces every row bit
+	// for bit (training is seeded, windows are sorted, caches are pure).
+	again, err := DriftStudy(scale, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		a, b := res.Rows[i], again.Rows[i]
+		if a != b {
+			t.Fatalf("row %d not reproducible:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
 func TestPolicyZoo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("every lifetime policy on one fleet (~15s)")

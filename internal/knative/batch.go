@@ -190,6 +190,7 @@ func (s *Service) batchHandler(w http.ResponseWriter, r *http.Request) {
 		a := pinned[obs.App]
 		a.mu.Lock()
 		a.history = append(a.history, obs.Concurrency)
+		a.drift.Observe(obs.Concurrency)
 		res := &resp.Results[i]
 		res.Target = a.policy.TargetQuantilesWS(a.history, unitC, s.qlevel, a.ws)
 		res.Forecaster = a.policy.CurrentForecaster()

@@ -1,0 +1,141 @@
+package knative
+
+import (
+	"sort"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/lifecycle"
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
+)
+
+// The service side of the retrain lifecycle: drift summaries for the
+// femux_drift_score gauge and the snapshot a lifecycle.Manager retrains
+// from. Service implements lifecycle.Serving (LifecycleSnapshot here,
+// SwapModel in service.go).
+
+// DriftSummary scans the hot tier's drift detectors and reports the
+// largest score, how many hot apps sit at or above threshold (0 counts
+// none), and how many were examined. Only hot apps carry live detector
+// state — a demoted app's drift is recomputed from its window when it
+// rematerializes, so an idle app cannot hold the fleet's max score
+// forever.
+func (s *Service) DriftSummary(threshold float64) (maxScore float64, drifted, tracked int) {
+	t := &s.tier
+	t.mu.Lock()
+	hot := make([]*svcApp, 0, t.hot.Len())
+	for el := t.hot.Front(); el != nil; el = el.Next() {
+		hot = append(hot, el.Value.(*svcApp))
+	}
+	t.mu.Unlock()
+	// Scores are read under each app's lock, never under tier.mu — the
+	// eviction path locks app.mu before tier.mu, so the reverse order
+	// here would deadlock.
+	for _, a := range hot {
+		a.mu.Lock()
+		gone := a.gone
+		sc := 0.0
+		if !gone {
+			sc = a.drift.Score()
+		}
+		a.mu.Unlock()
+		if gone {
+			continue
+		}
+		tracked++
+		if sc > maxScore {
+			maxScore = sc
+		}
+		if threshold > 0 && sc >= threshold {
+			drifted++
+		}
+	}
+	return maxScore, drifted, tracked
+}
+
+// MaxDriftScore reports the largest drift score across hot apps (the
+// femux_drift_score gauge).
+func (s *Service) MaxDriftScore() float64 {
+	m, _, _ := s.DriftSummary(0)
+	return m
+}
+
+// LifecycleSnapshot implements lifecycle.Serving: it captures the
+// serving model, the per-app drift summary, the replica gate, and the
+// fleet's observation windows (sorted by app name; maxApps > 0 keeps the
+// first maxApps names) for retraining and shadow evaluation.
+//
+// Store-backed services read windows straight from the durable store —
+// the write-ahead observe path keeps hot histories and store windows
+// identical, and reading the store does not promote cold apps out of
+// their tier. Store-less services copy hot histories and decode warm
+// compact windows.
+func (s *Service) LifecycleSnapshot(maxApps int, driftThreshold float64) lifecycle.Snapshot {
+	snap := lifecycle.Snapshot{Model: s.Model(), Gated: s.IsReplica()}
+	snap.MaxDrift, snap.Drifted, snap.Tracked = s.DriftSummary(driftThreshold)
+	if snap.Gated {
+		// A catching-up replica never retrains; skip the window copies.
+		return snap
+	}
+	if st := s.store(); st != nil {
+		names := st.AppNames() // sorted
+		if maxApps > 0 && len(names) > maxApps {
+			names = names[:maxApps]
+		}
+		for _, name := range names {
+			if w := st.Window(name); len(w) > 0 {
+				snap.Apps = append(snap.Apps, lifecycle.AppWindow{Name: name, Window: w})
+			}
+		}
+		return snap
+	}
+
+	// Store-less: warm windows first (under tier.mu), then hot histories.
+	// An app evicted between the two scans is picked up by the re-check
+	// of the warm map; one that rematerialized in that window is simply
+	// read hot. Either way each app contributes exactly one window.
+	windows := map[string][]float64{}
+	t := &s.tier
+	t.mu.Lock()
+	for name, cw := range t.warm {
+		windows[name] = cw.Values(nil)
+	}
+	hot := make([]*svcApp, 0, t.hot.Len())
+	for el := t.hot.Front(); el != nil; el = el.Next() {
+		hot = append(hot, el.Value.(*svcApp))
+	}
+	t.mu.Unlock()
+	for _, a := range hot {
+		a.mu.Lock()
+		if a.gone {
+			a.mu.Unlock()
+			t.mu.Lock()
+			if cw := t.warm[a.name]; cw != nil {
+				windows[a.name] = cw.Values(nil)
+			}
+			t.mu.Unlock()
+			continue
+		}
+		windows[a.name] = append([]float64(nil), a.history...)
+		a.mu.Unlock()
+	}
+	names := make([]string, 0, len(windows))
+	for name := range windows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if maxApps > 0 && len(names) > maxApps {
+		names = names[:maxApps]
+	}
+	for _, name := range names {
+		if w := windows[name]; len(w) > 0 {
+			snap.Apps = append(snap.Apps, lifecycle.AppWindow{Name: name, Window: w})
+		}
+	}
+	return snap
+}
+
+// store returns the durable store under the service lock.
+func (s *Service) store() *store.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/lifecycle"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
 	"github.com/ubc-cirrus-lab/femux-go/internal/store"
 )
@@ -201,6 +202,7 @@ func (s *Service) AdoptApp(app string, window []float64, total int64) error {
 			policy:  s.model.NewAppPolicy(0),
 			history: append([]float64(nil), window...),
 			ws:      forecast.GetWorkspace(),
+			drift:   lifecycle.DetectorOf(window, s.driftBlock),
 		}
 	}
 	s.mu.Unlock()

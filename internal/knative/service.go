@@ -13,6 +13,7 @@ import (
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/femux"
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
+	"github.com/ubc-cirrus-lab/femux-go/internal/lifecycle"
 	"github.com/ubc-cirrus-lab/femux-go/internal/serving"
 	"github.com/ubc-cirrus-lab/femux-go/internal/store"
 )
@@ -91,6 +92,12 @@ type Service struct {
 	// apps is a cache of the hot tier, not the fleet roster.
 	tier tiers
 
+	// driftBlock is the drift detector's block geometry, fixed at boot
+	// from the initial model's BlockSize so detector state stays
+	// comparable across model hot-swaps (the lifecycle retrains with the
+	// live geometry, so promotions never change it).
+	driftBlock int
+
 	metrics *ServiceMetrics // nil when metrics are not wired
 }
 
@@ -139,6 +146,12 @@ type svcApp struct {
 	// workspace LRU reclaimed it; touch re-acquires from the pool.
 	ws *forecast.Workspace
 
+	// drift tracks the app's feature drift, fed under mu on every observe
+	// (allocation-free) and rebuilt from the restored window after a tier
+	// round trip — bit-identical to the incrementally maintained state
+	// (see tierequiv_test.go).
+	drift lifecycle.Detector
+
 	// Tier state (see tier.go). hotEl/wsEl are this app's positions in the
 	// LRU lists (nil when not listed), guarded by tier.mu; gone marks an
 	// evicted entry that acquire must not use, and pins holds off eviction
@@ -177,7 +190,8 @@ func NewServiceWith(model *femux.Model, opts ServiceOptions) *Service {
 		replica: opts.Replica, epoch: opts.Epoch, joining: opts.Joining,
 		qlevel: opts.QuantileLevel,
 		moved:  map[string]int{}, adopted: map[string]bool{},
-		tier: newTiers(opts.MaxHotApps, opts.MaxWorkspaces),
+		tier:       newTiers(opts.MaxHotApps, opts.MaxWorkspaces),
+		driftBlock: model.Config().BlockSize,
 	}
 	if s.st != nil {
 		s.restored = s.st.Apps()
@@ -322,6 +336,9 @@ func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
 	reg.NewGaugeFunc("femux_apps_cold",
 		"Apps paged to disk with an in-memory stub (cold tier).",
 		func() float64 { _, _, c := s.TierCounts(); return float64(c) })
+	reg.NewGaugeFunc("femux_drift_score",
+		"Largest per-app feature-drift score across hot apps.",
+		s.MaxDriftScore)
 	sm.setModelInfo(s.Model())
 	s.mu.Lock()
 	s.metrics = sm
@@ -403,6 +420,7 @@ func (s *Service) materialize(name string) *svcApp {
 	a := &svcApp{
 		name: name, policy: s.model.NewAppPolicy(0),
 		history: history, ws: forecast.GetWorkspace(),
+		drift: lifecycle.DetectorOf(history, s.driftBlock),
 	}
 	s.apps[name] = a
 	s.mu.Unlock()
@@ -557,6 +575,7 @@ func (s *Service) appsHandler(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		a.history = append(a.history, req.Concurrency)
+		a.drift.Observe(req.Concurrency)
 		// The scale decision happens under the app lock: the per-app
 		// workspace is single-threaded by construction, and concurrent
 		// observes for one app serialize exactly as the WAL order does.

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"github.com/ubc-cirrus-lab/femux-go/internal/lifecycle"
 	"github.com/ubc-cirrus-lab/femux-go/internal/store"
 )
 
@@ -52,8 +53,35 @@ func TestTieredForecastsBitIdentical(t *testing.T) {
 		}
 		return math.Round(rng.Float64()*50*1000) / 1000
 	}
+	// driftState reads an app's drift detector and history through the
+	// same acquire path serving uses (restoring it if demoted).
+	driftState := func(s *Service, app string) (d lifecycle.Detector, history []float64) {
+		a := s.acquire(app)
+		d = a.drift
+		history = append(history, a.history...)
+		s.releaseApp(a)
+		return d, history
+	}
 	compare := func(when string) {
 		t.Helper()
+		for _, app := range apps {
+			// Drift satellite: the control's incrementally maintained
+			// moments, the tiered service's (rebuilt across every
+			// evict/page/compact/restore), and a from-scratch batch
+			// recomputation of the same window must all be
+			// Float64bits-identical.
+			dc, hist := driftState(ctl, app)
+			dt, _ := driftState(tiered, app)
+			if !dc.BitEqual(dt) {
+				t.Fatalf("%s: %s: tiered drift state diverged from control", when, app)
+			}
+			if batch := lifecycle.DetectorOf(hist, model.Config().BlockSize); !dc.BitEqual(batch) {
+				t.Fatalf("%s: %s: incremental drift state diverged from batch recomputation", when, app)
+			}
+			if a, b := dc.Score(), dt.Score(); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%s: %s: drift score %v != %v (not bit-identical)", when, app, a, b)
+			}
+		}
 		for _, app := range apps {
 			a, b := fetchDecision(t, ctlSrv.URL, app), fetchDecision(t, tieredSrv.URL, app)
 			if a.target != b.target {
