@@ -102,6 +102,14 @@ func main() {
 			"apps with in-memory compact windows in the store; excess is paged to disk (0 = unlimited, requires -data-dir)")
 		quantileLevel = flag.Float64("quantile-level", 0,
 			"provision pod targets for this forecast quantile of demand (e.g. 0.95) instead of the point forecast (0 = off)")
+		tierShards = flag.Int("tier-shards", 0,
+			"shared-nothing stripes for the tier layer (app map, LRUs, budgets); 0 = one per CPU, 1 = unstriped")
+		restoreAhead = flag.Duration("restore-ahead", 0,
+			"prefetch period: forecast demoted apps and promote predicted-to-fire ones off the request path (0 = disabled)")
+		restoreAheadLevel = flag.Float64("restore-ahead-level", knative.DefaultRestoreAheadLevel,
+			"forecast quantile a demoted app must fire at to be prefetched")
+		restoreAheadBudget = flag.Int("restore-ahead-budget", 0,
+			"max promotions per prefetch cycle (0 = hot budget / 8, clamped to [1, 256])")
 
 		shards     = flag.Int("shards", 1, "total femuxd instances in the fleet (hash-partitioned by app)")
 		shardID    = flag.Int("shard-id", 0, "this instance's shard index in [0, shards)")
@@ -182,14 +190,24 @@ func main() {
 	if *quantileLevel < 0 || *quantileLevel >= 1 {
 		log.Fatalf("-quantile-level must be in [0, 1), got %g", *quantileLevel)
 	}
+	if *tierShards < 0 {
+		log.Fatalf("-tier-shards must be >= 0, got %d", *tierShards)
+	}
+	if *restoreAheadLevel <= 0 || *restoreAheadLevel >= 1 {
+		log.Fatalf("-restore-ahead-level must be in (0, 1), got %g", *restoreAheadLevel)
+	}
 	svc := knative.NewServiceWith(model, knative.ServiceOptions{
 		Store: st, ShardID: *shardID, Shards: *shards,
 		Replica: *replicaOf != "", Joining: *joining,
 		MaxHotApps: *maxHotApps, MaxWorkspaces: *maxWorkspaces,
+		TierShards:    *tierShards,
 		QuantileLevel: *quantileLevel,
 	})
 	if *quantileLevel > 0 {
 		log.Printf("SLO-aware provisioning: pod targets use the p%g demand quantile", *quantileLevel*100)
+	}
+	if svc.Stripes() > 1 {
+		log.Printf("tier layer striped %d ways (shared-nothing; -tier-shards)", svc.Stripes())
 	}
 	reg := serving.NewRegistry()
 	reg.RegisterGoMetrics()
@@ -264,6 +282,26 @@ func main() {
 			return
 		}
 	}()
+
+	if *restoreAhead > 0 {
+		log.Printf("restore-ahead: prefetching every %s at the p%g forecast quantile",
+			*restoreAhead, *restoreAheadLevel*100)
+		go func() {
+			t := time.NewTicker(*restoreAhead)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					scanned, promoted := svc.RestoreAheadCycle(*restoreAheadLevel, *restoreAheadBudget)
+					if promoted > 0 {
+						log.Printf("restore-ahead: promoted %d of %d scanned apps", promoted, scanned)
+					}
+				}
+			}
+		}()
+	}
 
 	if *watchModel {
 		go watchModelFile(*modelPath, *watchEvery, stop, func() {

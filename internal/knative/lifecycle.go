@@ -19,16 +19,17 @@ import (
 // rematerializes, so an idle app cannot hold the fleet's max score
 // forever.
 func (s *Service) DriftSummary(threshold float64) (maxScore float64, drifted, tracked int) {
-	t := &s.tier
-	t.mu.Lock()
-	hot := make([]*svcApp, 0, t.hot.Len())
-	for el := t.hot.Front(); el != nil; el = el.Next() {
-		hot = append(hot, el.Value.(*svcApp))
+	var hot []*svcApp
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		for el := t.hot.Front(); el != nil; el = el.Next() {
+			hot = append(hot, el.Value)
+		}
+		t.mu.Unlock()
 	}
-	t.mu.Unlock()
-	// Scores are read under each app's lock, never under tier.mu — the
-	// eviction path locks app.mu before tier.mu, so the reverse order
-	// here would deadlock.
+	// Scores are read under each app's lock, never under a stripe lock —
+	// the eviction path locks app.mu before stripe.mu, so the reverse
+	// order here would deadlock.
 	for _, a := range hot {
 		a.mu.Lock()
 		gone := a.gone
@@ -88,25 +89,28 @@ func (s *Service) LifecycleSnapshot(maxApps int, driftThreshold float64) lifecyc
 		return snap
 	}
 
-	// Store-less: warm windows first (under tier.mu), then hot histories.
-	// An app evicted between the two scans is picked up by the re-check
-	// of the warm map; one that rematerialized in that window is simply
-	// read hot. Either way each app contributes exactly one window.
+	// Store-less: warm windows first (under each stripe lock), then hot
+	// histories. An app evicted between the two scans is picked up by the
+	// re-check of its stripe's warm map; one that rematerialized in that
+	// window is simply read hot. Either way each app contributes exactly
+	// one window.
 	windows := map[string][]float64{}
-	t := &s.tier
-	t.mu.Lock()
-	for name, cw := range t.warm {
-		windows[name] = cw.Values(nil)
+	var hot []*svcApp
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		for name, cw := range t.warm {
+			windows[name] = cw.Values(nil)
+		}
+		for el := t.hot.Front(); el != nil; el = el.Next() {
+			hot = append(hot, el.Value)
+		}
+		t.mu.Unlock()
 	}
-	hot := make([]*svcApp, 0, t.hot.Len())
-	for el := t.hot.Front(); el != nil; el = el.Next() {
-		hot = append(hot, el.Value.(*svcApp))
-	}
-	t.mu.Unlock()
 	for _, a := range hot {
 		a.mu.Lock()
 		if a.gone {
 			a.mu.Unlock()
+			t := a.stripe
 			t.mu.Lock()
 			if cw := t.warm[a.name]; cw != nil {
 				windows[a.name] = cw.Values(nil)

@@ -13,9 +13,7 @@ import (
 
 // hotApps counts apps resident in the hot tier right now.
 func hotApps(s *Service) int {
-	s.tier.mu.Lock()
-	defer s.tier.mu.Unlock()
-	return s.tier.hot.Len()
+	return s.HotApps()
 }
 
 // TestLifecycleReplicaGateOnService is the regression test for the

@@ -102,19 +102,20 @@ func (s *Service) Promote() int {
 		if s.st != nil {
 			return s.st.Apps()
 		}
-		return len(s.apps)
+		return s.appCount()
 	}
 	s.replica = false
 	s.promotions++
 	if s.st != nil {
-		s.apps = map[string]*svcApp{}
-		s.tier.mu.Lock()
-		s.tier.resetLocked()
-		s.tier.mu.Unlock()
+		for _, t := range s.tier.stripes {
+			t.mu.Lock()
+			t.resetLocked()
+			t.mu.Unlock()
+		}
 		s.restored = s.st.Apps()
 		return s.restored
 	}
-	return len(s.apps)
+	return s.appCount()
 }
 
 // SetShards installs a new fleet size under a strictly newer ownership
@@ -195,17 +196,23 @@ func (s *Service) AdoptApp(app string, window []float64, total int64) error {
 	s.mu.Lock()
 	s.adopted[app] = true
 	delete(s.moved, app)
+	model := s.model
+	s.mu.Unlock()
 	if s.st == nil {
-		// No store to restore from: install the imported history directly.
-		s.apps[app] = &svcApp{
-			name:    app,
-			policy:  s.model.NewAppPolicy(0),
+		// No store to restore from: install the imported history directly
+		// into the owning stripe (dropCached above removed any stale copy).
+		t := s.tier.stripe(app)
+		a := &svcApp{
+			name: app, stripe: t,
+			policy:  model.NewAppPolicy(0),
 			history: append([]float64(nil), window...),
 			ws:      forecast.GetWorkspace(),
 			drift:   lifecycle.DetectorOf(window, s.driftBlock),
 		}
+		t.mu.Lock()
+		t.apps[app] = a
+		t.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if sm := s.svcMetrics(); sm != nil {
 		sm.Adoptions.Inc()
 	}

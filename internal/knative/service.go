@@ -1,7 +1,6 @@
 package knative
 
 import (
-	"container/list"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,12 +38,15 @@ import (
 type Service struct {
 	mu    sync.RWMutex
 	model *femux.Model
-	apps  map[string]*svcApp
 	// qlevel, when positive, makes every scale decision provision for
 	// that forecast quantile of demand instead of the point forecast
 	// (the -quantile-level knob; immutable after construction).
 	qlevel  float64
 	reloads int
+	// swapMu serializes whole model swaps (pointer flip + per-app policy
+	// refresh); without it two racing swaps could interleave their
+	// refresh sweeps and leave apps on the losing model.
+	swapMu sync.Mutex
 
 	// st, when set, persists every acknowledged observation through the
 	// WAL-backed store before it is applied in memory, and seeds per-app
@@ -88,9 +90,15 @@ type Service struct {
 	// the export that follows sees its final history.
 	drainMu sync.RWMutex
 
-	// tier bounds how much of the fleet is materialized (see tier.go):
-	// apps is a cache of the hot tier, not the fleet roster.
+	// tier bounds how much of the fleet is materialized and owns the app
+	// map, striped across -tier-shards shared-nothing stripes (see
+	// tier.go): each stripe's slice of the map is a cache of the hot
+	// tier, not the fleet roster.
 	tier tiers
+
+	// prefetch is the restore-ahead loop's rotation cursor (see
+	// prefetch.go).
+	prefetch prefetchState
 
 	// driftBlock is the drift detector's block geometry, fixed at boot
 	// from the initial model's BlockSize so detector state stays
@@ -128,6 +136,11 @@ type ServiceOptions struct {
 	// the LRU excess returns workspaces to the shared pool. 0 means
 	// unlimited.
 	MaxWorkspaces int
+	// TierShards splits the tier layer (app map, LRUs, warm map,
+	// budgets) into this many shared-nothing stripes so touches and
+	// evictions on different apps stop contending on one mutex. 0 means
+	// one stripe per logical CPU; 1 reproduces the unstriped layer.
+	TierShards int
 	// QuantileLevel, when positive (e.g. 0.95), converts forecasts to
 	// pod targets at that demand quantile instead of the point forecast
 	// — SLO-aware provisioning. 0 keeps the point × headroom default.
@@ -152,14 +165,24 @@ type svcApp struct {
 	// (see tierequiv_test.go).
 	drift lifecycle.Detector
 
-	// Tier state (see tier.go). hotEl/wsEl are this app's positions in the
-	// LRU lists (nil when not listed), guarded by tier.mu; gone marks an
-	// evicted entry that acquire must not use, and pins holds off eviction
-	// while a batch that already committed observations for this app has
-	// yet to apply them in memory (both guarded by mu).
-	hotEl, wsEl *list.Element
+	// Tier state (see tier.go). stripe is the tier stripe that owns this
+	// app, fixed at materialization. hotEl/wsEl are this app's positions
+	// in the stripe's LRU lists (nil when not listed), guarded by
+	// stripe.mu; gone marks an evicted entry that acquire must not use,
+	// pins holds off eviction while a batch that already committed
+	// observations for this app has yet to apply them in memory, and
+	// prefetched marks an app the restore-ahead loop promoted that no
+	// real request has touched yet (gone/pins/prefetched guarded by mu).
+	stripe      *tierStripe
+	hotEl, wsEl *lruElem
 	gone        bool
 	pins        int
+	prefetched  bool
+	// prefetchEpoch is the restore-ahead cycle that promoted this app
+	// (0 for request-path installs), written before the app is published
+	// and read under stripe.mu: displacement skips victims carrying the
+	// current cycle's epoch so a cycle never evicts its own guesses.
+	prefetchEpoch int64
 }
 
 // maxObserveBody bounds the observe POST body; real observations are a
@@ -185,14 +208,14 @@ func NewService(model *femux.Model) *Service {
 // process would hold.
 func NewServiceWith(model *femux.Model, opts ServiceOptions) *Service {
 	s := &Service{
-		model: model, apps: map[string]*svcApp{},
-		st: opts.Store, shardID: opts.ShardID, shards: opts.Shards,
+		model: model,
+		st:    opts.Store, shardID: opts.ShardID, shards: opts.Shards,
 		replica: opts.Replica, epoch: opts.Epoch, joining: opts.Joining,
 		qlevel: opts.QuantileLevel,
 		moved:  map[string]int{}, adopted: map[string]bool{},
-		tier:       newTiers(opts.MaxHotApps, opts.MaxWorkspaces),
 		driftBlock: model.Config().BlockSize,
 	}
+	s.tier.stripes = newStripes(opts.MaxHotApps, opts.MaxWorkspaces, opts.TierShards)
 	if s.st != nil {
 		s.restored = s.st.Apps()
 	}
@@ -220,23 +243,50 @@ func (s *Service) Reloads() int {
 	return s.reloads
 }
 
+// modelAt returns the serving model together with its reload version,
+// so a caller that derived state from the model can detect a concurrent
+// swap afterwards (see materializeAs).
+func (s *Service) modelAt() (*femux.Model, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.model, s.reloads
+}
+
 // SwapModel atomically replaces the serving model (the paper retrains
 // monthly offline and ships the classifier into the forecasting pods).
 // Each tracked application gets a fresh policy from the new model while
 // keeping its observation history, so forecasting continuity survives the
 // swap. Requests already holding the old policy finish against the old
-// model — nothing in flight is dropped or torn.
+// model — nothing in flight is dropped or torn. The refresh sweep walks
+// the stripes without a global lock; an app materializing concurrently
+// either is seen by the sweep or detects the version bump itself and
+// re-derives (materializeAs), so no app can keep the old model.
 func (s *Service) SwapModel(m *femux.Model) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
 	s.mu.Lock()
 	s.model = m
 	s.reloads++
-	for _, a := range s.apps {
-		a.mu.Lock()
-		a.policy = m.NewAppPolicy(0)
-		a.mu.Unlock()
-	}
 	sm := s.metrics
 	s.mu.Unlock()
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		apps := make([]*svcApp, 0, len(t.apps))
+		for _, a := range t.apps {
+			apps = append(apps, a)
+		}
+		t.mu.Unlock()
+		// Policies are refreshed under each app's lock, never under the
+		// stripe lock — eviction locks app.mu before stripe.mu, so the
+		// reverse order here would deadlock.
+		for _, a := range apps {
+			a.mu.Lock()
+			if !a.gone {
+				a.policy = m.NewAppPolicy(0)
+			}
+			a.mu.Unlock()
+		}
+	}
 	if sm != nil {
 		sm.Reloads.Inc()
 		sm.setModelInfo(m)
@@ -336,6 +386,24 @@ func (s *Service) InstrumentWith(reg *serving.Registry) *ServiceMetrics {
 	reg.NewGaugeFunc("femux_apps_cold",
 		"Apps paged to disk with an in-memory stub (cold tier).",
 		func() float64 { _, _, c := s.TierCounts(); return float64(c) })
+	reg.NewGaugeFunc("femux_tier_shards",
+		"Shared-nothing stripes the tier layer is split into (-tier-shards).",
+		func() float64 { return float64(s.Stripes()) })
+	reg.NewCounterFunc("femux_tier_count_anomalies_total",
+		"Tier gauge samples whose store-backed warm count was internally inconsistent.",
+		func() float64 { return float64(s.TierCountAnomalies()) })
+	reg.NewCounterFunc("femux_restore_ahead_scans_total",
+		"Demoted apps whose next-interval forecast the restore-ahead loop evaluated.",
+		func() float64 { return float64(s.tier.prefetchScans.Load()) })
+	reg.NewCounterFunc("femux_restore_ahead_promotions_total",
+		"Apps the restore-ahead loop promoted to the hot tier off the request path.",
+		func() float64 { return float64(s.tier.prefetchPromotions.Load()) })
+	reg.NewCounterFunc("femux_restore_ahead_hits_total",
+		"Prefetched apps a real request touched before eviction (restore latency hidden).",
+		func() float64 { return float64(s.tier.prefetchHits.Load()) })
+	reg.NewCounterFunc("femux_restore_ahead_wastes_total",
+		"Prefetched apps evicted before any real request arrived.",
+		func() float64 { return float64(s.tier.prefetchWastes.Load()) })
 	reg.NewGaugeFunc("femux_drift_score",
 		"Largest per-app feature-drift score across hot apps.",
 		s.MaxDriftScore)
@@ -384,46 +452,123 @@ func (s *Service) svcMetrics() *ServiceMetrics {
 }
 
 func (s *Service) app(name string) *svcApp {
-	s.mu.RLock()
-	a := s.apps[name]
-	s.mu.RUnlock()
+	t := s.tier.stripe(name)
+	t.mu.Lock()
+	a := t.apps[name]
+	t.mu.Unlock()
 	if a != nil {
 		return a
 	}
-	return s.materialize(name)
+	return s.materializeAs(name, false)
 }
 
-// materialize builds hot serving state for an app missing from the app
-// map: a genuinely new app starts empty, a demoted one is restored from
-// the warm/cold tier. Store-backed restore runs before taking s.mu (it
-// may page in from disk); if another goroutine installs the app first,
-// its copy wins and ours — identical, since store restores promote —
-// is discarded.
-func (s *Service) materialize(name string) *svcApp {
+// materializeAs builds hot serving state for an app missing from its
+// stripe's map: a genuinely new app starts empty, a demoted one is
+// restored from the warm/cold tier. Store-backed restore runs before
+// taking the stripe lock (it may page in from disk); if another
+// goroutine installs the app first, its copy wins and ours — identical,
+// since store restores promote — is discarded.
+//
+// prefetched marks a restore-ahead promotion, which is best-effort where
+// a request-path materialize is mandatory: it returns nil (installs
+// nothing) when the app has no demoted state to restore. Promotion into
+// a stripe that is at its hot budget displaces the LRU-tail resident —
+// at steady state under churn every stripe is always full, so a
+// promotion that required free capacity would never fire — but the
+// displacement is tightly bounded: a victim promoted by the *current*
+// prefetch cycle is never displaced (guesses park at the tail, so this
+// caps displacement at one resident per stripe per cycle), and a
+// pinned or just-touched victim wins its race exactly as in normal
+// eviction.
+func (s *Service) materializeAs(name string, prefetched bool) *svcApp {
 	start := time.Now()
+	t := s.tier.stripe(name)
+	var epoch int64
+	if prefetched {
+		epoch = s.tier.prefetchEpoch.Load()
+		t.mu.Lock()
+		exists := t.apps[name] != nil
+		blocked := false
+		if t.maxHot >= 0 && t.hot.Len() >= t.maxHot {
+			back := t.hot.Back()
+			// A budget-0 stripe (no tail to displace) or a tail this cycle
+			// itself promoted: nothing legitimate to displace.
+			blocked = back == nil || back.Value.prefetchEpoch == epoch
+		}
+		t.mu.Unlock()
+		if exists || blocked {
+			return nil
+		}
+	}
+	model, version := s.modelAt()
 	var history []float64
 	var from string
 	if s.st != nil {
 		history, from = s.restoreHistory(name)
+		if prefetched && from == "" {
+			return nil
+		}
 	}
-	s.mu.Lock()
-	if a := s.apps[name]; a != nil {
-		s.mu.Unlock()
-		return a
+	a := &svcApp{
+		name: name, stripe: t, policy: model.NewAppPolicy(0),
+		prefetched: prefetched, prefetchEpoch: epoch,
+	}
+	if s.st != nil {
+		a.history = history
+		a.drift = lifecycle.DetectorOf(history, s.driftBlock)
+	}
+	t.mu.Lock()
+	for {
+		if cur := t.apps[name]; cur != nil {
+			t.mu.Unlock()
+			return cur
+		}
+		if !prefetched || t.maxHot < 0 || t.hot.Len() < t.maxHot {
+			break // capacity available (or a mandatory request-path install)
+		}
+		// Displace the LRU tail to make room — unless only this cycle's
+		// own guesses are left there. All of this happens before any state
+		// moves (before consuming a warm entry), so aborting is free.
+		back := t.hot.Back()
+		if back == nil || back.Value.prefetchEpoch == epoch {
+			t.mu.Unlock()
+			return nil
+		}
+		v := back.Value
+		t.mu.Unlock()
+		if !s.evict(v, false, true) {
+			// The tail was pinned or re-touched mid-displacement: real
+			// traffic wins, the guess is dropped.
+			return nil
+		}
+		t.mu.Lock()
 	}
 	if s.st == nil {
 		// The store-less warm lookup consumes its entry, so it must be
 		// atomic with the install: two racing misses must not leave one
 		// holding the window and the other installing an empty app.
-		history, from = s.restoreHistory(name)
+		if cw := t.warm[name]; cw != nil {
+			a.history, from = cw.Values(nil), "warm"
+			delete(t.warm, name)
+		}
+		if prefetched && from == "" {
+			t.mu.Unlock()
+			return nil
+		}
+		a.drift = lifecycle.DetectorOf(a.history, s.driftBlock)
 	}
-	a := &svcApp{
-		name: name, policy: s.model.NewAppPolicy(0),
-		history: history, ws: forecast.GetWorkspace(),
-		drift: lifecycle.DetectorOf(history, s.driftBlock),
+	a.ws = forecast.GetWorkspace()
+	t.apps[name] = a
+	t.mu.Unlock()
+	if m2, v2 := s.modelAt(); v2 != version {
+		// A model swap raced this install: its refresh sweep may have
+		// walked the stripe before a appeared, which would leave a on the
+		// old model forever. Re-derive from the current model — the same
+		// policy the sweep would have installed.
+		a.mu.Lock()
+		a.policy = m2.NewAppPolicy(0)
+		a.mu.Unlock()
 	}
-	s.apps[name] = a
-	s.mu.Unlock()
 	s.noteRestore(from, time.Since(start))
 	return a
 }
@@ -695,19 +840,29 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 
 // Apps returns the number of applications the service currently tracks
 // across every tier: the durable fleet size when store-backed, otherwise
-// hot entries plus evicted warm windows.
+// materialized entries plus evicted warm windows, summed over stripes.
 func (s *Service) Apps() int {
-	s.mu.RLock()
-	st := s.st
-	hot := len(s.apps)
-	s.mu.RUnlock()
-	if st != nil {
-		return st.Apps()
+	if s.st != nil {
+		return s.st.Apps()
 	}
-	s.tier.mu.Lock()
-	warm := len(s.tier.warm)
-	s.tier.mu.Unlock()
-	return hot + warm
+	n := 0
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		n += len(t.apps) + len(t.warm)
+		t.mu.Unlock()
+	}
+	return n
+}
+
+// appCount reports how many apps are materialized across stripes.
+func (s *Service) appCount() int {
+	n := 0
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		n += len(t.apps)
+		t.mu.Unlock()
+	}
+	return n
 }
 
 // HTTPProvider adapts a running FeMux service to the emulator's

@@ -1,9 +1,10 @@
 package knative
 
 import (
-	"container/list"
+	"log"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ubc-cirrus-lab/femux-go/internal/forecast"
@@ -24,25 +25,38 @@ import (
 //	      MaxWorkspaces and returned to the shared forecast pool.
 //	warm  the delta/varint-compressed window only — in the store for
 //	      store-backed services (every store app is warm at rest; the
-//	      boot path never materializes them), or in tier.warm for
-//	      store-less ones. Bounded by the store's InlineBudget
+//	      boot path never materializes them), or in the stripe's warm map
+//	      for store-less ones. Bounded by the store's InlineBudget
 //	      (-max-warm-apps), beyond which apps go cold.
 //	cold  paged to disk by the store, a ~few-dozen-byte stub in memory.
+//
+// The layer is split into shared-nothing stripes (-tier-shards, default
+// one per logical CPU): each stripe owns its slice of the app map, its
+// own hot and workspace LRUs, its own store-less warm map, and its own
+// eviction counters, keyed by FNV-1a of the app name. Touches, evicts,
+// and restores on different stripes never contend — under full-speed
+// sparse-churn replay the single global tier mutex used to serialize
+// every restore, costing 6-12x throughput once the working set exceeded
+// the hot budget. The global budgets are split across stripes
+// (maxHot/N, remainder to the first stripes) so the fleet-wide bound
+// still holds exactly; -tier-shards=1 reproduces the unstriped layer.
 //
 // Demotion is invisible to callers: hot state for a store-backed app is
 // a pure cache of the store (eviction writes nothing), and a restored
 // app re-derives its forecaster from the same history an uninterrupted
 // process would hold, so forecasts are Float64bits-identical across any
-// evict/page/restore cycle (pinned by tierequiv_test.go). The one
-// caveat matches restarts: with a WindowCap set, history beyond the cap
-// is dropped on demotion, exactly as it would be across a restart.
-type tiers struct {
-	maxHot int // hot apps; 0 = unlimited
-	maxWS  int // apps holding workspaces; 0 = unlimited
+// evict/page/restore cycle at every stripe count (pinned by
+// tierequiv_test.go). The one caveat matches restarts: with a WindowCap
+// set, history beyond the cap is dropped on demotion, exactly as it
+// would be across a restart.
+type tierStripe struct {
+	maxHot int // hot apps this stripe may hold; -1 = unlimited
+	maxWS  int // apps holding workspaces; -1 = unlimited
 
-	mu  sync.Mutex
-	hot *list.List // *svcApp, most recently touched first
-	ws  *list.List // *svcApp holding a workspace, most recently touched first
+	mu   sync.Mutex
+	apps map[string]*svcApp // this stripe's slice of the app map
+	hot  *lruList           // most recently touched first
+	ws   *lruList           // apps holding a workspace, most recent first
 
 	// warm holds evicted apps' compact windows for store-less services;
 	// with a store, warm state lives in the store itself. Entries are
@@ -53,27 +67,116 @@ type tiers struct {
 	wsReleases int64 // workspaces returned to the pool by the ws LRU
 }
 
-func newTiers(maxHot, maxWS int) tiers {
-	return tiers{
-		maxHot: maxHot, maxWS: maxWS,
-		hot: list.New(), ws: list.New(),
-		warm: map[string]*store.CompactWindow{},
-	}
+// tiers is the striped tier layer plus the cross-stripe counters that
+// are sampled without locks.
+type tiers struct {
+	stripes []*tierStripe
+
+	// countAnomalies counts TierCounts samples where the store-backed
+	// warm count came out negative — a hot app with no durable state yet,
+	// or a racy cross-structure sample. Counted (and logged once) instead
+	// of silently clamped.
+	countAnomalies atomic.Int64
+	anomalyLog     sync.Once
+
+	// Restore-ahead prefetch accounting (see prefetch.go).
+	prefetchScans      atomic.Int64 // demoted apps whose forecast was evaluated
+	prefetchPromotions atomic.Int64 // apps promoted off the request path
+	prefetchHits       atomic.Int64 // prefetched apps touched by a real request
+	prefetchWastes     atomic.Int64 // prefetched apps evicted untouched
+
+	// prefetchEpoch is bumped once per restore-ahead cycle; apps promoted
+	// by the current cycle carry it, and displacement refuses victims with
+	// the current epoch so a cycle can never cannibalize its own guesses
+	// (which park at the LRU tail, exactly where victims are drawn from).
+	prefetchEpoch atomic.Int64
 }
 
-// resetLocked drops all tier tracking (promotion installs a fresh app
-// map). Caller holds t.mu or has exclusive access.
-func (t *tiers) resetLocked() {
+// stripeCount resolves the TierShards knob: 0 means one stripe per
+// logical CPU (the shared-nothing default).
+func stripeCount(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// splitBudget distributes a global budget over n stripes: floor(total/n)
+// each, remainder to the first stripes, so the per-stripe budgets sum to
+// exactly the global one. total <= 0 (unlimited) maps to -1 everywhere;
+// note a bounded global budget smaller than n legitimately gives some
+// stripes budget 0 — apps on those stripes are served and then demoted
+// at release, which keeps the fleet-wide bound exact.
+func splitBudget(total, n int) []int {
+	out := make([]int, n)
+	if total <= 0 {
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	base, rem := total/n, total%n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func newStripes(maxHot, maxWS, shards int) []*tierStripe {
+	n := stripeCount(shards)
+	hotB, wsB := splitBudget(maxHot, n), splitBudget(maxWS, n)
+	stripes := make([]*tierStripe, n)
+	for i := range stripes {
+		stripes[i] = &tierStripe{
+			maxHot: hotB[i], maxWS: wsB[i],
+			apps: map[string]*svcApp{},
+			hot:  newLRUList(), ws: newLRUList(),
+			warm: map[string]*store.CompactWindow{},
+		}
+	}
+	return stripes
+}
+
+// stripe maps an app name onto its owning stripe with the same FNV-1a
+// hash the shard partition uses (mixed differently, so stripe and shard
+// assignment stay independent).
+func (t *tiers) stripe(name string) *tierStripe {
+	if len(t.stripes) == 1 {
+		return t.stripes[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return t.stripes[h%uint64(len(t.stripes))]
+}
+
+// Stripes reports the stripe count (the -tier-shards gauge).
+func (s *Service) Stripes() int { return len(s.tier.stripes) }
+
+// resetLocked drops one stripe's tier tracking (promotion installs a
+// fresh app map). Caller holds t.mu or has exclusive access.
+func (t *tierStripe) resetLocked() {
+	t.apps = map[string]*svcApp{}
 	t.hot.Init()
 	t.ws.Init()
 	t.warm = map[string]*store.CompactWindow{}
 }
 
-// touch bumps a to the front of the hot and workspace LRUs, acquiring a
-// pooled workspace if the ws LRU stripped it. Called with a.mu held; on
-// the steady-state hot path both bumps are MoveToFront — no allocation.
+// touch bumps a to the front of its stripe's hot and workspace LRUs,
+// acquiring a pooled workspace if the ws LRU stripped it. Called with
+// a.mu held; on the steady-state hot path both bumps are MoveToFront —
+// no allocation, and no contention with touches on other stripes.
 func (s *Service) touch(a *svcApp) {
-	t := &s.tier
+	t := a.stripe
 	t.mu.Lock()
 	if a.hotEl == nil {
 		a.hotEl = t.hot.PushFront(a)
@@ -91,51 +194,83 @@ func (s *Service) touch(a *svcApp) {
 	t.mu.Unlock()
 }
 
+// lostRaceBackoff paces the acquire retry loop after losing a race with
+// eviction. The first few retries just yield — the common case is the
+// evictor finishing its map removal within a scheduler quantum — but
+// under sustained acquire-vs-evict churn (a stripe whose budget is 0, a
+// stress test hammering one app) a pure runtime.Gosched spin can burn a
+// core for milliseconds without the fresh map entry becoming observable.
+// Beyond the yield phase the loop sleeps with capped exponential
+// backoff: 1µs doubling to 1ms.
+func lostRaceBackoff(attempt int) {
+	const yields = 4
+	if attempt < yields {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(time.Microsecond << min(attempt-yields, 10))
+}
+
 // acquire returns the named app with its lock held, lazily restoring
 // warm/cold state and bumping the tier LRUs. Callers must a.mu.Unlock()
 // (via releaseApp on serving paths, so budgets are re-enforced).
 func (s *Service) acquire(name string) *svcApp {
-	for {
+	for attempt := 0; ; attempt++ {
 		a := s.app(name)
 		a.mu.Lock()
 		if !a.gone {
 			s.touch(a)
+			if a.prefetched {
+				// A real request reached state the prefetcher staged:
+				// the cold-restore latency was genuinely hidden.
+				a.prefetched = false
+				s.tier.prefetchHits.Add(1)
+			}
 			return a
 		}
 		// Lost a race with eviction: the map entry is about to be (or has
 		// been) removed; retry until the fresh entry is observable.
 		a.mu.Unlock()
-		runtime.Gosched()
+		lostRaceBackoff(attempt)
 	}
 }
 
-// releaseApp unlocks a serving request's app and then enforces tier
-// budgets — eviction happens after the response work is done, never
-// while a request holds the app.
+// releaseApp unlocks a serving request's app and then enforces its
+// stripe's budgets — eviction happens after the response work is done,
+// never while a request holds the app, and never touches other stripes.
 func (s *Service) releaseApp(a *svcApp) {
+	t := a.stripe
 	a.mu.Unlock()
-	s.enforceTiers()
+	s.enforceStripe(t)
 }
 
-// enforceTiers demotes LRU victims until the hot-app and workspace
-// budgets hold. Safe to call from any goroutine at any time.
+// enforceTiers demotes LRU victims on every stripe until the hot-app
+// and workspace budgets hold. Safe to call from any goroutine at any
+// time; serving paths use the per-stripe enforceStripe instead.
 func (s *Service) enforceTiers() {
+	for _, t := range s.tier.stripes {
+		s.enforceStripe(t)
+	}
+}
+
+// enforceStripe demotes one stripe's LRU victims until its share of the
+// hot-app and workspace budgets holds.
+func (s *Service) enforceStripe(t *tierStripe) {
 	for {
-		t := &s.tier
 		t.mu.Lock()
 		var victim *svcApp
 		wsOnly := false
-		if t.maxHot > 0 && t.hot.Len() > t.maxHot {
-			victim = t.hot.Back().Value.(*svcApp)
-		} else if t.maxWS > 0 && t.ws.Len() > t.maxWS {
-			victim = t.ws.Back().Value.(*svcApp)
+		if t.maxHot >= 0 && t.hot.Len() > t.maxHot {
+			victim = t.hot.Back().Value
+		} else if t.maxWS >= 0 && t.ws.Len() > t.maxWS {
+			victim = t.ws.Back().Value
 			wsOnly = true
 		}
 		t.mu.Unlock()
 		if victim == nil {
 			return
 		}
-		if !s.evict(victim, wsOnly) {
+		if !s.evict(victim, wsOnly, false) {
 			// The victim was pinned or re-touched; budgets are best-effort
 			// within a pass and the next release re-enforces.
 			return
@@ -145,12 +280,19 @@ func (s *Service) enforceTiers() {
 
 // evict demotes one app (or just releases its workspace), reporting
 // whether it made progress. The victim was chosen without its lock;
-// everything is re-checked under victim.mu -> tier.mu (the same order
+// everything is re-checked under victim.mu -> stripe.mu (the same order
 // touch uses), so a concurrent touch or pin simply wins and the
-// eviction pass stops.
-func (s *Service) evict(v *svcApp, wsOnly bool) bool {
+// eviction pass stops. Because the stripe owns both the LRUs and its
+// slice of the app map, the map removal is atomic with the LRU removal:
+// no window exists where a gone app is still reachable through the map.
+//
+// displace relaxes the over-budget requirement to at-budget: restore-
+// ahead promotion into a full stripe trades the LRU-tail resident for a
+// predicted-to-fire app (see materializeAs), which is an eviction at
+// exactly the budget, not above it.
+func (s *Service) evict(v *svcApp, wsOnly, displace bool) bool {
 	v.mu.Lock()
-	t := &s.tier
+	t := v.stripe
 	t.mu.Lock()
 	if v.pins > 0 {
 		t.mu.Unlock()
@@ -158,7 +300,7 @@ func (s *Service) evict(v *svcApp, wsOnly bool) bool {
 		return false
 	}
 	if wsOnly {
-		if v.wsEl == nil || t.maxWS <= 0 || t.ws.Len() <= t.maxWS || t.ws.Back() != v.wsEl {
+		if v.wsEl == nil || t.maxWS < 0 || t.ws.Len() <= t.maxWS || t.ws.Back() != v.wsEl {
 			t.mu.Unlock()
 			v.mu.Unlock()
 			return false
@@ -173,7 +315,11 @@ func (s *Service) evict(v *svcApp, wsOnly bool) bool {
 		forecast.PutWorkspace(ws)
 		return true
 	}
-	if v.hotEl == nil || t.maxHot <= 0 || t.hot.Len() <= t.maxHot || t.hot.Back() != v.hotEl {
+	over := t.hot.Len() > t.maxHot
+	if displace {
+		over = t.hot.Len() >= t.maxHot
+	}
+	if v.hotEl == nil || t.maxHot < 0 || !over || t.hot.Back() != v.hotEl {
 		t.mu.Unlock()
 		v.mu.Unlock()
 		return false
@@ -185,6 +331,12 @@ func (s *Service) evict(v *svcApp, wsOnly bool) bool {
 		v.wsEl = nil
 	}
 	t.evictions++
+	if v.prefetched {
+		// Evicted before any real request arrived: the prefetch was wasted
+		// work (and the budget that allowed it was too optimistic).
+		v.prefetched = false
+		s.tier.prefetchWastes.Add(1)
+	}
 	if s.st == nil {
 		// Store-less warm tier: keep the history, compressed. With a
 		// store this write is unnecessary — the store already holds the
@@ -195,46 +347,32 @@ func (s *Service) evict(v *svcApp, wsOnly bool) bool {
 		}
 		t.warm[v.name] = &cw
 	}
-	t.mu.Unlock()
+	if t.apps[v.name] == v {
+		delete(t.apps, v.name)
+	}
 	ws := v.ws
 	v.ws = nil
 	v.history = nil
 	v.policy = nil
 	v.gone = true
+	t.mu.Unlock()
 	v.mu.Unlock()
 	forecast.PutWorkspace(ws)
-	// Map removal last, and only if the entry is still ours: an adopt or
-	// promote may have replaced it while we held no locks.
-	s.mu.Lock()
-	if s.apps[v.name] == v {
-		delete(s.apps, v.name)
-	}
-	s.mu.Unlock()
 	if sm := s.svcMetrics(); sm != nil {
 		sm.Evictions.Inc()
 	}
 	return true
 }
 
-// restoreHistory fetches an evicted/paged app's window during an app-map
-// miss. from is "" when the app has no demoted state (genuinely new),
-// "warm" for an in-memory compact window, "cold" for a disk page-in.
-// Store-backed restore runs outside s.mu — it may touch disk — which is
-// safe because RestoreWindow promotes in the store: a racing loser
-// discards an identical copy. The store-less path is called under s.mu
-// because deleting the warm entry is destructive.
+// restoreHistory fetches an evicted/paged app's window from the durable
+// store during an app-map miss. from is "" when the app has no demoted
+// state (genuinely new), "warm" for an in-memory compact window, "cold"
+// for a disk page-in. It runs outside the stripe lock — it may touch
+// disk — which is safe because RestoreWindow promotes in the store: a
+// racing loser discards an identical copy. Store-less restores go
+// through the stripe's warm map under its lock instead (see
+// materialize), because deleting the warm entry is destructive.
 func (s *Service) restoreHistory(name string) (history []float64, from string) {
-	if s.st == nil {
-		t := &s.tier
-		t.mu.Lock()
-		if cw := t.warm[name]; cw != nil {
-			history = cw.Values(nil)
-			delete(t.warm, name)
-			from = "warm"
-		}
-		t.mu.Unlock()
-		return history, from
-	}
 	win, paged, ok := s.st.RestoreWindow(name)
 	if !ok {
 		return nil, ""
@@ -258,17 +396,17 @@ func (s *Service) noteRestore(from string, elapsed time.Duration) {
 
 // dropCached removes an app's materialized serving state and tier
 // tracking (migration handoff/adopt replaced or dropped it); the next
-// touch lazily restores from the store.
+// touch lazily restores from the store. The stripe's warm map is purged
+// whether or not the app was materialized — a store-less warm window
+// left behind would resurrect pre-migration history on the next touch.
 func (s *Service) dropCached(name string) {
-	s.mu.Lock()
-	a := s.apps[name]
-	delete(s.apps, name)
-	s.mu.Unlock()
-	t := &s.tier
+	t := s.tier.stripe(name)
+	t.mu.Lock()
+	a := t.apps[name]
+	delete(t.apps, name)
+	delete(t.warm, name)
+	t.mu.Unlock()
 	if a == nil {
-		t.mu.Lock()
-		delete(t.warm, name)
-		t.mu.Unlock()
 		return
 	}
 	a.mu.Lock()
@@ -281,7 +419,6 @@ func (s *Service) dropCached(name string) {
 		t.ws.Remove(a.wsEl)
 		a.wsEl = nil
 	}
-	delete(t.warm, name)
 	t.mu.Unlock()
 	ws := a.ws
 	a.ws = nil
@@ -291,27 +428,63 @@ func (s *Service) dropCached(name string) {
 	forecast.PutWorkspace(ws)
 }
 
-// HotApps reports how many apps are materialized (hot tier).
+// HotApps reports how many apps are materialized (hot tier), aggregated
+// across stripes.
 func (s *Service) HotApps() int {
-	s.tier.mu.Lock()
-	defer s.tier.mu.Unlock()
-	return s.tier.hot.Len()
+	n := 0
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		n += t.hot.Len()
+		t.mu.Unlock()
+	}
+	return n
 }
 
-// TierCounts reports (hot, warm, cold) app counts for the gauges. Warm
-// is everything tracked but not materialized and not paged.
+// Evictions reports lifetime hot->warm demotions across stripes.
+func (s *Service) Evictions() int64 {
+	var n int64
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		n += t.evictions
+		t.mu.Unlock()
+	}
+	return n
+}
+
+// TierCounts reports (hot, warm, cold) app counts for the gauges,
+// aggregated across stripes. Warm is everything tracked but not
+// materialized and not paged. The counts are sampled without a
+// cross-structure lock, so a store-backed sample can transiently
+// undershoot — a hot app that has no durable state yet (its first
+// observation is in flight), or stripes scraped while an app moves.
+// Such samples are counted in femux_tier_count_anomalies_total (and
+// logged once) instead of being silently clamped away.
 func (s *Service) TierCounts() (hot, warm, cold int) {
-	s.tier.mu.Lock()
-	hot = s.tier.hot.Len()
-	warmless := len(s.tier.warm)
-	s.tier.mu.Unlock()
+	warmless := 0
+	for _, t := range s.tier.stripes {
+		t.mu.Lock()
+		hot += t.hot.Len()
+		warmless += len(t.warm)
+		t.mu.Unlock()
+	}
 	if s.st == nil {
 		return hot, warmless, 0
 	}
 	cold = s.st.PagedApps()
 	warm = s.st.Apps() - cold - hot
 	if warm < 0 {
+		s.tier.countAnomalies.Add(1)
+		s.tier.anomalyLog.Do(func() {
+			log.Printf("knative: tier gauge sample inconsistent: store apps %d < cold %d + hot %d (counted in femux_tier_count_anomalies_total; further anomalies not logged)",
+				cold+hot+warm, cold, hot)
+		})
 		warm = 0
 	}
 	return hot, warm, cold
+}
+
+// TierCountAnomalies reports how many TierCounts samples were internally
+// inconsistent (negative store-backed warm count).
+func (s *Service) TierCountAnomalies() int64 {
+	return s.tier.countAnomalies.Load()
 }

@@ -1,0 +1,235 @@
+package knative
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/ubc-cirrus-lab/femux-go/internal/store"
+)
+
+// TestSplitBudget pins the per-stripe budget arithmetic: bounded budgets
+// split exactly (floor + remainder to the first stripes, summing to the
+// global bound), and 0 maps to the -1 unlimited sentinel everywhere —
+// budget 0 on a stripe legitimately means "evict on release", so the
+// two must never be conflated.
+func TestSplitBudget(t *testing.T) {
+	cases := []struct {
+		total, n int
+		want     []int
+	}{
+		{10, 4, []int{3, 3, 2, 2}},
+		{2, 8, []int{1, 1, 0, 0, 0, 0, 0, 0}},
+		{5, 1, []int{5}},
+		{7, 7, []int{1, 1, 1, 1, 1, 1, 1}},
+		{0, 3, []int{-1, -1, -1}},
+		{-4, 2, []int{-1, -1}},
+	}
+	for _, c := range cases {
+		got := splitBudget(c.total, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitBudget(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitBudget(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+			}
+			sum += got[i]
+		}
+		if c.total > 0 && sum != c.total {
+			t.Errorf("splitBudget(%d, %d) sums to %d", c.total, c.n, sum)
+		}
+	}
+}
+
+// TestStripeAssignment pins stripe routing: deterministic per name,
+// single-stripe fleets always route to stripe 0, and the FNV-1a hash
+// spreads a realistic fleet across every stripe.
+func TestStripeAssignment(t *testing.T) {
+	svc := NewServiceWith(trainTinyModel(t), ServiceOptions{TierShards: 8})
+	seen := map[*tierStripe]int{}
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("app-%d", i)
+		a, b := svc.tier.stripe(name), svc.tier.stripe(name)
+		if a != b {
+			t.Fatalf("stripe(%q) not deterministic", name)
+		}
+		seen[a]++
+	}
+	if len(seen) != 8 {
+		t.Errorf("400 apps landed on %d of 8 stripes", len(seen))
+	}
+	single := NewServiceWith(trainTinyModel(t), ServiceOptions{TierShards: 1})
+	if single.Stripes() != 1 {
+		t.Fatalf("Stripes = %d, want 1", single.Stripes())
+	}
+	if single.tier.stripe("anything") != single.tier.stripes[0] {
+		t.Error("single-stripe routing must hit stripe 0")
+	}
+}
+
+// TestAcquireEvictHammer is the lost-race regression test for the
+// bounded-backoff acquire loop: one app on a zero-budget stripe is
+// hammered by concurrent acquire/observe/release cycles, so every
+// release evicts and every next acquire races the eviction (the gone
+// retry path) and restores from the warm tier. Run under -race in CI.
+// Conservation proves no round trip lost state: the final history holds
+// every append.
+func TestAcquireEvictHammer(t *testing.T) {
+	svc := NewServiceWith(trainTinyModel(t), ServiceOptions{
+		MaxHotApps: 1, TierShards: 4, // stripes 1..3 run at hot budget 0
+	})
+	app := ""
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("hammer-%d", i)
+		if svc.tier.stripe(name).maxHot == 0 {
+			app = name
+			break
+		}
+	}
+
+	const goroutines = 8
+	iters := 300
+	if testing.Short() {
+		iters = 120
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				a := svc.acquire(app)
+				a.history = append(a.history, 1)
+				svc.releaseApp(a) // budget 0: evicts immediately
+			}
+		}()
+	}
+	wg.Wait()
+
+	a := svc.acquire(app)
+	got := len(a.history)
+	svc.releaseApp(a)
+	if want := goroutines * iters; got != want {
+		t.Fatalf("history length = %d, want %d (acquire/evict race lost observations)", got, want)
+	}
+	if ev := svc.Evictions(); ev == 0 {
+		t.Fatal("zero evictions: the hammer never exercised the race")
+	}
+}
+
+// TestTierCountsAnomaly pins the un-clamped warm count: a hot app with
+// no durable state (its first observation still in flight) makes the
+// store-backed warm derivation go negative; the sample must be counted
+// as an anomaly — not silently clamped — while the gauge still reports
+// a sane 0.
+func TestTierCountsAnomaly(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	svc := NewServiceWith(trainTinyModel(t), ServiceOptions{Store: st})
+
+	// Materialize an app without appending to the store: hot = 1 while
+	// the store knows 0 apps.
+	a := svc.acquire("phantom")
+	svc.releaseApp(a)
+
+	hot, warm, cold := svc.TierCounts()
+	if hot != 1 || warm != 0 || cold != 0 {
+		t.Fatalf("TierCounts = (%d, %d, %d), want (1, 0, 0)", hot, warm, cold)
+	}
+	if n := svc.TierCountAnomalies(); n != 1 {
+		t.Fatalf("TierCountAnomalies = %d, want 1", n)
+	}
+
+	// Once the store catches up, samples are consistent again and the
+	// counter stays put.
+	if err := st.Append("phantom", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, warm, _ := svc.TierCounts(); warm != 0 {
+		t.Fatalf("consistent warm = %d, want 0", warm)
+	}
+	if n := svc.TierCountAnomalies(); n != 1 {
+		t.Fatalf("TierCountAnomalies after consistent sample = %d, want 1", n)
+	}
+}
+
+// TestDropCachedPurgesWarm pins the migration hole the stripe split
+// could have widened: dropCached on a store-less app must purge its
+// stripe's warm map too, or a handed-off app's pre-migration history
+// resurrects on the next touch.
+func TestDropCachedPurgesWarm(t *testing.T) {
+	svc := NewServiceWith(trainTinyModel(t), ServiceOptions{MaxHotApps: 1, TierShards: 1})
+
+	a := svc.acquire("mover")
+	a.history = append(a.history, 1, 2, 3)
+	svc.releaseApp(a)
+	// Evict it to the warm tier by touching another app.
+	b := svc.acquire("other")
+	svc.releaseApp(b)
+
+	st0 := svc.tier.stripes[0]
+	st0.mu.Lock()
+	_, warm := st0.warm["mover"]
+	st0.mu.Unlock()
+	if !warm {
+		t.Fatal("setup: mover should be in the warm map")
+	}
+
+	svc.dropCached("mover")
+
+	st0.mu.Lock()
+	_, warm = st0.warm["mover"]
+	st0.mu.Unlock()
+	if warm {
+		t.Fatal("dropCached left the app in the stripe warm map")
+	}
+	c := svc.acquire("mover")
+	got := len(c.history)
+	svc.releaseApp(c)
+	if got != 0 {
+		t.Fatalf("dropped app rematerialized %d observations, want 0", got)
+	}
+}
+
+// TestLRUList covers the typed intrusive list against the container/list
+// behavior it replaced.
+func TestLRUList(t *testing.T) {
+	l := newLRUList()
+	mk := func(name string) *svcApp { return &svcApp{name: name} }
+	ea := l.PushFront(mk("a"))
+	eb := l.PushFront(mk("b"))
+	ec := l.PushFront(mk("c"))
+	if l.Len() != 3 || l.Front() != ec || l.Back() != ea {
+		t.Fatalf("push: len=%d front=%v back=%v", l.Len(), l.Front().Value.name, l.Back().Value.name)
+	}
+	l.MoveToFront(ea)
+	if l.Front() != ea || l.Back() != eb {
+		t.Fatal("MoveToFront(back) broke order")
+	}
+	l.MoveToFront(ea) // already front: no-op
+	l.MoveToBack(ec)
+	if l.Back() != ec {
+		t.Fatal("MoveToBack broke order")
+	}
+	l.MoveToBack(ec) // already back: no-op
+	var order []string
+	for e := l.Front(); e != nil; e = e.Next() {
+		order = append(order, e.Value.name)
+	}
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("iteration order %v, want [a b c]", order)
+	}
+	l.Remove(eb)
+	if l.Len() != 2 || l.Front() != ea || l.Back() != ec {
+		t.Fatal("Remove broke order")
+	}
+	l.Init()
+	if l.Len() != 0 || l.Front() != nil || l.Back() != nil {
+		t.Fatal("Init did not empty the list")
+	}
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRestoreWindowsPeek pins the batch peek the restore-ahead prefetcher
+// runs on: windows come back bit-identical to Window(), Paged flags mirror
+// tier residency, and — unlike RestoreWindow — cold apps stay cold.
+func TestRestoreWindowsPeek(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncNever, CompactEvery: -1})
+	defer s.Close()
+	obs := pageFleet(8, 30, 77)
+	if err := s.AppendBatch(obs); err != nil {
+		t.Fatal(err)
+	}
+	want := buildWindows(obs)
+
+	cold := 0
+	for i := 0; i < 8; i += 2 {
+		if err := s.PageOut(appName(i)); err != nil {
+			t.Fatal(err)
+		}
+		cold++
+	}
+
+	names := []string{appName(0), appName(1), "no-such-app", appName(2), appName(3)}
+	got := s.RestoreWindows(names)
+	if len(got) != 4 {
+		t.Fatalf("RestoreWindows returned %d entries, want 4 (unknown app skipped)", len(got))
+	}
+	order := []string{appName(0), appName(1), appName(2), appName(3)}
+	for i, rw := range got {
+		if rw.App != order[i] {
+			t.Fatalf("entry %d is %q, want %q (input order preserved)", i, rw.App, order[i])
+		}
+		wantPaged := i%2 == 0 // even-numbered apps were paged out
+		if rw.Paged != wantPaged {
+			t.Fatalf("%s: Paged = %v, want %v", rw.App, rw.Paged, wantPaged)
+		}
+		w := want[rw.App]
+		if len(rw.Window) != len(w) {
+			t.Fatalf("%s: window length %d, want %d", rw.App, len(rw.Window), len(w))
+		}
+		for j := range w {
+			if math.Float64bits(rw.Window[j]) != math.Float64bits(w[j]) {
+				t.Fatalf("%s[%d]: %v != %v", rw.App, j, rw.Window[j], w[j])
+			}
+		}
+	}
+
+	// The defining property: peeking does not promote. Every paged app is
+	// still paged, and Window() agrees with what the peek returned.
+	if gotCold := s.PagedApps(); gotCold != cold {
+		t.Fatalf("PagedApps after peek = %d, want %d (peek must not promote)", gotCold, cold)
+	}
+	for _, rw := range got {
+		live := s.Window(rw.App)
+		for j := range live {
+			if math.Float64bits(live[j]) != math.Float64bits(rw.Window[j]) {
+				t.Fatalf("%s: Window() diverged from peek at %d", rw.App, j)
+			}
+		}
+	}
+}
